@@ -1,0 +1,150 @@
+// Package catdb is the public API of the CatDB reproduction: a
+// data-catalog-guided, LLM-based generator of data-centric ML pipelines
+// (Fathollahzadeh, Mansour, Boehm — PVLDB 18(8), 2025; demonstrated at
+// SIGMOD 2025).
+//
+// The API mirrors the paper's user API (§2):
+//
+//	md  := catdb.Collect(ds)                  // md = catdb_collect(M)
+//	llm := catdb.NewLLM("gemini-1.5-pro", 1)  // llm = LLM(model, url, config)
+//	p   := catdb.PipGen(ds, llm, opts)        // P = catdb_pipgen(md, llm)
+//	// p.Pipeline: source code of the generated pipeline
+//	// p.Exec:     outputs of the pipeline's execution
+//
+// Everything underneath — profiling, catalog refinement, prompt
+// construction, pipeline parsing/execution, error management, ML models,
+// baselines, and the benchmark harness — lives in internal packages and is
+// re-exported here through type aliases where users need to touch it.
+package catdb
+
+import (
+	"fmt"
+	"io"
+
+	"catdb/internal/catalog"
+	"catdb/internal/core"
+	"catdb/internal/data"
+	"catdb/internal/llm"
+	"catdb/internal/pipescript"
+	"catdb/internal/profile"
+)
+
+// Core data types (aliases into the tabular substrate).
+type (
+	// Dataset is a possibly multi-table dataset with target and task.
+	Dataset = data.Dataset
+	// Table is a single in-memory table.
+	Table = data.Table
+	// Column is one typed column with a missing-value mask.
+	Column = data.Column
+	// Task is the supervised learning task type.
+	Task = data.Task
+	// Relation is a foreign-key edge between dataset tables.
+	Relation = data.Relation
+)
+
+// Task constants.
+const (
+	Binary     = data.Binary
+	Multiclass = data.Multiclass
+	Regression = data.Regression
+)
+
+// Catalog and generation types.
+type (
+	// Profile is the data-catalog profile of a dataset (Algorithm 1).
+	Profile = profile.Profile
+	// RefineResult is the outcome of catalog refinement (§3.2).
+	RefineResult = catalog.Result
+	// LLM is the language-model client interface.
+	LLM = llm.Client
+	// Options configures pipeline generation (α, β, τ₂, metadata combos).
+	Options = core.Options
+	// Result is a generated-and-executed pipeline with cost accounting.
+	Result = core.Result
+	// PipelineResult carries the execution metrics of a pipeline run.
+	PipelineResult = pipescript.Result
+)
+
+// LoadDataset generates one of the twenty built-in synthetic analogues of
+// the paper's evaluation datasets (Table 3) at the given scale; scale 1.0
+// yields the registry's default row counts.
+func LoadDataset(name string, scale float64) (*Dataset, error) {
+	return data.Load(name, scale)
+}
+
+// DatasetNames lists the built-in datasets in Table 3 order.
+func DatasetNames() []string { return data.Names() }
+
+// ReadCSV loads a single-table dataset from a CSV stream; target and task
+// describe the prediction problem.
+func ReadCSV(r io.Reader, name, target string, task Task) (*Dataset, error) {
+	t, err := data.ReadCSV(r, name)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Name: name, Tables: []*Table{t}, Primary: name, Target: target, Task: task}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// ReadCSVFile is ReadCSV over a file path.
+func ReadCSVFile(path, target string, task Task) (*Dataset, error) {
+	t, err := data.ReadCSVFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t.Name = path
+	ds := &Dataset{Name: path, Tables: []*Table{t}, Primary: path, Target: target, Task: task}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// Collect profiles a dataset into its data-catalog metadata — the
+// md = catdb_collect(M) call of the paper's user API.
+func Collect(ds *Dataset) (*Profile, error) {
+	return profile.Dataset(ds, profile.Options{})
+}
+
+// NewLLM configures a language model client — the llm = LLM(model,
+// client_url, config) call. Supported models: "gpt-4o", "gemini-1.5-pro",
+// "llama3.1-70b" (simulated; see DESIGN.md for the substitution rationale).
+func NewLLM(model string, seed int64) (LLM, error) {
+	return llm.New(model, seed)
+}
+
+// ModelNames lists the supported model names.
+func ModelNames() []string { return llm.ModelNames() }
+
+// Refine applies the §3.2 catalog refinements (feature-type inference,
+// categorical dedup, composite splitting, sentence extraction, list k-hot)
+// and materializes the prepared dataset.
+func Refine(ds *Dataset, client LLM) (*RefineResult, error) {
+	return catalog.RefineDataset(ds, client, catalog.Options{})
+}
+
+// PipGen generates, validates, and executes a data-centric ML pipeline —
+// the P = catdb_pipgen(md, llm) call. The result carries the pipeline
+// source (P.code) and the execution metrics (P.results).
+func PipGen(ds *Dataset, client LLM, opts Options) (*Result, error) {
+	if client == nil {
+		return nil, fmt.Errorf("catdb: nil LLM client")
+	}
+	return core.NewRunner(client).Run(ds, opts)
+}
+
+// ExecutePipeline parses and runs a PipeScript pipeline against an
+// explicit train/test split — for users who want to re-run or hand-edit a
+// generated pipeline.
+func ExecutePipeline(source string, train, test *Table, target string, task Task, seed int64) (*PipelineResult, error) {
+	prog, err := pipescript.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	ex := &pipescript.Executor{Target: target, Task: task, Seed: seed}
+	return ex.Execute(prog, train, test)
+}

@@ -1,0 +1,99 @@
+// Command catdb-bench regenerates the paper's tables and figures (§5).
+//
+// Usage:
+//
+//	catdb-bench -exp all -scale 0.2 -seed 1 -iterations 10
+//	catdb-bench -exp fig10,table5,table8 -fast
+//
+// Experiments: fig9, fig10, table2 (incl. fig8), table4, table5 (incl.
+// table6), fig11 (incl. fig12), table7 (incl. fig13), table8, fig14, and
+// the design-choice ablation (ablation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"catdb/internal/bench"
+)
+
+type experiment struct {
+	name string
+	run  func(bench.Config) error
+}
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments or 'all'")
+	scale := flag.Float64("scale", 0.2, "dataset row-count scale factor")
+	seed := flag.Int64("seed", 1, "random seed")
+	iters := flag.Int("iterations", 10, "iterations for fig11/fig12/table2")
+	fast := flag.Bool("fast", false, "trimmed datasets and iterations")
+	outPath := flag.String("out", "", "also write the report to this file")
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	var file *os.File
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "catdb-bench:", err)
+			os.Exit(1)
+		}
+		file = f
+		out = io.MultiWriter(os.Stdout, f)
+	}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Iterations: *iters, Fast: *fast, Out: out}
+
+	experiments := []experiment{
+		{"fig9", func(c bench.Config) error { _, err := bench.RunFig9Profiling(c); return err }},
+		{"fig10", func(c bench.Config) error { _, err := bench.RunFig10MetadataImpact(c); return err }},
+		{"table2", func(c bench.Config) error { _, err := bench.RunTable2ErrorTraces(c); return err }},
+		{"table4", func(c bench.Config) error { _, err := bench.RunTable4Refinement(c); return err }},
+		{"table5", func(c bench.Config) error { _, err := bench.RunTable5Cleaning(c); return err }},
+		{"fig11", func(c bench.Config) error { _, err := bench.RunFig11TenIterations(c); return err }},
+		{"table7", func(c bench.Config) error { _, err := bench.RunTable7SingleIteration(c); return err }},
+		{"table8", func(c bench.Config) error { _, err := bench.RunTable8EndToEnd(c); return err }},
+		{"fig14", func(c bench.Config) error { _, err := bench.RunFig14Robustness(c); return err }},
+		{"ablation", func(c bench.Config) error { _, err := bench.RunAblation(c); return err }},
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	ranAny := false
+	for _, e := range experiments {
+		if !want["all"] && !want[e.name] {
+			continue
+		}
+		ranAny = true
+		start := time.Now()
+		fmt.Fprintf(out, "\n### experiment %s (scale=%.2f seed=%d) ###\n", e.name, *scale, *seed)
+		if err := e.run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "catdb-bench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "[%s completed in %s]\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ranAny {
+		fmt.Fprintln(os.Stderr, "catdb-bench: no matching experiments; known:", names(experiments))
+		os.Exit(2)
+	}
+	if file != nil {
+		if err := file.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "catdb-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func names(exps []experiment) string {
+	out := make([]string, len(exps))
+	for i, e := range exps {
+		out[i] = e.name
+	}
+	return strings.Join(out, ", ")
+}

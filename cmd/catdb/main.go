@@ -1,0 +1,262 @@
+// Command catdb is the CLI front end of the CatDB reproduction: profile a
+// dataset, refine its catalog, and generate+execute a data-centric ML
+// pipeline.
+//
+// Usage:
+//
+//	catdb datasets
+//	catdb profile  -dataset Wifi | -csv file.csv -target y -task binary
+//	catdb refine   -dataset Utility [-model gemini-1.5-pro]
+//	catdb generate -dataset Diabetes [-model gpt-4o] [-chains 3] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"catdb"
+	"catdb/internal/data"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "datasets":
+		err = cmdDatasets()
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "refine":
+		err = cmdRefine(os.Args[2:])
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "catdb:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: catdb <command> [flags]
+
+commands:
+  datasets   list the built-in synthetic datasets (Table 3 analogues)
+  profile    profile a dataset into data-catalog metadata
+  refine     run catalog refinement and report distinct-count reductions
+  generate   generate, validate, and execute a pipeline (-export saves it)
+  run        execute a saved .pipe file against a dataset`)
+}
+
+// datasetFlags adds the shared dataset-selection flags.
+func datasetFlags(fs *flag.FlagSet) (dataset, csv, target, task *string, scale *float64) {
+	dataset = fs.String("dataset", "", "built-in dataset name (see `catdb datasets`)")
+	csv = fs.String("csv", "", "path to a CSV file (single-table dataset)")
+	target = fs.String("target", "", "target column (required with -csv)")
+	task = fs.String("task", "binary", "task type with -csv: binary|multiclass|regression")
+	scale = fs.Float64("scale", 0.2, "row-count scale for built-in datasets")
+	return
+}
+
+func loadFlagDataset(dataset, csv, target, task string, scale float64) (*catdb.Dataset, error) {
+	if dataset != "" {
+		return catdb.LoadDataset(dataset, scale)
+	}
+	if csv == "" {
+		return nil, fmt.Errorf("one of -dataset or -csv is required")
+	}
+	if target == "" {
+		return nil, fmt.Errorf("-target is required with -csv")
+	}
+	var tk catdb.Task
+	switch task {
+	case "binary":
+		tk = catdb.Binary
+	case "multiclass":
+		tk = catdb.Multiclass
+	case "regression":
+		tk = catdb.Regression
+	default:
+		return nil, fmt.Errorf("unknown task %q", task)
+	}
+	return catdb.ReadCSVFile(csv, target, tk)
+}
+
+func cmdDatasets() error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "ID\tName\tTables\tRows\tCols\tTask\tClasses\tPaperRows")
+	for _, in := range data.AllInfo() {
+		fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%d\t%s\t%d\t%d\n",
+			in.ID, in.Name, in.Tables, in.Rows, in.Cols, in.Task, in.Classes, data.PaperRows(in.Name))
+	}
+	return w.Flush()
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	dataset, csv, target, task, scale := datasetFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := loadFlagDataset(*dataset, *csv, *target, *task, *scale)
+	if err != nil {
+		return err
+	}
+	prof, err := catdb.Collect(ds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset=%s rows=%d cols=%d task=%s target=%s profiled in %s\n\n",
+		prof.Dataset, prof.Rows, len(prof.Columns), prof.Task, prof.Target, prof.Elapsed)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Column\tType\tFeature\tDistinct%\tMissing%\tTargetCorr")
+	for _, c := range prof.Columns {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f\t%.1f\t%.2f\n",
+			c.Name, c.DataType, c.FeatureType, c.DistinctPct, c.MissingPct, c.TargetCorr)
+	}
+	return w.Flush()
+}
+
+func cmdRefine(args []string) error {
+	fs := flag.NewFlagSet("refine", flag.ExitOnError)
+	dataset, csv, target, task, scale := datasetFlags(fs)
+	model := fs.String("model", "gemini-1.5-pro", "LLM model name")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := loadFlagDataset(*dataset, *csv, *target, *task, *scale)
+	if err != nil {
+		return err
+	}
+	client, err := catdb.NewLLM(*model, *seed)
+	if err != nil {
+		return err
+	}
+	ref, err := catdb.Refine(ds, client)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("refined %s in %s: %d updates\n\n", ds.Name, ref.Elapsed, len(ref.Updates))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Column\tRefinement\tOriginalDistinct\tRefinedDistinct")
+	for _, up := range ref.Updates {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\n", up.Column, up.Kind, up.OriginalDistinct, up.RefinedDistinct)
+	}
+	return w.Flush()
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	dataset, csv, target, task, scale := datasetFlags(fs)
+	model := fs.String("model", "gemini-1.5-pro", "LLM model name")
+	seed := fs.Int64("seed", 1, "random seed")
+	chains := fs.Int("chains", 1, "β: 1 = CatDB single prompt, >1 = CatDB Chain")
+	topK := fs.Int("topk", 0, "α: keep only the K most relevant columns (0 = all)")
+	noRefine := fs.Bool("no-refine", false, "skip catalog refinement")
+	export := fs.String("export", "", "write the generated pipeline to this .pipe file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := loadFlagDataset(*dataset, *csv, *target, *task, *scale)
+	if err != nil {
+		return err
+	}
+	client, err := catdb.NewLLM(*model, *seed)
+	if err != nil {
+		return err
+	}
+	res, err := catdb.PipGen(ds, client, catdb.Options{
+		Seed: *seed, Chains: *chains, TopK: *topK, NoRefine: *noRefine,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== %s pipeline for %s (model %s) ===\n%s\n", res.Variant, res.Dataset, res.Model, res.Pipeline)
+	ex := res.Exec
+	if ex.Metric == "r2" {
+		fmt.Printf("train R2=%.2f  test R2=%.2f  RMSE=%.3f\n", ex.TrainR2, ex.TestR2, ex.TestRMSE)
+	} else {
+		fmt.Printf("train acc=%.2f auc=%.2f  test acc=%.2f auc=%.2f\n", ex.TrainAcc, ex.TrainAUC, ex.TestAcc, ex.TestAUC)
+	}
+	fmt.Printf("model=%s features=%d rows=%d\n", ex.ModelName, ex.Features, ex.TrainRows)
+	fmt.Printf("cost: prompt=%d completion=%d errPrompt=%d errCompletion=%d (calls=%d, kbFixes=%d, llmFixes=%d)\n",
+		res.Cost.PromptTokens, res.Cost.CompletionTokens, res.Cost.ErrorPromptTokens,
+		res.Cost.ErrorCompletionTokens, res.Cost.LLMCalls, res.Cost.KBFixes, res.Cost.LLMFixes)
+	fmt.Printf("time: profile=%s refine=%s generate=%s execute=%s total=%s\n",
+		res.ProfileTime, res.RefineTime, res.GenTime, res.ExecTime, res.TotalTime())
+	if *export != "" {
+		if err := os.WriteFile(*export, []byte(res.Pipeline), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("pipeline written to %s\n", *export)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	dataset, csv, target, task, scale := datasetFlags(fs)
+	pipe := fs.String("pipe", "", "path to a .pipe file (required)")
+	seed := fs.Int64("seed", 1, "random seed")
+	refine := fs.Bool("refine", false, "apply catalog refinement before running (use when the pipeline was generated without -no-refine)")
+	model := fs.String("model", "gemini-1.5-pro", "LLM model for -refine")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pipe == "" {
+		return fmt.Errorf("-pipe is required")
+	}
+	src, err := os.ReadFile(*pipe)
+	if err != nil {
+		return err
+	}
+	ds, err := loadFlagDataset(*dataset, *csv, *target, *task, *scale)
+	if err != nil {
+		return err
+	}
+	var tb *catdb.Table
+	if *refine {
+		client, cerr := catdb.NewLLM(*model, *seed)
+		if cerr != nil {
+			return cerr
+		}
+		ref, rerr := catdb.Refine(ds, client)
+		if rerr != nil {
+			return rerr
+		}
+		tb = ref.Table
+	} else {
+		tb, err = ds.Consolidate()
+		if err != nil {
+			return err
+		}
+	}
+	var tr, te *catdb.Table
+	if ds.Task.IsClassification() {
+		tr, te = tb.StratifiedSplit(ds.Target, 0.7, *seed)
+	} else {
+		tr, te = tb.Split(0.7, *seed)
+	}
+	res, err := catdb.ExecutePipeline(string(src), tr, te, ds.Target, ds.Task, *seed)
+	if err != nil {
+		return err
+	}
+	if res.Metric == "r2" {
+		fmt.Printf("train R2=%.2f  test R2=%.2f  RMSE=%.3f\n", res.TrainR2, res.TestR2, res.TestRMSE)
+	} else {
+		fmt.Printf("train acc=%.2f auc=%.2f  test acc=%.2f auc=%.2f\n", res.TrainAcc, res.TrainAUC, res.TestAcc, res.TestAUC)
+	}
+	fmt.Printf("model=%s features=%d rows=%d\n", res.ModelName, res.Features, res.TrainRows)
+	return nil
+}

@@ -1,0 +1,3 @@
+module catdb
+
+go 1.22

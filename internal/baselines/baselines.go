@@ -1,0 +1,330 @@
+// Package baselines re-implements the comparison systems of §5:
+// LLM-based generators (CAAFE, AIDE, AutoGen), AutoML tools
+// (Auto-Sklearn, H2O, FLAML, AutoGluon), data-cleaning frameworks (SAGA,
+// Learn2Clean), and the ADASYN-style augmentation workflow. Each carries
+// the structural behaviour and failure modes the paper reports — e.g.
+// CAAFE's TabPFN backend runs out of memory on large/wide data, AIDE and
+// AutoGen depend on human descriptions and resubmission loops, and the
+// AutoML tools perform no data cleaning.
+package baselines
+
+import (
+	"fmt"
+	"time"
+
+	"catdb/internal/data"
+	"catdb/internal/ml"
+)
+
+// Outcome is the shared result record of every baseline run.
+type Outcome struct {
+	System   string
+	Dataset  string
+	Model    string // LLM name for LLM-based systems
+	TrainAcc float64
+	TestAcc  float64
+	TrainAUC float64
+	TestAUC  float64
+	TrainR2  float64
+	TestR2   float64
+	Metric   string // "auc" or "r2"
+	Tokens   int    // LLM token usage (0 for AutoML)
+	GenTime  time.Duration
+	ExecTime time.Duration
+	Failed   bool
+	Reason   string
+}
+
+// Primary returns the headline test score (AUC or R², [0,100]).
+func (o Outcome) Primary() float64 {
+	if o.Metric == "r2" {
+		return o.TestR2
+	}
+	return o.TestAUC
+}
+
+// Total returns the end-to-end runtime.
+func (o Outcome) Total() time.Duration { return o.GenTime + o.ExecTime }
+
+func failed(system, dataset, reason string) Outcome {
+	return Outcome{System: system, Dataset: dataset, Failed: true, Reason: reason}
+}
+
+// encoded holds a numeric design matrix aligned between train and test.
+type encoded struct {
+	Xtr, Xte [][]float64
+	ytrC     []int // classification labels
+	yteC     []int
+	ytrR     []float64 // regression targets
+	yteR     []float64
+	classes  int
+	classOf  []string
+	truthStr []string // raw test label strings (for exact-match accuracy)
+	trainStr []string
+}
+
+// encodeBasic is the standard AutoML front end: median/mode imputation and
+// one-hot encoding of categoricals (top 64), nothing more — no dedup, no
+// outlier handling, no sentence/list refinement. This is precisely why
+// AutoML tools are brittle on dirty data (Figure 14, Table 5).
+func encodeBasic(train, test *data.Table, target string, task data.Task, maxCats int) (*encoded, error) {
+	if maxCats <= 0 {
+		maxCats = 64
+	}
+	tr := train.Clone()
+	te := test.Clone()
+	for _, c := range tr.Cols {
+		if c.Name == target {
+			continue
+		}
+		if c.MissingCount() > 0 || (te.Col(c.Name) != nil && te.Col(c.Name).MissingCount() > 0) {
+			fillNum, fillStr := imputeParams(c)
+			fill(c, fillNum, fillStr)
+			if tc := te.Col(c.Name); tc != nil {
+				fill(tc, fillNum, fillStr)
+			}
+		}
+	}
+	// Encode string features.
+	var stringCols []string
+	for _, c := range tr.Cols {
+		if c.Name != target && c.Kind == data.KindString {
+			stringCols = append(stringCols, c.Name)
+		}
+	}
+	for _, name := range stringCols {
+		cats := topCats(tr.Col(name), maxCats)
+		replaceOneHot(tr, name, cats)
+		if te.Col(name) != nil {
+			replaceOneHot(te, name, cats)
+		}
+	}
+	e := &encoded{}
+	e.Xtr = matrixOf(tr, target)
+	e.Xte = matrixAlignedTo(te, tr, target)
+	if len(e.Xtr) == 0 || len(e.Xtr[0]) == 0 {
+		return nil, fmt.Errorf("baselines: no usable features")
+	}
+	tcol := tr.Col(target)
+	if tcol == nil {
+		return nil, fmt.Errorf("baselines: target %q missing", target)
+	}
+	if task.IsClassification() {
+		idx := map[string]int{}
+		for _, v := range tcol.Distinct() {
+			idx[v] = len(idx)
+		}
+		e.classes = len(idx)
+		if e.classes < 2 {
+			return nil, fmt.Errorf("baselines: single-class target")
+		}
+		e.classOf = make([]string, e.classes)
+		for v, i := range idx {
+			e.classOf[i] = v
+		}
+		e.ytrC = make([]int, tcol.Len())
+		e.trainStr = make([]string, tcol.Len())
+		for i := range e.ytrC {
+			e.trainStr[i] = tcol.ValueString(i)
+			e.ytrC[i] = idx[e.trainStr[i]]
+		}
+		teT := te.Col(target)
+		e.yteC = make([]int, teT.Len())
+		e.truthStr = make([]string, teT.Len())
+		for i := range e.yteC {
+			e.truthStr[i] = teT.ValueString(i)
+			if j, ok := idx[e.truthStr[i]]; ok {
+				e.yteC[i] = j
+			} else {
+				e.yteC[i] = -1
+			}
+		}
+		return e, nil
+	}
+	if !tcol.Kind.IsNumeric() {
+		return nil, fmt.Errorf("baselines: regression target %q is not numeric", target)
+	}
+	e.ytrR = append([]float64(nil), tcol.Nums...)
+	e.yteR = append([]float64(nil), te.Col(target).Nums...)
+	return e, nil
+}
+
+func imputeParams(c *data.Column) (float64, string) {
+	if c.Kind.IsNumeric() {
+		return c.NumericStats().Median, ""
+	}
+	counts := map[string]int{}
+	best, bestN := "", -1
+	for i := 0; i < c.Len(); i++ {
+		if c.IsMissing(i) {
+			continue
+		}
+		v := c.Strs[i]
+		counts[v]++
+		if counts[v] > bestN || (counts[v] == bestN && v < best) {
+			best, bestN = v, counts[v]
+		}
+	}
+	return 0, best
+}
+
+func fill(c *data.Column, num float64, str string) {
+	for i := 0; i < c.Len(); i++ {
+		if !c.IsMissing(i) {
+			continue
+		}
+		c.Missing[i] = false
+		if c.Kind.IsNumeric() {
+			c.Nums[i] = num
+		} else {
+			c.Strs[i] = str
+		}
+	}
+}
+
+func topCats(c *data.Column, max int) []string {
+	counts := map[string]int{}
+	for i := 0; i < c.Len(); i++ {
+		if !c.IsMissing(i) {
+			counts[c.ValueString(i)]++
+		}
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	// Frequency-descending, name-ascending.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0; j-- {
+			a, b := keys[j-1], keys[j]
+			if counts[b] > counts[a] || (counts[b] == counts[a] && b < a) {
+				keys[j-1], keys[j] = keys[j], keys[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	if len(keys) > max {
+		keys = keys[:max]
+	}
+	return keys
+}
+
+func replaceOneHot(t *data.Table, name string, cats []string) {
+	c := t.Col(name)
+	if c == nil {
+		return
+	}
+	n := c.Len()
+	t.DropColumn(name)
+	for _, cat := range cats {
+		vals := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if !c.IsMissing(i) && c.ValueString(i) == cat {
+				vals[i] = 1
+			}
+		}
+		nc := data.NewNumeric(name+"__"+sanitize(cat), vals)
+		if err := t.AddColumn(nc); err != nil {
+			// Duplicate encoded names collapse; skip silently.
+			continue
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) > 24 {
+		out = out[:24]
+	}
+	return string(out)
+}
+
+func matrixOf(t *data.Table, target string) [][]float64 {
+	var cols []*data.Column
+	for _, c := range t.Cols {
+		if c.Name != target && c.Kind.IsNumeric() {
+			cols = append(cols, c)
+		}
+	}
+	X := make([][]float64, t.NumRows())
+	for i := range X {
+		row := make([]float64, len(cols))
+		for j, c := range cols {
+			row[j] = c.Nums[i]
+		}
+		X[i] = row
+	}
+	return X
+}
+
+// matrixAlignedTo builds the test matrix in the train table's column
+// order; absent columns contribute zeros.
+func matrixAlignedTo(te, tr *data.Table, target string) [][]float64 {
+	var cols []*data.Column
+	for _, c := range tr.Cols {
+		if c.Name != target && c.Kind.IsNumeric() {
+			cols = append(cols, te.Col(c.Name))
+		}
+	}
+	X := make([][]float64, te.NumRows())
+	for i := range X {
+		row := make([]float64, len(cols))
+		for j, c := range cols {
+			if c != nil && c.Kind.IsNumeric() && i < len(c.Nums) && !c.IsMissing(i) {
+				row[j] = c.Nums[i]
+			}
+		}
+		X[i] = row
+	}
+	return X
+}
+
+// scoreClassifier fills the classification metrics of an outcome.
+func scoreClassifier(o *Outcome, clf interface {
+	Proba(X [][]float64) [][]float64
+}, e *encoded) {
+	o.Metric = "auc"
+	trP := clf.Proba(e.Xtr)
+	teP := clf.Proba(e.Xte)
+	predStr := func(p [][]float64) []string {
+		out := make([]string, len(p))
+		for i, row := range p {
+			best, bi := row[0], 0
+			for j, v := range row[1:] {
+				if v > best {
+					best, bi = v, j+1
+				}
+			}
+			out[i] = e.classOf[bi]
+		}
+		return out
+	}
+	o.TrainAcc = ml.AccuracyStrings(predStr(trP), e.trainStr) * 100
+	o.TestAcc = ml.AccuracyStrings(predStr(teP), e.truthStr) * 100
+	o.TrainAUC = ml.MacroAUC(trP, e.ytrC, e.classes) * 100
+	o.TestAUC = ml.MacroAUC(teP, e.yteC, e.classes) * 100
+}
+
+// scoreRegressor fills the regression metrics of an outcome.
+func scoreRegressor(o *Outcome, reg interface {
+	Predict(X [][]float64) []float64
+}, e *encoded) {
+	o.Metric = "r2"
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		return v * 100
+	}
+	o.TrainR2 = clamp(ml.R2(reg.Predict(e.Xtr), e.ytrR))
+	o.TestR2 = clamp(ml.R2(reg.Predict(e.Xte), e.yteR))
+}

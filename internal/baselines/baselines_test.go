@@ -1,0 +1,265 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"catdb/internal/data"
+	"catdb/internal/llm"
+)
+
+func splitDS(t *testing.T, name string, scale float64) (*data.Dataset, *data.Table, *data.Table) {
+	t.Helper()
+	ds, err := data.Load(name, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := ds.Consolidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr, te *data.Table
+	if ds.Task.IsClassification() {
+		tr, te = tb.StratifiedSplit(ds.Target, 0.7, 1)
+	} else {
+		tr, te = tb.Split(0.7, 1)
+	}
+	return ds, tr, te
+}
+
+func TestEncodeBasic(t *testing.T) {
+	_, tr, te := splitDS(t, "CMC", 1.0)
+	e, err := encodeBasic(tr, te, "target", data.Multiclass, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Xtr) != tr.NumRows() || len(e.Xte) != te.NumRows() {
+		t.Fatalf("matrix shapes: %d/%d", len(e.Xtr), len(e.Xte))
+	}
+	if e.classes != 3 {
+		t.Fatalf("classes = %d", e.classes)
+	}
+	// No NaN remnants: every feature cell numeric and aligned.
+	w := len(e.Xtr[0])
+	for _, row := range e.Xte {
+		if len(row) != w {
+			t.Fatal("test matrix misaligned")
+		}
+	}
+}
+
+func TestRunAutoMLTools(t *testing.T) {
+	_, tr, te := splitDS(t, "CMC", 1.0)
+	for _, tool := range AutoMLTools() {
+		o := RunAutoML(tool, tr, te, "target", data.Multiclass, AutoMLOptions{Seed: 1, TimeBudget: 20 * time.Second})
+		if o.Failed {
+			t.Fatalf("%s failed: %s", tool, o.Reason)
+		}
+		if o.TestAUC < 55 {
+			t.Errorf("%s AUC = %g", tool, o.TestAUC)
+		}
+		if o.ExecTime <= 0 {
+			t.Errorf("%s missing runtime", tool)
+		}
+	}
+}
+
+func TestAutoMLRegression(t *testing.T) {
+	_, tr, te := splitDS(t, "Utility", 0.5)
+	o := RunAutoML(FLAML, tr, te, "target", data.Regression, AutoMLOptions{Seed: 1})
+	if o.Failed {
+		t.Fatal(o.Reason)
+	}
+	if o.Metric != "r2" || o.TestR2 < 40 {
+		t.Fatalf("regression outcome: %+v", o)
+	}
+}
+
+func TestAutoSklearnOOMOnWideData(t *testing.T) {
+	_, tr, te := splitDS(t, "CMC", 1.0)
+	o := RunAutoML(AutoSklearn, tr, te, "target", data.Multiclass, AutoMLOptions{Seed: 1, MaxCells: 10})
+	if !o.Failed || o.Reason != "OOM" {
+		t.Fatalf("want OOM failure, got %+v", o)
+	}
+}
+
+func TestCAAFETabPFNSmall(t *testing.T) {
+	_, tr, te := splitDS(t, "Wifi", 1.0)
+	o := RunCAAFE(tr, te, "target", data.Binary, CAAFEOptions{Backend: CAAFETabPFN, Seed: 1, Rounds: 2})
+	if o.Failed {
+		t.Fatalf("CAAFE failed on tiny data: %s", o.Reason)
+	}
+	if o.Tokens == 0 {
+		t.Fatal("CAAFE must account prompt tokens")
+	}
+	if o.TestAUC < 50 {
+		t.Fatalf("CAAFE AUC = %g", o.TestAUC)
+	}
+}
+
+func TestCAAFETabPFNOOMOnLargeData(t *testing.T) {
+	_, tr, te := splitDS(t, "Gas-Drift", 0.3)
+	o := RunCAAFE(tr, te, "target", data.Multiclass, CAAFEOptions{Backend: CAAFETabPFN, Seed: 1, Rounds: 1})
+	if !o.Failed || !strings.Contains(o.Reason, "Mem") {
+		t.Fatalf("want TabPFN OOM, got %+v", o)
+	}
+	// RandomForest backend survives the same data.
+	o2 := RunCAAFE(tr, te, "target", data.Multiclass, CAAFEOptions{Backend: CAAFEForest, Seed: 1, Rounds: 1, MaxPairs: 20})
+	if o2.Failed {
+		t.Fatalf("CAAFE RF should survive: %s", o2.Reason)
+	}
+}
+
+func TestCAAFERejectsRegression(t *testing.T) {
+	_, tr, te := splitDS(t, "Utility", 0.3)
+	o := RunCAAFE(tr, te, "target", data.Regression, CAAFEOptions{Seed: 1})
+	if !o.Failed || !strings.Contains(o.Reason, "regression") {
+		t.Fatalf("CAAFE must reject regression: %+v", o)
+	}
+}
+
+func TestAIDERequiresDescription(t *testing.T) {
+	ds, _, _ := splitDS(t, "CMC", 0.5)
+	ds.Description = ""
+	c, _ := llm.New("gpt-4o", 1)
+	o := RunAIDE(ds, c, LLMBaselineOptions{Seed: 1})
+	if !o.Failed || !strings.Contains(o.Reason, "description") {
+		t.Fatalf("AIDE without description: %+v", o)
+	}
+}
+
+func TestAIDERuns(t *testing.T) {
+	ds, _, _ := splitDS(t, "CMC", 0.5)
+	c, _ := llm.New("gpt-4o", 2)
+	o := RunAIDE(ds, c, LLMBaselineOptions{Seed: 2})
+	if o.Failed {
+		t.Fatalf("AIDE failed: %s", o.Reason)
+	}
+	if o.Tokens == 0 || o.TestAUC < 50 {
+		t.Fatalf("AIDE outcome: %+v", o)
+	}
+}
+
+func TestAutoGenRuns(t *testing.T) {
+	ds, _, _ := splitDS(t, "Diabetes", 1.0)
+	c, _ := llm.New("gemini-1.5-pro", 3)
+	o := RunAutoGen(ds, c, LLMBaselineOptions{Seed: 3})
+	if o.Failed {
+		t.Fatalf("AutoGen failed: %s", o.Reason)
+	}
+	if o.TestAUC < 50 {
+		t.Fatalf("AutoGen AUC = %g", o.TestAUC)
+	}
+}
+
+func TestLearn2CleanGreedy(t *testing.T) {
+	_, tr, _ := splitDS(t, "Diabetes", 1.0)
+	res, err := RunLearn2Clean(tr, "target", data.Binary, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Train == nil || res.Train.NumRows() == 0 {
+		t.Fatal("L2C returned no data")
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed missing")
+	}
+}
+
+func TestLearn2CleanNeedsNumeric(t *testing.T) {
+	tb := data.NewTable("cats")
+	tb.MustAddColumn(data.NewString("a", []string{"x", "y", "x", "y"}))
+	tb.MustAddColumn(data.NewString("y", []string{"p", "q", "p", "q"}))
+	if _, err := RunLearn2Clean(tb, "y", data.Binary, 1); err == nil {
+		t.Fatal("L2C must fail without continuous columns (EU-IT pathology)")
+	}
+}
+
+func TestSAGAEvolution(t *testing.T) {
+	_, tr, _ := splitDS(t, "Diabetes", 1.0)
+	res, err := RunSAGA(tr, "target", data.Binary, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) == 0 {
+		t.Fatal("SAGA found no pipeline")
+	}
+}
+
+func TestCleaningWorkflow(t *testing.T) {
+	_, tr, te := splitDS(t, "CMC", 0.6)
+	o, steps := RunCleaningWorkflow(CleanL2C, FLAML, tr, te, "target", data.Multiclass, AutoMLOptions{Seed: 1})
+	if o.Failed {
+		t.Fatalf("workflow failed: %s", o.Reason)
+	}
+	if !strings.Contains(o.System, "L2C") {
+		t.Fatalf("system name = %s", o.System)
+	}
+	_ = steps
+}
+
+func TestADASYNBalances(t *testing.T) {
+	n := 200
+	x := make([]float64, n)
+	y := make([]string, n)
+	for i := 0; i < n; i++ {
+		x[i] = float64(i)
+		if i < 180 {
+			y[i] = "maj"
+		} else {
+			y[i] = "min"
+		}
+	}
+	tb := data.NewTable("t")
+	tb.MustAddColumn(data.NewNumeric("x", x))
+	tb.MustAddColumn(data.NewString("y", y))
+	AugmentADASYN(tb, "y", data.Binary, 1)
+	counts := map[string]int{}
+	c := tb.Col("y")
+	for i := 0; i < c.Len(); i++ {
+		counts[c.Strs[i]]++
+	}
+	if counts["min"] <= 20 {
+		t.Fatalf("ADASYN did not oversample: %v", counts)
+	}
+}
+
+func TestCleaningOpsPreserveTarget(t *testing.T) {
+	_, tr, _ := splitDS(t, "Diabetes", 1.0)
+	orig := tr.Col("target").Len()
+	for _, op := range allCleaningOps {
+		cp := tr.Clone()
+		applyCleaningOp(cp, "target", op, 1)
+		if cp.Col("target") == nil {
+			t.Fatalf("%s dropped the target", op)
+		}
+		if op == OpDS || op == OpIQR || op == OpEM || op == OpMEDIAN {
+			if cp.NumRows() != orig {
+				t.Fatalf("%s must not change row count", op)
+			}
+		}
+	}
+}
+
+func TestOutcomeHelpers(t *testing.T) {
+	o := Outcome{Metric: "auc", TestAUC: 88, TestR2: 11, GenTime: time.Second, ExecTime: time.Second}
+	if o.Primary() != 88 {
+		t.Fatal("auc primary")
+	}
+	o.Metric = "r2"
+	if o.Primary() != 11 {
+		t.Fatal("r2 primary")
+	}
+	if o.Total() != 2*time.Second {
+		t.Fatal("total time")
+	}
+}
+
+func TestInflateSearch(t *testing.T) {
+	src := "pipeline \"x\"\ntrain model=random_forest target=\"y\" trees=40\n"
+	out := inflateSearch(src)
+	if !strings.Contains(out, "trees=160") {
+		t.Fatalf("inflate: %s", out)
+	}
+}

@@ -1,0 +1,476 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"catdb/internal/data"
+	"catdb/internal/ml"
+)
+
+// cleaningOp is one primitive in the Learn2Clean / SAGA search spaces,
+// named after the paper's Table 7 legend: DS (decimal-scale
+// normalization), ED (exact duplicate removal), AD (approximate duplicate
+// removal), IQR (outlier clipping), LOF (local-outlier-factor row
+// removal), EM and MEDIAN imputations, DROP (drop incomplete rows).
+type cleaningOp string
+
+// The cleaning primitives of the paper's Table 7 legend.
+const (
+	OpDS     cleaningOp = "DS"
+	OpED     cleaningOp = "ED"
+	OpAD     cleaningOp = "AD"
+	OpIQR    cleaningOp = "IQR"
+	OpLOF    cleaningOp = "LOF"
+	OpEM     cleaningOp = "EM"
+	OpMEDIAN cleaningOp = "MEDIAN"
+	OpDROP   cleaningOp = "DROP"
+)
+
+var allCleaningOps = []cleaningOp{OpDS, OpED, OpAD, OpIQR, OpLOF, OpEM, OpMEDIAN, OpDROP}
+
+// applyCleaningOp transforms the table in place (train-side only, as the
+// paper evaluates on unaltered test sets).
+func applyCleaningOp(t *data.Table, target string, op cleaningOp, seed int64) {
+	switch op {
+	case OpDS: // decimal-scale normalization of numeric features
+		for _, c := range t.Cols {
+			if c.Name == target || !c.Kind.IsNumeric() {
+				continue
+			}
+			st := c.NumericStats()
+			maxAbs := st.Max
+			if -st.Min > maxAbs {
+				maxAbs = -st.Min
+			}
+			p := 1.0
+			for maxAbs >= 1 {
+				maxAbs /= 10
+				p *= 10
+			}
+			for i := range c.Nums {
+				c.Nums[i] /= p
+			}
+			c.Kind = data.KindFloat
+		}
+	case OpED: // exact duplicate rows
+		seen := map[string]bool{}
+		var keep []int
+		for i := 0; i < t.NumRows(); i++ {
+			key := rowKey(t, i, false)
+			if !seen[key] {
+				seen[key] = true
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) > 0 && len(keep) < t.NumRows() {
+			*t = *t.SelectRows(keep)
+		}
+	case OpAD: // approximate duplicates: rows equal after rounding/casefold
+		seen := map[string]bool{}
+		var keep []int
+		for i := 0; i < t.NumRows(); i++ {
+			key := rowKey(t, i, true)
+			if !seen[key] {
+				seen[key] = true
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) > 0 && len(keep) < t.NumRows() {
+			*t = *t.SelectRows(keep)
+		}
+	case OpIQR:
+		for _, c := range t.Cols {
+			if c.Name == target || !c.Kind.IsNumeric() {
+				continue
+			}
+			q1, q3 := c.Quantile(0.25), c.Quantile(0.75)
+			iqr := q3 - q1
+			lo, hi := q1-1.5*iqr, q3+1.5*iqr
+			for i := range c.Nums {
+				if c.IsMissing(i) {
+					continue
+				}
+				if c.Nums[i] < lo {
+					c.Nums[i] = lo
+				}
+				if c.Nums[i] > hi {
+					c.Nums[i] = hi
+				}
+			}
+		}
+	case OpLOF: // remove rows whose numeric profile is far from median
+		var keep []int
+		dists := rowDeviations(t, target)
+		if dists == nil {
+			return
+		}
+		sorted := append([]float64(nil), dists...)
+		sort.Float64s(sorted)
+		cut := sorted[int(float64(len(sorted))*0.98)]
+		for i, d := range dists {
+			if d <= cut {
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) > 0 {
+			*t = *t.SelectRows(keep)
+		}
+	case OpEM: // expectation-maximization imputation ≈ mean for this scope
+		for _, c := range t.Cols {
+			if c.Name == target || !c.Kind.IsNumeric() || c.MissingCount() == 0 {
+				continue
+			}
+			mean := c.NumericStats().Mean
+			for i := range c.Nums {
+				if c.IsMissing(i) {
+					c.Missing[i] = false
+					c.Nums[i] = mean
+				}
+			}
+		}
+	case OpMEDIAN:
+		for _, c := range t.Cols {
+			if c.Name == target || c.MissingCount() == 0 {
+				continue
+			}
+			if c.Kind.IsNumeric() {
+				med := c.NumericStats().Median
+				for i := range c.Nums {
+					if c.IsMissing(i) {
+						c.Missing[i] = false
+						c.Nums[i] = med
+					}
+				}
+			}
+		}
+	case OpDROP: // drop rows with any missing cell
+		var keep []int
+		for i := 0; i < t.NumRows(); i++ {
+			ok := true
+			for _, c := range t.Cols {
+				if c.IsMissing(i) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				keep = append(keep, i)
+			}
+		}
+		// Never drop below 20% of the data.
+		if len(keep) > t.NumRows()/5 {
+			*t = *t.SelectRows(keep)
+		}
+	}
+	_ = seed
+}
+
+func rowKey(t *data.Table, i int, approx bool) string {
+	key := ""
+	for _, c := range t.Cols {
+		v := c.ValueString(i)
+		if approx {
+			v = approxValue(v)
+		}
+		key += v + "\x1f"
+	}
+	return key
+}
+
+func approxValue(v string) string {
+	out := make([]rune, 0, len(v))
+	for _, r := range v {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r-'A'+'a')
+		case r == ' ', r == '-', r == '_':
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func rowDeviations(t *data.Table, target string) []float64 {
+	var cols []*data.Column
+	var meds, iqrs []float64
+	for _, c := range t.Cols {
+		if c.Name == target || !c.Kind.IsNumeric() {
+			continue
+		}
+		cols = append(cols, c)
+		meds = append(meds, c.Quantile(0.5))
+		iq := c.Quantile(0.75) - c.Quantile(0.25)
+		if iq == 0 {
+			iq = 1
+		}
+		iqrs = append(iqrs, iq)
+	}
+	if len(cols) == 0 {
+		return nil
+	}
+	out := make([]float64, t.NumRows())
+	for i := range out {
+		for j, c := range cols {
+			if c.IsMissing(i) {
+				continue
+			}
+			d := (c.Nums[i] - meds[j]) / iqrs[j]
+			if d < 0 {
+				d = -d
+			}
+			if d > out[i] {
+				out[i] = d
+			}
+		}
+	}
+	return out
+}
+
+// quickScore trains a shallow tree on a holdout split of the table and
+// returns the validation score — the cheap reward signal both cleaning
+// searchers use.
+func quickScore(t *data.Table, target string, task data.Task, seed int64) float64 {
+	tr, va := t.Split(0.8, seed)
+	if tr.NumRows() < 10 || va.NumRows() < 5 {
+		return 0
+	}
+	e, err := encodeBasic(tr, va, target, task, 32)
+	if err != nil {
+		return 0
+	}
+	if task.IsClassification() {
+		tree := ml.NewTree(ml.TreeConfig{MaxDepth: 8, Seed: seed})
+		if err := tree.FitClass(e.Xtr, e.ytrC, e.classes); err != nil {
+			return 0
+		}
+		return ml.MacroAUC(tree.Proba(e.Xte), e.yteC, e.classes)
+	}
+	tree := ml.NewTree(ml.TreeConfig{MaxDepth: 8, Seed: seed})
+	if err := tree.Fit(e.Xtr, e.ytrR); err != nil {
+		return 0
+	}
+	return ml.R2(tree.Predict(e.Xte), e.yteR)
+}
+
+// CleaningResult is the output of a cleaning framework run.
+type CleaningResult struct {
+	Train   *data.Table
+	Steps   []string
+	Elapsed time.Duration
+}
+
+// RunLearn2Clean reproduces Learn2Clean (Berti-Équille, WWW'19): a greedy
+// Q-learning-style selector that repeatedly applies the cleaning primitive
+// with the best one-step validation reward. As in the paper's EU-IT
+// failure, it errors when the table has no continuous feature columns.
+func RunLearn2Clean(train *data.Table, target string, task data.Task, seed int64) (*CleaningResult, error) {
+	start := time.Now()
+	hasNumeric := false
+	for _, c := range train.Cols {
+		if c.Name != target && c.Kind.IsNumeric() {
+			hasNumeric = true
+			break
+		}
+	}
+	if !hasNumeric {
+		return nil, fmt.Errorf("baselines: Learn2Clean requires continuous columns")
+	}
+	cur := train.Clone()
+	res := &CleaningResult{}
+	best := quickScore(cur, target, task, seed)
+	for step := 0; step < 4; step++ {
+		var bestOp cleaningOp
+		bestScore := best
+		var bestTable *data.Table
+		for _, op := range allCleaningOps {
+			cand := cur.Clone()
+			applyCleaningOp(cand, target, op, seed)
+			if s := quickScore(cand, target, task, seed); s > bestScore+1e-9 {
+				bestScore, bestOp, bestTable = s, op, cand
+			}
+		}
+		if bestTable == nil {
+			break
+		}
+		cur, best = bestTable, bestScore
+		res.Steps = append(res.Steps, string(bestOp))
+	}
+	res.Train = cur
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// RunSAGA reproduces SAGA (Siddiqi et al., SIGMOD'23): an evolutionary
+// search over cleaning-pipeline sequences. Populations of op sequences are
+// mutated and recombined across generations, each individual evaluated by
+// a downstream model — effective but expensive, which is exactly the
+// runtime penalty Table 6 reports for cleaning+AutoML workflows.
+func RunSAGA(train *data.Table, target string, task data.Task, seed int64) (*CleaningResult, error) {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	const popSize, generations = 6, 3
+	type indiv struct {
+		ops   []cleaningOp
+		score float64
+		table *data.Table
+	}
+	randomSeq := func() []cleaningOp {
+		n := 1 + rng.Intn(3)
+		out := make([]cleaningOp, n)
+		for i := range out {
+			out[i] = allCleaningOps[rng.Intn(len(allCleaningOps))]
+		}
+		return out
+	}
+	evaluate := func(ops []cleaningOp) indiv {
+		t := train.Clone()
+		for _, op := range ops {
+			applyCleaningOp(t, target, op, seed)
+		}
+		return indiv{ops: ops, score: quickScore(t, target, task, seed), table: t}
+	}
+	pop := make([]indiv, popSize)
+	for i := range pop {
+		pop[i] = evaluate(randomSeq())
+	}
+	for g := 0; g < generations; g++ {
+		sort.Slice(pop, func(i, j int) bool { return pop[i].score > pop[j].score })
+		// Elitism: keep the top half, regenerate the rest by mutation.
+		for i := popSize / 2; i < popSize; i++ {
+			parent := pop[rng.Intn(popSize/2)]
+			child := append([]cleaningOp(nil), parent.ops...)
+			if len(child) > 1 && rng.Float64() < 0.5 {
+				child = child[:len(child)-1]
+			} else {
+				child = append(child, allCleaningOps[rng.Intn(len(allCleaningOps))])
+			}
+			pop[i] = evaluate(child)
+		}
+	}
+	sort.Slice(pop, func(i, j int) bool { return pop[i].score > pop[j].score })
+	bestOps := make([]string, len(pop[0].ops))
+	for i, op := range pop[0].ops {
+		bestOps[i] = string(op)
+	}
+	return &CleaningResult{Train: pop[0].table, Steps: bestOps, Elapsed: time.Since(start)}, nil
+}
+
+// AugmentADASYN applies the ADASYN-style oversampling (classification) or
+// the imbalanced-regression resampler the paper pairs with cleaning.
+func AugmentADASYN(train *data.Table, target string, task data.Task, seed int64) time.Duration {
+	start := time.Now()
+	if task.IsClassification() {
+		adasynOversample(train, target, seed)
+	} else {
+		regressionResample(train, target, seed)
+	}
+	return time.Since(start)
+}
+
+func adasynOversample(t *data.Table, target string, seed int64) {
+	c := t.Col(target)
+	if c == nil {
+		return
+	}
+	groups := map[string][]int{}
+	for i := 0; i < t.NumRows(); i++ {
+		groups[c.ValueString(i)] = append(groups[c.ValueString(i)], i)
+	}
+	maxN := 0
+	for _, rows := range groups {
+		if len(rows) > maxN {
+			maxN = len(rows)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stds := map[string]float64{}
+	for _, col := range t.Cols {
+		if col.Kind.IsNumeric() && col.Name != target {
+			stds[col.Name] = col.NumericStats().Std
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, label := range keys {
+		rows := groups[label]
+		need := maxN - len(rows)
+		if need > 2*len(rows) {
+			need = 2 * len(rows)
+		}
+		for k := 0; k < need; k++ {
+			src := rows[rng.Intn(len(rows))]
+			for _, col := range t.Cols {
+				col.AppendFrom(col, src)
+				if std, ok := stds[col.Name]; ok && !col.IsMissing(col.Len()-1) {
+					col.Nums[col.Len()-1] += rng.NormFloat64() * std * 0.05
+				}
+			}
+		}
+	}
+}
+
+func regressionResample(t *data.Table, target string, seed int64) {
+	c := t.Col(target)
+	if c == nil || !c.Kind.IsNumeric() {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	lo, hi := c.Quantile(0.1), c.Quantile(0.9)
+	var tails []int
+	for i := 0; i < c.Len(); i++ {
+		if !c.IsMissing(i) && (c.Nums[i] < lo || c.Nums[i] > hi) {
+			tails = append(tails, i)
+		}
+	}
+	if len(tails) == 0 {
+		return
+	}
+	need := t.NumRows() / 10
+	for k := 0; k < need; k++ {
+		src := tails[rng.Intn(len(tails))]
+		for _, col := range t.Cols {
+			col.AppendFrom(col, src)
+		}
+	}
+}
+
+// WorkflowCleaner names a cleaning framework for workflow runs.
+type WorkflowCleaner string
+
+// Cleaning frameworks used in the AutoML-with-cleaning workflows.
+const (
+	CleanSAGA WorkflowCleaner = "SAGA"
+	CleanL2C  WorkflowCleaner = "L2C"
+)
+
+// RunCleaningWorkflow reproduces the paper's AutoML-with-cleaning setting:
+// clean the training split, apply augmentation, then hand the result to an
+// AutoML tool; the test split stays untouched.
+func RunCleaningWorkflow(cleaner WorkflowCleaner, tool AutoMLTool, train, test *data.Table,
+	target string, task data.Task, opts AutoMLOptions) (Outcome, []string) {
+
+	var cres *CleaningResult
+	var err error
+	switch cleaner {
+	case CleanSAGA:
+		cres, err = RunSAGA(train, target, task, opts.Seed)
+	default:
+		cres, err = RunLearn2Clean(train, target, task, opts.Seed)
+	}
+	if err != nil {
+		f := failed(string(cleaner)+"+"+string(tool), train.Name, err.Error())
+		return f, nil
+	}
+	AugmentADASYN(cres.Train, target, task, opts.Seed)
+	o := RunAutoML(tool, cres.Train, test, target, task, opts)
+	o.System = string(cleaner) + "+" + string(tool)
+	o.GenTime += cres.Elapsed
+	return o, cres.Steps
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+
+	"catdb/internal/core"
+	"catdb/internal/data"
+	"catdb/internal/llm"
+)
+
+// AblationRow is one (dataset, variant) aggregate over repeated runs.
+type AblationRow struct {
+	Dataset     string
+	Variant     string
+	MeanScore   float64
+	Fails       int
+	Runs        int
+	Attempts    int // error-correction attempts across runs
+	ErrTokens   int // error-management tokens across runs
+	KBFixes     int
+	Handcrafted int // times the τ₂ fallback fired
+}
+
+// AblationResult holds the design-choice ablation study.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// Get returns the row for a dataset/variant pair, or nil.
+func (r *AblationResult) Get(dataset, variant string) *AblationRow {
+	for i := range r.Rows {
+		if r.Rows[i].Dataset == dataset && r.Rows[i].Variant == variant {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// ablationVariants isolates CatDB's design choices, one per row:
+// rules, catalog refinement, the local knowledge base, the static
+// code-analysis repair pass, and the τ₂ error-correction budget.
+var ablationVariants = []struct {
+	name string
+	opts func(seed int64) core.Options
+	noKB bool
+}{
+	{"full", func(s int64) core.Options { return core.Options{Seed: s} }, false},
+	{"no-rules", func(s int64) core.Options { return core.Options{Seed: s, MetadataOnly: true} }, false},
+	{"no-refine", func(s int64) core.Options { return core.Options{Seed: s, NoRefine: true} }, false},
+	{"no-kb", func(s int64) core.Options { return core.Options{Seed: s} }, true},
+	{"static-repair", func(s int64) core.Options { return core.Options{Seed: s, StaticRepair: true} }, false},
+	{"tau2=1", func(s int64) core.Options { return core.Options{Seed: s, MaxAttempts: 1} }, false},
+}
+
+// RunAblation measures the contribution of each CatDB design choice on a
+// dirty multiclass dataset and a regression dataset, using the
+// error-prone Llama personality so the error-management ablations have
+// signal.
+func RunAblation(cfg Config) (*AblationResult, error) {
+	cfg = cfg.withDefaults()
+	res := &AblationResult{}
+	datasets := []string{"Etailing", "Utility"}
+	if cfg.Fast {
+		datasets = datasets[:1]
+	}
+	for _, name := range datasets {
+		ds, err := data.Load(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range ablationVariants {
+			row := AblationRow{Dataset: name, Variant: v.name}
+			var scoreSum float64
+			for i := 0; i < cfg.Iterations; i++ {
+				seed := cfg.Seed + int64(i)*53
+				client, cerr := llm.New("llama3.1-70b", seed)
+				if cerr != nil {
+					return nil, cerr
+				}
+				r := core.NewRunner(client)
+				if v.noKB {
+					r.KB = nil
+				}
+				out, rerr := r.Run(ds, v.opts(seed))
+				row.Runs++
+				if rerr != nil {
+					row.Fails++
+					continue
+				}
+				scoreSum += out.Exec.Primary()
+				row.Attempts += out.Cost.Attempts
+				row.ErrTokens += out.Cost.ErrorTokens()
+				row.KBFixes += out.Cost.KBFixes
+				if out.Handcrafted {
+					row.Handcrafted++
+				}
+			}
+			if ok := row.Runs - row.Fails; ok > 0 {
+				row.MeanScore = scoreSum / float64(ok)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+
+	t := &table{header: []string{"Dataset", "Variant", "Score", "Attempts", "ErrTokens", "KBFixes", "Handcrafted", "Fails"}}
+	for _, r := range res.Rows {
+		t.add(r.Dataset, r.Variant, f1(r.MeanScore),
+			fmt.Sprint(r.Attempts), fmt.Sprint(r.ErrTokens),
+			fmt.Sprint(r.KBFixes), fmt.Sprint(r.Handcrafted), fmt.Sprint(r.Fails))
+	}
+	t.render(cfg.Out, "Ablation: contribution of CatDB's design choices (LLM = Llama)")
+	return res, nil
+}

@@ -1,0 +1,114 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§5). Each experiment has a typed
+// runner returning structured rows plus a printer that renders them in
+// the paper's layout. Dataset sizes are scaled via Config.Scale (see
+// DESIGN.md: row counts are scaled, characteristics are not), so the
+// comparisons preserve the paper's shape rather than its absolute
+// numbers.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Scale multiplies the registry row counts (1.0 = full scaled sizes;
+	// the quick default used by the benches is 0.2).
+	Scale float64
+	// Seed drives every random choice; a fixed seed reproduces runs
+	// bit-for-bit.
+	Seed int64
+	// Iterations for the repeated-run experiments (Figures 11-12).
+	Iterations int
+	// Fast trims dataset lists and iteration counts for CI runs.
+	Fast bool
+	// Out receives the rendered tables (defaults to io.Discard).
+	Out io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.2
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 10
+	}
+	if c.Fast && c.Iterations > 3 {
+		c.Iterations = 3
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	return c
+}
+
+// table is a simple fixed-width table renderer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) render(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }
+
+func orNA(failed bool, reason, value string) string {
+	if failed {
+		if reason == "OOM" || strings.Contains(reason, "Mem") {
+			return "OOM"
+		}
+		if strings.Contains(reason, "regression") {
+			return "n/s"
+		}
+		return "N/A"
+	}
+	return value
+}

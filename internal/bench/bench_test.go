@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fastCfg is a small-but-meaningful config for CI runs.
+func fastCfg() Config {
+	return Config{Scale: 0.12, Seed: 1, Iterations: 2, Fast: true}
+}
+
+func TestFig9Profiling(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := fastCfg()
+	cfg.Out = &buf
+	res, err := RunFig9Profiling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 20 {
+		t.Fatalf("profiled %d datasets, want 20", len(res.Rows))
+	}
+	total := 0
+	for _, n := range res.Census {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("empty type census")
+	}
+	if !strings.Contains(buf.String(), "Figure 9(a)") {
+		t.Fatal("report not rendered")
+	}
+}
+
+func TestTable4Refinement(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := fastCfg()
+	cfg.Out = &buf
+	res, err := RunTable4Refinement(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no refinement rows")
+	}
+	// Shape: refined distinct counts must never exceed originals for
+	// dedup/sentence updates.
+	for _, r := range res.Rows {
+		if (r.Kind == "dedup-categorical" || r.Kind == "sentence-to-categorical") &&
+			r.RefinedDistinct > r.OriginalDistinct {
+			t.Fatalf("refinement increased distinct count: %+v", r)
+		}
+	}
+}
+
+func TestTable5Cleaning(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := fastCfg()
+	cfg.Out = &buf
+	res, err := RunTable5Cleaning(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape check (paper's headline): refined CatDB beats original CatDB
+	// on EU-IT (dirty target labels).
+	orig := res.Get("EU-IT", "CatDB Original")
+	ref := res.Get("EU-IT", "CatDB Refined")
+	if orig == nil || ref == nil {
+		t.Fatal("EU-IT rows missing")
+	}
+	if !orig.Failed && !ref.Failed && ref.TestAcc <= orig.TestAcc {
+		t.Fatalf("EU-IT: refined (%.1f) must beat original (%.1f)", ref.TestAcc, orig.TestAcc)
+	}
+}
+
+func TestFig11TenIterations(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := fastCfg()
+	cfg.Out = &buf
+	res, err := RunFig11TenIterations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Get("Diabetes", "gpt-4o", "CatDB")
+	if c == nil {
+		t.Fatal("CatDB cell missing")
+	}
+	if len(c.AUCs)+c.Fails != cfg.withDefaults().Iterations {
+		t.Fatalf("iterations accounted: %d + %d", len(c.AUCs), c.Fails)
+	}
+	if c.Mean() < 55 {
+		t.Fatalf("Diabetes CatDB mean AUC = %g", c.Mean())
+	}
+	if c.TotalTokens == 0 {
+		t.Fatal("token cost missing")
+	}
+}
+
+func TestTable7And8(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := fastCfg()
+	cfg.Out = &buf
+	res, err := RunTable7SingleIteration(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Get("CMC", "gpt-4o", "CatDB")
+	if row == nil || row.Failed {
+		t.Fatalf("CMC CatDB row: %+v", row)
+	}
+	if row.Score < 55 {
+		t.Fatalf("CMC CatDB AUC = %g", row.Score)
+	}
+	t8 := AggregateTable8(res)
+	foundCatDB := false
+	for _, r := range t8.Rows {
+		if r.System == "CatDB" && r.Fail != 0 {
+			t.Fatalf("CatDB must not fail (Table 8): %+v", r)
+		}
+		if r.System == "CatDB" {
+			foundCatDB = true
+			if r.SumSec <= 0 {
+				t.Fatal("runtime sums missing")
+			}
+		}
+	}
+	if !foundCatDB {
+		t.Fatal("CatDB missing from Table 8")
+	}
+}
+
+func TestTable2ErrorTraces(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := fastCfg()
+	cfg.Out = &buf
+	res, err := RunTable2ErrorTraces(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Store.Len() == 0 {
+		t.Fatal("no traces collected")
+	}
+	// Shape: RE dominates the error mix (paper: >75%).
+	for _, d := range res.Distributions {
+		if d.TotalRequests >= 10 && d.REPct < 50 {
+			t.Fatalf("%s: RE share = %.1f%%, expected dominant", d.Model, d.REPct)
+		}
+	}
+}
+
+func TestFig14Robustness(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := fastCfg()
+	cfg.Out = &buf
+	res, err := RunFig14Robustness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape: CatDB at 5% outliers stays close to its clean score, while
+	// the AutoML tool degrades (Figure 14a).
+	catClean, ok1 := res.Get("Utility", "outliers", 0, "CatDB")
+	catDirty, ok2 := res.Get("Utility", "outliers", 0.05, "CatDB")
+	amlClean, ok3 := res.Get("Utility", "outliers", 0, "Flaml")
+	amlDirty, ok4 := res.Get("Utility", "outliers", 0.05, "Flaml")
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		t.Fatalf("cells missing: %v %v %v %v", ok1, ok2, ok3, ok4)
+	}
+	catDrop := catClean - catDirty
+	amlDrop := amlClean - amlDirty
+	if catDrop > amlDrop+5 {
+		t.Fatalf("CatDB should be more robust: CatDB drop %.1f vs AutoML drop %.1f", catDrop, amlDrop)
+	}
+}
+
+func TestFig10MetadataImpact(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := fastCfg()
+	cfg.Out = &buf
+	res, err := RunFig10MetadataImpact(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catdb := res.Best("Diabetes", "CatDB")
+	if catdb < 55 {
+		t.Fatalf("Diabetes CatDB score = %g", catdb)
+	}
+	// Combos exist.
+	if res.Best("Diabetes", "#") == 0 {
+		t.Fatal("combo rows missing")
+	}
+}
+
+func TestTableRenderer(t *testing.T) {
+	var buf bytes.Buffer
+	tb := &table{header: []string{"A", "LongHeader"}}
+	tb.add("x", "1")
+	tb.add("longer-cell", "2")
+	tb.render(&buf, "Title")
+	out := buf.String()
+	if !strings.Contains(out, "== Title ==") || !strings.Contains(out, "longer-cell") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if orNA(true, "OOM", "99") != "OOM" {
+		t.Fatal("OOM rendering")
+	}
+	if orNA(true, "Doesn't support regression", "99") != "n/s" {
+		t.Fatal("n/s rendering")
+	}
+	if orNA(false, "", "99") != "99" {
+		t.Fatal("value rendering")
+	}
+	if f1(1.25) != "1.2" && f1(1.25) != "1.3" {
+		t.Fatal("f1")
+	}
+}
+
+func TestAblation(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := fastCfg()
+	cfg.Out = &buf
+	res, err := RunAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := res.Get("Etailing", "full")
+	noRules := res.Get("Etailing", "no-rules")
+	if full == nil || noRules == nil {
+		t.Fatal("ablation rows missing")
+	}
+	if full.MeanScore < noRules.MeanScore-10 {
+		t.Fatalf("rules should not hurt: full=%.1f no-rules=%.1f", full.MeanScore, noRules.MeanScore)
+	}
+	// Static repair must not increase attempts relative to full.
+	repair := res.Get("Etailing", "static-repair")
+	if repair == nil {
+		t.Fatal("static-repair row missing")
+	}
+	if repair.Attempts > full.Attempts {
+		t.Fatalf("static repair should cut attempts: %d vs %d", repair.Attempts, full.Attempts)
+	}
+	// no-kb must have zero KB fixes.
+	if nokb := res.Get("Etailing", "no-kb"); nokb == nil || nokb.KBFixes != 0 {
+		t.Fatalf("no-kb row: %+v", nokb)
+	}
+}

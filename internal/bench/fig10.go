@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+
+	"catdb/internal/core"
+	"catdb/internal/data"
+	"catdb/internal/llm"
+	"catdb/internal/prompt"
+)
+
+// Fig10Row is one (dataset, configuration) accuracy measurement.
+type Fig10Row struct {
+	Dataset string
+	Config  string // "#1".."#11", "CatDB", "CatDB Chain", "TopK=..."
+	Score   float64
+	Failed  bool
+}
+
+// Fig10Result holds the metadata-impact micro-benchmark.
+type Fig10Result struct {
+	Rows []Fig10Row
+}
+
+// RunFig10MetadataImpact reproduces Figure 10: pipeline quality across the
+// eleven metadata combinations of Table 1 (metadata-only prompting) versus
+// CatDB's adaptive metadata+rules selection and CatDB Chain, on one
+// binary, one multiclass, and one regression dataset; plus the top-K
+// feature-selection sweep of Figure 10(c,d) on the wide KDD98 analogue.
+func RunFig10MetadataImpact(cfg Config) (*Fig10Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Fig10Result{}
+	datasets := []string{"Diabetes", "EU-IT", "Utility"}
+	if cfg.Fast {
+		datasets = []string{"Diabetes", "Utility"}
+	}
+	model := "gemini-1.5-pro"
+
+	for _, name := range datasets {
+		ds, err := data.Load(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		// Table 1 combinations, metadata-only.
+		for combo := prompt.Combo1; combo <= prompt.Combo11; combo++ {
+			if cfg.Fast && combo > prompt.Combo4 && combo != prompt.Combo11 {
+				continue
+			}
+			client, err := llm.New(model, cfg.Seed+int64(combo))
+			if err != nil {
+				return nil, err
+			}
+			r := core.NewRunner(client)
+			out, err := r.Run(ds, core.Options{
+				Seed: cfg.Seed, Combo: combo, MetadataOnly: true, NoRefine: true,
+			})
+			row := Fig10Row{Dataset: name, Config: fmt.Sprintf("#%d", combo)}
+			if err != nil {
+				row.Failed = true
+			} else {
+				row.Score = out.Exec.Primary()
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		// CatDB and CatDB Chain.
+		for _, variant := range []struct {
+			label  string
+			chains int
+		}{{"CatDB", 1}, {"CatDB Chain", 3}} {
+			client, err := llm.New(model, cfg.Seed+100+int64(variant.chains))
+			if err != nil {
+				return nil, err
+			}
+			r := core.NewRunner(client)
+			out, err := r.Run(ds, core.Options{Seed: cfg.Seed, Chains: variant.chains})
+			row := Fig10Row{Dataset: name, Config: variant.label}
+			if err != nil {
+				row.Failed = true
+			} else {
+				row.Score = out.Exec.Primary()
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+
+	// Figure 10(c,d): top-K sweep on the wide dataset; the single prompt
+	// degrades once the metadata overflows the model context (rules get
+	// truncated), while the chain variant stays flat.
+	if !cfg.Fast {
+		wide, err := data.Load("KDD98", cfg.Scale*0.5)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range []int{50, 130, 260, 478} {
+			for _, variant := range []struct {
+				label  string
+				chains int
+			}{{"single", 1}, {"chain", 4}} {
+				client, err := llm.New("llama3.1-70b", cfg.Seed+int64(k))
+				if err != nil {
+					return nil, err
+				}
+				r := core.NewRunner(client)
+				out, rerr := r.Run(wide, core.Options{Seed: cfg.Seed, TopK: k, Chains: variant.chains, NoRefine: true})
+				row := Fig10Row{Dataset: "KDD98", Config: fmt.Sprintf("TopK=%d/%s", k, variant.label)}
+				if rerr != nil {
+					row.Failed = true
+				} else {
+					row.Score = out.Exec.Primary()
+				}
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+
+	t := &table{header: []string{"Dataset", "Config", "Score(AUC/R2)"}}
+	for _, r := range res.Rows {
+		v := f1(r.Score)
+		if r.Failed {
+			v = "FAIL"
+		}
+		t.add(r.Dataset, r.Config, v)
+	}
+	t.render(cfg.Out, "Figure 10: Metadata Impact on Pipeline Performance")
+	return res, nil
+}
+
+// Best returns the best score recorded for a dataset/config prefix.
+func (r *Fig10Result) Best(dataset, configPrefix string) float64 {
+	best := 0.0
+	for _, row := range r.Rows {
+		if row.Dataset == dataset && len(row.Config) >= len(configPrefix) &&
+			row.Config[:len(configPrefix)] == configPrefix && row.Score > best {
+			best = row.Score
+		}
+	}
+	return best
+}

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"catdb/internal/baselines"
+	"catdb/internal/core"
+	"catdb/internal/data"
+	"catdb/internal/llm"
+)
+
+// iterDatasets are the three datasets of the 10-iteration study (§5.4).
+var iterDatasets = []string{"Diabetes", "Gas-Drift", "Volkert"}
+
+// Fig11Cell aggregates one (dataset, model, system) distribution over the
+// repeated iterations.
+type Fig11Cell struct {
+	Dataset string
+	Model   string
+	System  string
+	AUCs    []float64 // successful iterations only
+	Fails   int
+	// Cost/runtime aggregates reused by Figure 12.
+	TotalTokens      int
+	ErrTokens        int
+	TotalGenSeconds  float64
+	TotalExecSeconds float64
+}
+
+// Mean returns the mean AUC of successful iterations.
+func (c *Fig11Cell) Mean() float64 {
+	if len(c.AUCs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range c.AUCs {
+		s += v
+	}
+	return s / float64(len(c.AUCs))
+}
+
+// MinMax returns the observed AUC range.
+func (c *Fig11Cell) MinMax() (float64, float64) {
+	if len(c.AUCs) == 0 {
+		return 0, 0
+	}
+	sorted := append([]float64(nil), c.AUCs...)
+	sort.Float64s(sorted)
+	return sorted[0], sorted[len(sorted)-1]
+}
+
+// Fig11Result holds the 10-iteration quality and cost study (Figures 11
+// and 12 share the same runs).
+type Fig11Result struct {
+	Cells []*Fig11Cell
+}
+
+// Get returns the cell for a (dataset, model, system) triple, or nil.
+func (r *Fig11Result) Get(dataset, model, system string) *Fig11Cell {
+	for _, c := range r.Cells {
+		if c.Dataset == dataset && c.Model == model && c.System == system {
+			return c
+		}
+	}
+	return nil
+}
+
+// RunFig11TenIterations reproduces Figures 11 and 12: AUC distributions,
+// token costs, and runtimes over repeated pipeline generations for CatDB,
+// CatDB Chain, CAAFE (both backends), AIDE, and AutoGen across the three
+// LLMs.
+func RunFig11TenIterations(cfg Config) (*Fig11Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Fig11Result{}
+	datasets := iterDatasets
+	models := llm.ModelNames()
+	if cfg.Fast {
+		datasets = []string{"Diabetes"}
+		models = models[:2]
+	}
+	cell := func(dataset, model, system string) *Fig11Cell {
+		if c := res.Get(dataset, model, system); c != nil {
+			return c
+		}
+		c := &Fig11Cell{Dataset: dataset, Model: model, System: system}
+		res.Cells = append(res.Cells, c)
+		return c
+	}
+	for _, name := range datasets {
+		ds, err := data.Load(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := ds.Consolidate()
+		if err != nil {
+			return nil, err
+		}
+		tr, te := tb.StratifiedSplit(ds.Target, 0.7, cfg.Seed)
+		for _, model := range models {
+			for iter := 0; iter < cfg.Iterations; iter++ {
+				seed := cfg.Seed + int64(iter)*101
+
+				// CatDB and CatDB Chain.
+				for _, v := range []struct {
+					label  string
+					chains int
+				}{{"CatDB", 1}, {"CatDB Chain", 2}} {
+					client, cerr := llm.New(model, seed+int64(v.chains))
+					if cerr != nil {
+						return nil, cerr
+					}
+					r := core.NewRunner(client)
+					c := cell(name, model, v.label)
+					out, rerr := r.Run(ds, core.Options{Seed: seed, Chains: v.chains})
+					if rerr != nil {
+						c.Fails++
+						continue
+					}
+					c.AUCs = append(c.AUCs, out.Exec.TestAUC)
+					c.TotalTokens += out.Cost.Total()
+					c.ErrTokens += out.Cost.ErrorTokens()
+					c.TotalGenSeconds += (out.ProfileTime + out.RefineTime + out.GenTime).Seconds()
+					c.TotalExecSeconds += out.ExecTime.Seconds()
+				}
+
+				// CAAFE (LLM-independent backend; run once per model for
+				// token parity with the paper's setup).
+				for _, backend := range []baselines.CAAFEBackend{baselines.CAAFETabPFN, baselines.CAAFEForest} {
+					c := cell(name, model, "CAAFE "+string(backend))
+					o := baselines.RunCAAFE(tr, te, ds.Target, ds.Task, baselines.CAAFEOptions{
+						Backend: backend, Seed: seed, Rounds: 2, MaxPairs: 40,
+					})
+					if o.Failed {
+						c.Fails++
+						continue
+					}
+					c.AUCs = append(c.AUCs, o.TestAUC)
+					c.TotalTokens += o.Tokens
+					c.TotalGenSeconds += o.GenTime.Seconds()
+					c.TotalExecSeconds += o.ExecTime.Seconds()
+				}
+
+				// AIDE and AutoGen.
+				clientA, _ := llm.New(model, seed+31)
+				oA := baselines.RunAIDE(ds, clientA, baselines.LLMBaselineOptions{Seed: seed})
+				cA := cell(name, model, "AIDE")
+				if oA.Failed {
+					cA.Fails++
+				} else {
+					cA.AUCs = append(cA.AUCs, oA.TestAUC)
+					cA.TotalTokens += oA.Tokens
+					cA.TotalExecSeconds += oA.ExecTime.Seconds()
+				}
+				clientG, _ := llm.New(model, seed+37)
+				oG := baselines.RunAutoGen(ds, clientG, baselines.LLMBaselineOptions{Seed: seed})
+				cG := cell(name, model, "AutoGen")
+				if oG.Failed {
+					cG.Fails++
+				} else {
+					cG.AUCs = append(cG.AUCs, oG.TestAUC)
+					cG.TotalTokens += oG.Tokens
+					cG.TotalExecSeconds += oG.ExecTime.Seconds()
+				}
+			}
+		}
+	}
+
+	t := &table{header: []string{"Dataset", "Model", "System", "AUC mean", "AUC min", "AUC max", "Fails", "Tokens", "ErrTokens", "Gen[s]", "Exec[s]"}}
+	for _, c := range res.Cells {
+		lo, hi := c.MinMax()
+		t.add(c.Dataset, c.Model, c.System, f1(c.Mean()), f1(lo), f1(hi),
+			fmt.Sprint(c.Fails), fmt.Sprint(c.TotalTokens), fmt.Sprint(c.ErrTokens),
+			fmt.Sprintf("%.2f", c.TotalGenSeconds), fmt.Sprintf("%.2f", c.TotalExecSeconds))
+	}
+	t.render(cfg.Out, fmt.Sprintf("Figures 11+12: %d-iteration quality, cost, and runtime", cfg.Iterations))
+	return res, nil
+}

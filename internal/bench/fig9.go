@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"catdb/internal/data"
+	"catdb/internal/profile"
+)
+
+// Fig9Row is one dataset's profiling measurement (Figure 9a) plus its
+// contribution to the type census (Figure 9b).
+type Fig9Row struct {
+	Dataset string
+	Rows    int
+	Cols    int
+	Elapsed time.Duration
+}
+
+// Fig9Result holds the profiling runtimes and the feature-type census.
+type Fig9Result struct {
+	Rows   []Fig9Row
+	Census map[profile.FeatureType]int
+}
+
+// RunFig9Profiling profiles every registered dataset, reproducing the
+// offline data-profiling measurement of Figure 9(a) and the data-type
+// distribution of Figure 9(b).
+func RunFig9Profiling(cfg Config) (*Fig9Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Fig9Result{Census: map[profile.FeatureType]int{}}
+	var profiles []*profile.Profile
+	for _, name := range data.Names() {
+		ds, err := data.Load(name, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		p, err := profile.Dataset(ds, profile.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("bench: profiling %s: %w", name, err)
+		}
+		profiles = append(profiles, p)
+		res.Rows = append(res.Rows, Fig9Row{
+			Dataset: name, Rows: p.Rows, Cols: len(p.Columns), Elapsed: p.Elapsed,
+		})
+	}
+	for ft, n := range profile.TypeCensus(profiles) {
+		res.Census[ft] += n
+	}
+
+	t := &table{header: []string{"Dataset", "Rows", "Cols", "Profiling[s]"}}
+	for _, r := range res.Rows {
+		t.add(r.Dataset, fmt.Sprint(r.Rows), fmt.Sprint(r.Cols), secs(r.Elapsed))
+	}
+	t.render(cfg.Out, "Figure 9(a): Execution Time for Data Profiling")
+
+	t2 := &table{header: []string{"FeatureType", "Count"}}
+	for _, ft := range []profile.FeatureType{
+		profile.FeatureNumerical, profile.FeatureCategorical, profile.FeatureBoolean,
+		profile.FeatureSentence, profile.FeatureList, profile.FeatureConstant,
+		profile.FeatureID, profile.FeatureUnknown,
+	} {
+		if n := res.Census[ft]; n > 0 {
+			t2.add(ft.String(), fmt.Sprint(n))
+		}
+	}
+	t2.render(cfg.Out, "Figure 9(b): Data Type Distribution")
+	return res, nil
+}

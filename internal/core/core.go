@@ -1,0 +1,494 @@
+// Package core is the paper's primary contribution glued together: the
+// end-to-end CatDB pipeline generator (Algorithm 4, PIPEGEN) with its
+// validation and error-management loop, the CatDB Chain driver, the
+// handcrafted-pipeline fallback, and the token cost model of Equations 1
+// and 2.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"catdb/internal/catalog"
+	"catdb/internal/data"
+	"catdb/internal/errkb"
+	"catdb/internal/llm"
+	"catdb/internal/pipescript"
+	"catdb/internal/profile"
+	"catdb/internal/prompt"
+)
+
+// Options configures a CatDB run.
+type Options struct {
+	// TopK is α: restrict the prompt to the K most relevant columns
+	// (0 = all).
+	TopK int
+	// Chains is β: 1 = single prompt (CatDB), >1 = CatDB Chain.
+	Chains int
+	// MaxAttempts is τ₂, the error-correction budget per prompt
+	// (default 15, the paper's cap).
+	MaxAttempts int
+	// Combo selects the metadata combination (Table 1); the zero value is
+	// CatDB's adaptive projection.
+	Combo prompt.Combo
+	// MetadataOnly disables the rule messages — the "[Metadata-only &
+	// LLM]" baseline of Figure 1.
+	MetadataOnly bool
+	// NoRefine skips catalog refinement and data cleaning — the
+	// "Original" variant of Table 5.
+	NoRefine bool
+	// Seed drives splits, validation sampling, and pipeline execution.
+	Seed int64
+	// TrainFrac is the train share of the split (default 0.7).
+	TrainFrac float64
+	// ValidationRows caps the sample used during the debug loop
+	// (default 500).
+	ValidationRows int
+	// TrainMutator, when set, is applied to the training split right
+	// after the train/test split — the robustness experiments of Figure
+	// 14 use it to inject corruption into training data while keeping the
+	// evaluation set clean.
+	TrainMutator func(train *data.Table)
+	// StaticRepair enables the §4 code-analysis pass: generated pipelines
+	// are statically checked (pipescript.Analyze) and repairable missing
+	// steps are inserted before execution, cutting error-correction
+	// iterations and token costs (see the ablation benchmark).
+	StaticRepair bool
+	// Policy enforces organizational library constraints on generated
+	// pipelines (the §4.3 compliance extension): disallowed models or
+	// packages raise policy errors that the error-management loop repairs
+	// with allowed alternatives.
+	Policy *pipescript.Policy
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 15
+	}
+	if o.Chains <= 0 {
+		o.Chains = 1
+	}
+	if o.TrainFrac <= 0 || o.TrainFrac >= 1 {
+		o.TrainFrac = 0.7
+	}
+	if o.ValidationRows <= 0 {
+		o.ValidationRows = 500
+	}
+	return o
+}
+
+// Cost aggregates token usage per Equations 1 and 2: generation prompts
+// (γ·L(Pp)) and error-correction prompts (Σ L(Pe)).
+type Cost struct {
+	PromptTokens          int // initial generation prompts
+	CompletionTokens      int
+	ErrorPromptTokens     int // error-correction prompts
+	ErrorCompletionTokens int
+	LLMCalls              int
+	KBFixes               int
+	LLMFixes              int
+	Attempts              int
+}
+
+// Total returns all tokens exchanged.
+func (c Cost) Total() int {
+	return c.PromptTokens + c.CompletionTokens + c.ErrorPromptTokens + c.ErrorCompletionTokens
+}
+
+// ErrorTokens returns the error-management share of the cost.
+func (c Cost) ErrorTokens() int { return c.ErrorPromptTokens + c.ErrorCompletionTokens }
+
+// Result is the outcome of one CatDB run.
+type Result struct {
+	Dataset  string
+	Model    string
+	Variant  string // "CatDB" or "CatDB Chain"
+	Pipeline string // final PipeScript source
+	Exec     *pipescript.Result
+	Cost     Cost
+	Errors   []errkb.Classified
+	// Handcrafted reports that the τ₂ budget was exhausted and the
+	// fallback pipeline was used (Algorithm 4 lines 16-17).
+	Handcrafted bool
+
+	ProfileTime time.Duration
+	RefineTime  time.Duration
+	GenTime     time.Duration // prompt construction + LLM loop
+	ExecTime    time.Duration // final pipeline execution
+}
+
+// TotalTime is the end-to-end runtime reported in Table 8 (data loading,
+// catalog refinement, metadata projection, rule definition, generation,
+// error management, and execution).
+func (r *Result) TotalTime() time.Duration {
+	return r.ProfileTime + r.RefineTime + r.GenTime + r.ExecTime
+}
+
+// Runner generates and executes CatDB pipelines against one LLM client.
+type Runner struct {
+	Client llm.Client
+	// KB is the local knowledge base (defaults to the built-in one).
+	KB *errkb.KnowledgeBase
+	// Traces, when set, records every encountered error (the error-trace
+	// dataset of Table 2).
+	Traces *errkb.TraceStore
+	// Description is the optional user-written dataset summary.
+	Description string
+}
+
+// NewRunner returns a runner over the given client.
+func NewRunner(client llm.Client) *Runner {
+	return &Runner{Client: client, KB: errkb.NewKnowledgeBase()}
+}
+
+// Run executes the full CatDB workflow on a dataset: consolidation,
+// optional catalog refinement, profiling, prompt construction, generation
+// with error management, and final execution on the 70/30 split.
+func (r *Runner) Run(ds *data.Dataset, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{Dataset: ds.Name, Model: r.Client.Name(), Variant: variantName(opts)}
+
+	// Materialize (and optionally refine) the working table.
+	var table *data.Table
+	if opts.NoRefine {
+		t, err := ds.Consolidate()
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		table = t
+	} else {
+		start := time.Now()
+		ref, err := catalog.RefineDataset(ds, r.Client, catalog.Options{Seed: opts.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		table = ref.Table
+		res.RefineTime = time.Since(start)
+	}
+
+	// Split before prompting: all metadata is derived from train data.
+	var train, test *data.Table
+	if ds.Task.IsClassification() {
+		train, test = table.StratifiedSplit(ds.Target, opts.TrainFrac, opts.Seed)
+	} else {
+		train, test = table.Split(opts.TrainFrac, opts.Seed)
+	}
+	if opts.TrainMutator != nil {
+		opts.TrainMutator(train)
+	}
+
+	// Profile (Algorithm 1).
+	pstart := time.Now()
+	prof, err := profile.Table(train, ds.Target, ds.Task, profile.Options{Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res.ProfileTime = time.Since(pstart)
+
+	in := prompt.InputFromProfile(prof, topClassShare(train, ds.Target), descriptionOf(ds, r.Description))
+	cfg := prompt.Config{
+		Combo: opts.Combo, TopK: opts.TopK, Chains: opts.Chains,
+		IncludeRules: !opts.MetadataOnly, IncludeDescription: true,
+	}
+	spec := prompt.ModelSpec{Name: r.Client.Name(), MaxPromptTokens: r.Client.MaxPromptTokens()}
+	prompts := prompt.Build(in, spec, cfg)
+
+	// Validation sample for the debug loop (the paper tests pipelines on
+	// sample data before full execution).
+	rng := rand.New(rand.NewSource(opts.Seed))
+	vTrain := train.Sample(opts.ValidationRows, rng)
+	vTest := test.Sample(opts.ValidationRows/2+1, rng)
+
+	gstart := time.Now()
+	source := ""
+	for _, pr := range prompts {
+		// Chain intermediate steps (preprocessing / feature engineering)
+		// legitimately have no train statement yet.
+		allowNoTrain := pr.Kind == prompt.KindPreprocessing || pr.Kind == prompt.KindFeatureEng
+		pr = prompt.WithCode(pr, source)
+		src, err := r.generateAndFix(pr, in, cfg, opts, vTrain, vTest, ds, allowNoTrain, res)
+		if err != nil {
+			return nil, err
+		}
+		source = src
+	}
+	// Validate the complete program strictly (a train statement is now
+	// mandatory).
+	source, err = r.finalValidate(source, in, cfg, opts, vTrain, vTest, ds, res)
+	if err != nil {
+		return nil, err
+	}
+	res.GenTime = time.Since(gstart)
+	res.Pipeline = source
+
+	// Final execution on the full split (the pipeline runtime of Table 6).
+	estart := time.Now()
+	prog, perr := pipescript.Parse(source)
+	if perr != nil {
+		return nil, fmt.Errorf("core: final pipeline failed to parse after validation: %w", perr)
+	}
+	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy}
+	execRes, xerr := ex.Execute(prog, train, test)
+	if xerr != nil {
+		// Full-data failure after sample validation: resume the debug
+		// loop against the full data.
+		source, execRes, xerr = r.resumeOnFullData(source, xerr, in, cfg, opts, train, test, ds, res)
+		if xerr != nil {
+			return nil, fmt.Errorf("core: pipeline failed on full data: %w", xerr)
+		}
+		res.Pipeline = source
+	}
+	res.ExecTime = time.Since(estart)
+	res.Exec = execRes
+	return res, nil
+}
+
+func variantName(opts Options) string {
+	if opts.Chains > 1 {
+		return "CatDB Chain"
+	}
+	return "CatDB"
+}
+
+func descriptionOf(ds *data.Dataset, override string) string {
+	if override != "" {
+		return override
+	}
+	return ds.Description
+}
+
+// topClassShare computes the largest class share of a classification
+// target (0 for regression/absent targets).
+func topClassShare(t *data.Table, target string) float64 {
+	c := t.Col(target)
+	if c == nil || c.Kind.IsNumeric() {
+		return 0
+	}
+	counts := map[string]int{}
+	max := 0
+	for i := 0; i < c.Len(); i++ {
+		counts[c.ValueString(i)]++
+		if counts[c.ValueString(i)] > max {
+			max = counts[c.ValueString(i)]
+		}
+	}
+	if c.Len() == 0 {
+		return 0
+	}
+	return float64(max) / float64(c.Len())
+}
+
+// generateAndFix submits one prompt and runs the τ₂-bounded debug loop of
+// Algorithm 4 against the validation sample.
+func (r *Runner) generateAndFix(pr prompt.Prompt, in prompt.Input, cfg prompt.Config, opts Options,
+	vTrain, vTest *data.Table, ds *data.Dataset, allowNoTrain bool, res *Result) (string, error) {
+
+	resp, err := r.Client.Complete(pr.Text)
+	if err != nil {
+		return "", fmt.Errorf("core: llm: %w", err)
+	}
+	res.Cost.PromptTokens += resp.Usage.PromptTokens
+	res.Cost.CompletionTokens += resp.Usage.CompletionTokens
+	res.Cost.LLMCalls++
+
+	source := resp.Text
+	if opts.StaticRepair && !allowNoTrain {
+		source = staticRepair(source, in, ds.Task)
+	}
+	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, AllowNoTrain: allowNoTrain, Policy: opts.Policy}
+	return r.debugLoop(source, in, cfg, opts, ex, vTrain, vTest, ds, res)
+}
+
+// staticRepair runs the code-analysis pass over freshly generated source:
+// parseable pipelines are checked against the input schema and repairable
+// gaps (missing imputation/encodings, unknown models, bad requires) are
+// fixed without an LLM round trip. Unparseable sources pass through — the
+// knowledge base and error loop handle syntax.
+func staticRepair(source string, in prompt.Input, task data.Task) string {
+	prog, err := pipescript.Parse(source)
+	if err != nil {
+		return source
+	}
+	cols := make([]pipescript.ColumnInfo, 0, len(in.Cols))
+	for _, c := range in.Cols {
+		cols = append(cols, pipescript.ColumnInfo{
+			Name:       c.Name,
+			IsString:   c.DataType == data.KindString,
+			HasMissing: c.MissingPct > 0,
+			IsTarget:   c.IsTarget,
+		})
+	}
+	issues := pipescript.Analyze(prog, cols, task)
+	if len(issues) == 0 {
+		return source
+	}
+	fixed := pipescript.Repair(source, issues, cols, in.Target)
+	if _, err := pipescript.Parse(fixed); err != nil {
+		return source // never hand the loop something worse
+	}
+	return fixed
+}
+
+// finalValidate runs the strict (train-required) validation over the
+// assembled program, continuing the debug loop if needed.
+func (r *Runner) finalValidate(source string, in prompt.Input, cfg prompt.Config, opts Options,
+	vTrain, vTest *data.Table, ds *data.Dataset, res *Result) (string, error) {
+
+	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy}
+	return r.debugLoop(source, in, cfg, opts, ex, vTrain, vTest, ds, res)
+}
+
+// debugLoop is the shared fix loop used by finalValidate and the
+// full-data resume path.
+func (r *Runner) debugLoop(source string, in prompt.Input, cfg prompt.Config, opts Options,
+	ex *pipescript.Executor, train, test *data.Table, ds *data.Dataset, res *Result) (string, error) {
+
+	var lastFixBy string
+	var lastCls errkb.Classified
+	var preFixSource string
+	for attempt := 1; attempt <= opts.MaxAttempts; attempt++ {
+		execErr := parseAndExecute(ex, source, train, test)
+		if execErr == nil {
+			// A successful run right after an LLM repair is a learning
+			// opportunity: generalize the fix into the knowledge base so
+			// the next occurrence is patched locally (§4.2).
+			if lastFixBy == "llm" && r.KB != nil {
+				r.KB.LearnFromFix(preFixSource, source, lastCls)
+			}
+			return source, nil
+		}
+		res.Cost.Attempts++
+		cls := errkb.Classify(execErr)
+		res.Errors = append(res.Errors, cls)
+		fixedBy := ""
+		preFixSource = source
+		if r.KB != nil {
+			if patched, ok := r.KB.TryPatch(source, cls); ok {
+				source = patched
+				res.Cost.KBFixes++
+				fixedBy = "kb"
+			}
+		}
+		if fixedBy == "" {
+			var relevant []prompt.ColumnMeta
+			if cls.Category == errkb.CategoryRE {
+				relevant = relevantColumns(in, cls)
+			}
+			ep := prompt.FormatErrorPrompt(in, source, cls.Line, cls.Code, cls.Msg, relevant, cfg)
+			fresp, ferr := r.Client.Complete(ep.Text)
+			if ferr != nil {
+				return "", fmt.Errorf("core: llm error fix: %w", ferr)
+			}
+			res.Cost.ErrorPromptTokens += fresp.Usage.PromptTokens
+			res.Cost.ErrorCompletionTokens += fresp.Usage.CompletionTokens
+			res.Cost.LLMCalls++
+			res.Cost.LLMFixes++
+			source = fresp.Text
+			fixedBy = "llm"
+		}
+		lastFixBy, lastCls = fixedBy, cls
+		if r.Traces != nil {
+			r.Traces.Add(errkb.Trace{
+				Model: r.Client.Name(), Dataset: ds.Name,
+				Category: cls.Category.String(), Type: cls.Type, Code: cls.Code,
+				Attempt: attempt, Fixed: true, FixedBy: fixedBy,
+			})
+		}
+	}
+	res.Handcrafted = true
+	return HandcraftPipeline(in), nil
+}
+
+// resumeOnFullData continues error correction when the validated pipeline
+// fails on the complete dataset.
+func (r *Runner) resumeOnFullData(source string, firstErr error, in prompt.Input, cfg prompt.Config,
+	opts Options, train, test *data.Table, ds *data.Dataset, res *Result) (string, *pipescript.Result, error) {
+
+	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy}
+	fixed, err := r.debugLoop(source, in, cfg, opts, ex, train, test, ds, res)
+	if err != nil {
+		return "", nil, err
+	}
+	prog, perr := pipescript.Parse(fixed)
+	if perr != nil {
+		return "", nil, perr
+	}
+	execRes, xerr := ex.Execute(prog, train, test)
+	return fixed, execRes, xerr
+}
+
+// parseAndExecute is Algorithm 4's PARSEANDEXECUTE: syntax check first
+// (ast analogue), then a runtime check on local data.
+func parseAndExecute(ex *pipescript.Executor, source string, train, test *data.Table) error {
+	prog, err := pipescript.Parse(source)
+	if err != nil {
+		return err
+	}
+	_, err = ex.Execute(prog, train, test)
+	return err
+}
+
+// relevantColumns filters and projects the metadata relevant to an error
+// (Algorithm 4's GETCATALOGDATA): the column named in the message if any,
+// plus every column with missing values for NaN errors and every string
+// column for encoding errors.
+func relevantColumns(in prompt.Input, cls errkb.Classified) []prompt.ColumnMeta {
+	named := firstQuoted(cls.Msg)
+	var out []prompt.ColumnMeta
+	for _, c := range in.Cols {
+		switch {
+		case c.Name == named:
+			out = append(out, c)
+		case cls.Code == pipescript.ErrNaNInMatrix && c.MissingPct > 0:
+			out = append(out, c)
+		case cls.Code == pipescript.ErrStringInMatrix && c.DataType == data.KindString:
+			out = append(out, c)
+		case cls.Code == pipescript.ErrUnknownColumn:
+			out = append(out, c) // the fixer needs the full schema to re-map
+		}
+	}
+	if len(out) == 0 {
+		return in.Cols
+	}
+	return out
+}
+
+func firstQuoted(s string) string {
+	start := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			if start < 0 {
+				start = i + 1
+			} else {
+				return s[start:i]
+			}
+		}
+	}
+	return ""
+}
+
+// HandcraftPipeline is the safety-net pipeline of Algorithm 4: impute
+// everything, encode every string column, train a robust default model.
+func HandcraftPipeline(in prompt.Input) string {
+	src := fmt.Sprintf("pipeline %q\n", in.Dataset+"-handcrafted")
+	src += "impute_all strategy=auto\n"
+	for _, c := range in.Cols {
+		if c.IsTarget || c.DataType != data.KindString {
+			continue
+		}
+		if c.DistinctCount > 64 {
+			src += fmt.Sprintf("hash_encode %q buckets=64\n", c.Name)
+		} else {
+			src += fmt.Sprintf("onehot %q\n", c.Name)
+		}
+	}
+	src += "drop_constant\n"
+	src += fmt.Sprintf("train model=random_forest target=%q trees=50\n", in.Target)
+	src += "evaluate metric=auto\n"
+	return src
+}
+
+// EstimateCost evaluates Equation 1 (single prompt) for reporting: γ·L(Pp)
+// plus the error-prompt terms actually incurred.
+func EstimateCost(c Cost) int { return c.Total() }

@@ -1,0 +1,445 @@
+// Package data provides the tabular-data substrate for the CatDB
+// reproduction: typed columns with missing-value masks, single tables,
+// multi-table datasets with relations, CSV serialization, synthetic
+// generators for the paper's twenty evaluation datasets, and the
+// corruption injectors used by the robustness experiments (Figure 14).
+package data
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind is the physical storage type of a column.
+type Kind int
+
+// Physical column kinds. Feature types (categorical, list, sentence, ...)
+// are a catalog-level notion layered on top of these by internal/profile
+// and internal/catalog.
+const (
+	KindString Kind = iota
+	KindInt
+	KindFloat
+	KindBool
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// IsNumeric reports whether the kind stores numbers (ints, floats, bools).
+func (k Kind) IsNumeric() bool { return k == KindInt || k == KindFloat || k == KindBool }
+
+// Column is a single named column. Numeric kinds (int, float, bool) store
+// values in Nums; string columns store values in Strs. Missing marks cells
+// with no value; the corresponding slot in Nums/Strs is zero-valued.
+type Column struct {
+	Name    string
+	Kind    Kind
+	Nums    []float64
+	Strs    []string
+	Missing []bool
+}
+
+// NewNumeric returns a float column over vals with no missing cells.
+func NewNumeric(name string, vals []float64) *Column {
+	return &Column{Name: name, Kind: KindFloat, Nums: vals, Missing: make([]bool, len(vals))}
+}
+
+// NewInt returns an int column over vals with no missing cells.
+func NewInt(name string, vals []float64) *Column {
+	return &Column{Name: name, Kind: KindInt, Nums: vals, Missing: make([]bool, len(vals))}
+}
+
+// NewString returns a string column over vals with no missing cells.
+func NewString(name string, vals []string) *Column {
+	return &Column{Name: name, Kind: KindString, Strs: vals, Missing: make([]bool, len(vals))}
+}
+
+// NewBool returns a bool column; true is stored as 1, false as 0.
+func NewBool(name string, vals []bool) *Column {
+	nums := make([]float64, len(vals))
+	for i, v := range vals {
+		if v {
+			nums[i] = 1
+		}
+	}
+	return &Column{Name: name, Kind: KindBool, Nums: nums, Missing: make([]bool, len(vals))}
+}
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int {
+	if c.Kind == KindString {
+		return len(c.Strs)
+	}
+	return len(c.Nums)
+}
+
+// IsMissing reports whether row i has no value.
+func (c *Column) IsMissing(i int) bool { return len(c.Missing) > i && c.Missing[i] }
+
+// SetMissing marks row i as missing and zeroes its storage slot.
+func (c *Column) SetMissing(i int) {
+	c.ensureMask()
+	c.Missing[i] = true
+	if c.Kind == KindString {
+		c.Strs[i] = ""
+	} else {
+		c.Nums[i] = 0
+	}
+}
+
+func (c *Column) ensureMask() {
+	if len(c.Missing) < c.Len() {
+		m := make([]bool, c.Len())
+		copy(m, c.Missing)
+		c.Missing = m
+	}
+}
+
+// MissingCount returns the number of missing cells.
+func (c *Column) MissingCount() int {
+	n := 0
+	for _, m := range c.Missing {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// MissingRatio returns the fraction of missing cells in [0,1].
+func (c *Column) MissingRatio() float64 {
+	if c.Len() == 0 {
+		return 0
+	}
+	return float64(c.MissingCount()) / float64(c.Len())
+}
+
+// ValueString renders the value at row i as a string ("" when missing).
+func (c *Column) ValueString(i int) string {
+	if c.IsMissing(i) {
+		return ""
+	}
+	switch c.Kind {
+	case KindString:
+		return c.Strs[i]
+	case KindInt:
+		return strconv.FormatInt(int64(c.Nums[i]), 10)
+	case KindBool:
+		if c.Nums[i] != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return strconv.FormatFloat(c.Nums[i], 'g', -1, 64)
+	}
+}
+
+// Distinct returns the distinct non-missing values rendered as strings,
+// sorted ascending for determinism.
+func (c *Column) Distinct() []string {
+	seen := map[string]struct{}{}
+	for i := 0; i < c.Len(); i++ {
+		if c.IsMissing(i) {
+			continue
+		}
+		seen[c.ValueString(i)] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DistinctCount returns the number of distinct non-missing values.
+func (c *Column) DistinctCount() int { return len(c.Distinct()) }
+
+// DistinctRatio returns distinct/non-missing in [0,1] (1 when all unique).
+func (c *Column) DistinctRatio() float64 {
+	n := c.Len() - c.MissingCount()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.DistinctCount()) / float64(n)
+}
+
+// Stats summarizes a numeric column. All fields ignore missing cells.
+type Stats struct {
+	Count  int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	Std    float64
+	Q1     float64 // first quartile (robust to outliers)
+	Q3     float64 // third quartile
+}
+
+// NumericStats computes summary statistics over the non-missing cells of a
+// numeric column. It returns a zero Stats for string columns or columns
+// with no present values.
+func (c *Column) NumericStats() Stats {
+	if c.Kind == KindString {
+		return Stats{}
+	}
+	vals := make([]float64, 0, c.Len())
+	for i, v := range c.Nums {
+		if !c.IsMissing(i) {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return Stats{}
+	}
+	s := Stats{Count: len(vals), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(vals))
+	varsum := 0.0
+	for _, v := range vals {
+		d := v - s.Mean
+		varsum += d * d
+	}
+	s.Std = math.Sqrt(varsum / float64(len(vals)))
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	s.Q1 = quantileSorted(sorted, 0.25)
+	s.Q3 = quantileSorted(sorted, 0.75)
+	return s
+}
+
+// quantileSorted interpolates the q-quantile of an ascending slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of the non-missing values using
+// linear interpolation, or NaN for string/empty columns.
+func (c *Column) Quantile(q float64) float64 {
+	if c.Kind == KindString {
+		return math.NaN()
+	}
+	vals := make([]float64, 0, c.Len())
+	for i, v := range c.Nums {
+		if !c.IsMissing(i) {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(vals)
+	if q <= 0 {
+		return vals[0]
+	}
+	if q >= 1 {
+		return vals[len(vals)-1]
+	}
+	pos := q * float64(len(vals)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return vals[lo]
+	}
+	frac := pos - float64(lo)
+	return vals[lo]*(1-frac) + vals[hi]*frac
+}
+
+// Clone returns a deep copy of the column.
+func (c *Column) Clone() *Column {
+	cp := &Column{Name: c.Name, Kind: c.Kind}
+	if c.Nums != nil {
+		cp.Nums = append([]float64(nil), c.Nums...)
+	}
+	if c.Strs != nil {
+		cp.Strs = append([]string(nil), c.Strs...)
+	}
+	if c.Missing != nil {
+		cp.Missing = append([]bool(nil), c.Missing...)
+	}
+	return cp
+}
+
+// Select returns a new column containing only the given row indexes.
+func (c *Column) Select(rows []int) *Column {
+	out := &Column{Name: c.Name, Kind: c.Kind, Missing: make([]bool, len(rows))}
+	if c.Kind == KindString {
+		out.Strs = make([]string, len(rows))
+		for i, r := range rows {
+			out.Strs[i] = c.Strs[r]
+			out.Missing[i] = c.IsMissing(r)
+		}
+		return out
+	}
+	out.Nums = make([]float64, len(rows))
+	for i, r := range rows {
+		out.Nums[i] = c.Nums[r]
+		out.Missing[i] = c.IsMissing(r)
+	}
+	return out
+}
+
+// AppendFrom appends row i of src (which must have the same kind) to c.
+func (c *Column) AppendFrom(src *Column, i int) {
+	c.ensureMask()
+	if c.Kind == KindString {
+		c.Strs = append(c.Strs, src.Strs[i])
+	} else {
+		c.Nums = append(c.Nums, src.Nums[i])
+	}
+	c.Missing = append(c.Missing, src.IsMissing(i))
+}
+
+// AppendMissing appends a missing cell to c.
+func (c *Column) AppendMissing() {
+	c.ensureMask()
+	if c.Kind == KindString {
+		c.Strs = append(c.Strs, "")
+	} else {
+		c.Nums = append(c.Nums, 0)
+	}
+	c.Missing = append(c.Missing, true)
+}
+
+// IsConstant reports whether all present values are identical (and at least
+// one value is present).
+func (c *Column) IsConstant() bool {
+	first := ""
+	found := false
+	for i := 0; i < c.Len(); i++ {
+		if c.IsMissing(i) {
+			continue
+		}
+		v := c.ValueString(i)
+		if !found {
+			first, found = v, true
+			continue
+		}
+		if v != first {
+			return false
+		}
+	}
+	return found
+}
+
+// InferKind guesses the narrowest kind that can represent every non-empty
+// string in vals: bool, int, float, then string.
+func InferKind(vals []string) Kind {
+	isBool, isInt, isFloat := true, true, true
+	any := false
+	for _, v := range vals {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			continue
+		}
+		any = true
+		lv := strings.ToLower(v)
+		if lv != "true" && lv != "false" {
+			isBool = false
+		}
+		if _, err := strconv.ParseInt(v, 10, 64); err != nil {
+			isInt = false
+		}
+		if _, err := strconv.ParseFloat(v, 64); err != nil {
+			isFloat = false
+		}
+		if !isBool && !isInt && !isFloat {
+			return KindString
+		}
+	}
+	if !any {
+		return KindString
+	}
+	switch {
+	case isBool:
+		return KindBool
+	case isInt:
+		return KindInt
+	case isFloat:
+		return KindFloat
+	default:
+		return KindString
+	}
+}
+
+// ParseColumn builds a column of the given kind from raw strings; empty or
+// unparseable cells become missing.
+func ParseColumn(name string, kind Kind, vals []string) *Column {
+	c := &Column{Name: name, Kind: kind, Missing: make([]bool, len(vals))}
+	if kind == KindString {
+		c.Strs = make([]string, len(vals))
+		for i, v := range vals {
+			if strings.TrimSpace(v) == "" {
+				c.Missing[i] = true
+				continue
+			}
+			c.Strs[i] = v
+		}
+		return c
+	}
+	c.Nums = make([]float64, len(vals))
+	for i, v := range vals {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			c.Missing[i] = true
+			continue
+		}
+		switch kind {
+		case KindBool:
+			c.Nums[i] = 0
+			if strings.EqualFold(v, "true") {
+				c.Nums[i] = 1
+			}
+		default:
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				c.Missing[i] = true
+				continue
+			}
+			c.Nums[i] = f
+		}
+	}
+	return c
+}

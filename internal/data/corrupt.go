@@ -1,0 +1,94 @@
+package data
+
+import (
+	"math/rand"
+)
+
+// InjectOutliers corrupts the given ratio of numeric feature cells (never
+// the target) with extreme values, as in the Figure 14 robustness study.
+// It modifies the table in place and returns the number of corrupted cells.
+func InjectOutliers(t *Table, target string, ratio float64, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	n := 0
+	for _, c := range t.Cols {
+		if c.Name == target || !c.Kind.IsNumeric() {
+			continue
+		}
+		st := c.NumericStats()
+		span := st.Max - st.Min
+		if span == 0 {
+			span = 1
+		}
+		for i := 0; i < c.Len(); i++ {
+			if c.IsMissing(i) || rng.Float64() >= ratio {
+				continue
+			}
+			sign := 1.0
+			if rng.Float64() < 0.5 {
+				sign = -1
+			}
+			c.Nums[i] = st.Mean + sign*span*(10+rng.Float64()*40)
+			n++
+		}
+	}
+	return n
+}
+
+// InjectTargetOutliers corrupts the given ratio of a numeric target
+// column's cells with extreme values (regression label corruption; the
+// classification targets of Figure 14 are strings and unaffected by
+// outliers). It returns the number of corrupted cells.
+func InjectTargetOutliers(t *Table, target string, ratio float64, seed int64) int {
+	c := t.Col(target)
+	if c == nil || !c.Kind.IsNumeric() {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	st := c.NumericStats()
+	span := st.Max - st.Min
+	if span == 0 {
+		span = 1
+	}
+	n := 0
+	for i := 0; i < c.Len(); i++ {
+		if c.IsMissing(i) || rng.Float64() >= ratio {
+			continue
+		}
+		sign := 1.0
+		if rng.Float64() < 0.5 {
+			sign = -1
+		}
+		c.Nums[i] = st.Mean + sign*span*(10+rng.Float64()*40)
+		n++
+	}
+	return n
+}
+
+// InjectMissing blanks out the given ratio of feature cells (never the
+// target). It modifies the table in place and returns the number of cells
+// blanked.
+func InjectMissing(t *Table, target string, ratio float64, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	n := 0
+	for _, c := range t.Cols {
+		if c.Name == target {
+			continue
+		}
+		for i := 0; i < c.Len(); i++ {
+			if c.IsMissing(i) || rng.Float64() >= ratio {
+				continue
+			}
+			c.SetMissing(i)
+			n++
+		}
+	}
+	return n
+}
+
+// InjectMixed applies half the ratio as outliers and half as missing cells,
+// reproducing the "mixed errors" condition of Figure 14(c,f).
+func InjectMixed(t *Table, target string, ratio float64, seed int64) int {
+	n := InjectOutliers(t, target, ratio/2, seed)
+	n += InjectMissing(t, target, ratio/2, seed+1)
+	return n
+}

@@ -1,0 +1,78 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func corruptTable() *Table {
+	n := 1000
+	x := make([]float64, n)
+	s := make([]string, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = float64(i%50) + 1
+		s[i] = "v"
+		y[i] = float64(i)
+	}
+	t := NewTable("c")
+	t.MustAddColumn(NewNumeric("x", x))
+	t.MustAddColumn(NewString("s", s))
+	t.MustAddColumn(NewNumeric("y", y))
+	return t
+}
+
+func TestInjectOutliers(t *testing.T) {
+	tb := corruptTable()
+	origMax := tb.Col("x").NumericStats().Max
+	n := InjectOutliers(tb, "y", 0.05, 1)
+	if n == 0 {
+		t.Fatal("no outliers injected")
+	}
+	if got := tb.Col("x").NumericStats().Max; got <= origMax*2 {
+		t.Fatalf("max after injection = %g, want extreme", got)
+	}
+	// Target untouched.
+	for i := 0; i < tb.NumRows(); i++ {
+		if tb.Col("y").Nums[i] != float64(i) {
+			t.Fatal("target corrupted")
+		}
+	}
+	// Ratio roughly honored (x column only, ±50%).
+	want := float64(tb.NumRows()) * 0.05
+	if math.Abs(float64(n)-want) > want {
+		t.Fatalf("injected %d, expected ≈%g", n, want)
+	}
+}
+
+func TestInjectMissing(t *testing.T) {
+	tb := corruptTable()
+	n := InjectMissing(tb, "y", 0.1, 2)
+	if n == 0 {
+		t.Fatal("nothing blanked")
+	}
+	if tb.Col("y").MissingCount() != 0 {
+		t.Fatal("target must never be blanked")
+	}
+	if tb.Col("x").MissingCount()+tb.Col("s").MissingCount() != n {
+		t.Fatal("count mismatch")
+	}
+}
+
+func TestInjectMixed(t *testing.T) {
+	tb := corruptTable()
+	n := InjectMixed(tb, "y", 0.1, 3)
+	if n == 0 {
+		t.Fatal("mixed injection did nothing")
+	}
+	if tb.Col("x").MissingCount() == 0 && tb.Col("s").MissingCount() == 0 {
+		t.Fatal("mixed should blank some cells")
+	}
+}
+
+func TestInjectZeroRatio(t *testing.T) {
+	tb := corruptTable()
+	if InjectOutliers(tb, "y", 0, 1) != 0 || InjectMissing(tb, "y", 0, 1) != 0 {
+		t.Fatal("zero ratio must inject nothing")
+	}
+}

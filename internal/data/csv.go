@@ -1,0 +1,82 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteCSV writes the table as CSV with a header row. Missing cells are
+// written as empty strings.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return fmt.Errorf("data: write csv header: %w", err)
+	}
+	row := make([]string, t.NumCols())
+	for r := 0; r < t.NumRows(); r++ {
+		for c, col := range t.Cols {
+			row[c] = col.ValueString(r)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("data: write csv row %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table to path, creating or truncating it.
+func WriteCSVFile(path string, t *Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("data: %w", err)
+	}
+	defer f.Close()
+	if err := WriteCSV(f, t); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCSV parses a CSV stream with a header row into a table, inferring the
+// narrowest kind per column (bool, int, float, string). Empty cells become
+// missing values.
+func ReadCSV(r io.Reader, name string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("data: read csv %q: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("data: read csv %q: empty input", name)
+	}
+	header := records[0]
+	body := records[1:]
+	t := NewTable(name)
+	for ci, colName := range header {
+		raw := make([]string, len(body))
+		for ri, rec := range body {
+			if ci < len(rec) {
+				raw[ri] = rec[ci]
+			}
+		}
+		kind := InferKind(raw)
+		if err := t.AddColumn(ParseColumn(colName, kind, raw)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ReadCSVFile reads the CSV file at path into a table named after the file.
+func ReadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(f, path)
+}

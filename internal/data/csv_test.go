@@ -1,0 +1,107 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := NewTable("rt")
+	tb.MustAddColumn(NewNumeric("f", []float64{1.5, 2.25, 0}))
+	tb.MustAddColumn(NewInt("i", []float64{10, -3, 0}))
+	tb.MustAddColumn(NewString("s", []string{"a", "b,c", `quo"te`}))
+	tb.MustAddColumn(NewBool("b", []bool{true, false, true}))
+	tb.Col("f").SetMissing(2)
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 3 || back.NumCols() != 4 {
+		t.Fatalf("shape %dx%d", back.NumRows(), back.NumCols())
+	}
+	if back.Col("f").Kind != KindFloat || back.Col("i").Kind != KindInt ||
+		back.Col("s").Kind != KindString || back.Col("b").Kind != KindBool {
+		t.Fatalf("kinds: %v %v %v %v", back.Col("f").Kind, back.Col("i").Kind, back.Col("s").Kind, back.Col("b").Kind)
+	}
+	if !back.Col("f").IsMissing(2) {
+		t.Fatal("missing cell lost in round trip")
+	}
+	if back.Col("s").Strs[1] != "b,c" {
+		t.Fatal("quoted comma lost")
+	}
+}
+
+func TestCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	tb := NewTable("t")
+	tb.MustAddColumn(NewNumeric("x", []float64{1, 2}))
+	if err := WriteCSVFile(path, tb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 2 {
+		t.Fatal("rows lost")
+	}
+	if _, err := ReadCSVFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "x"); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1"), "x"); err == nil {
+		t.Fatal("ragged csv must error")
+	}
+}
+
+// Property: numeric CSV round trip preserves finite values.
+func TestCSVNumericRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Round(rng.NormFloat64()*1e6) / 1e3
+		}
+		tb := NewTable("p")
+		tb.MustAddColumn(NewNumeric("v", vals))
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tb); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf, "p")
+		if err != nil {
+			return false
+		}
+		c := back.Col("v")
+		for i := range vals {
+			if math.Abs(c.Nums[i]-vals[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

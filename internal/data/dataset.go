@@ -1,0 +1,195 @@
+package data
+
+import (
+	"fmt"
+)
+
+// Task is the supervised ML task type of a dataset.
+type Task int
+
+// Supported task types, matching Table 3 of the paper.
+const (
+	Binary Task = iota
+	Multiclass
+	Regression
+)
+
+// String returns the human-readable task name.
+func (t Task) String() string {
+	switch t {
+	case Binary:
+		return "binary"
+	case Multiclass:
+		return "multiclass"
+	case Regression:
+		return "regression"
+	default:
+		return fmt.Sprintf("task(%d)", int(t))
+	}
+}
+
+// IsClassification reports whether the task predicts a categorical label.
+func (t Task) IsClassification() bool { return t == Binary || t == Multiclass }
+
+// Relation is a foreign-key edge between two tables of a dataset.
+type Relation struct {
+	LeftTable  string // fact-side table
+	LeftCol    string // foreign key column in LeftTable
+	RightTable string // dimension-side table
+	RightCol   string // primary key column in RightTable
+}
+
+// Dataset is a (possibly multi-table) dataset with a designated primary
+// table, target column, and task type.
+type Dataset struct {
+	Name      string
+	Tables    []*Table
+	Relations []Relation
+	Primary   string // name of the primary (fact) table
+	Target    string // target column (lives in the primary table or joined result)
+	Task      Task
+	// Description is the optional human-written summary some baselines
+	// (AIDE, AutoGen) rely on instead of a data catalog.
+	Description string
+}
+
+// Table returns the named table, or nil.
+func (d *Dataset) Table(name string) *Table {
+	for _, t := range d.Tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// PrimaryTable returns the primary table (or the single table when only one
+// exists), or nil when absent.
+func (d *Dataset) PrimaryTable() *Table {
+	if d.Primary == "" && len(d.Tables) == 1 {
+		return d.Tables[0]
+	}
+	return d.Table(d.Primary)
+}
+
+// NumTables returns the table count.
+func (d *Dataset) NumTables() int { return len(d.Tables) }
+
+// Clone deep-copies the dataset.
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{Name: d.Name, Primary: d.Primary, Target: d.Target, Task: d.Task, Description: d.Description}
+	out.Relations = append([]Relation(nil), d.Relations...)
+	for _, t := range d.Tables {
+		out.Tables = append(out.Tables, t.Clone())
+	}
+	return out
+}
+
+// Validate checks structural invariants: primary table exists, target column
+// exists in the primary table, relations reference existing tables/columns.
+func (d *Dataset) Validate() error {
+	pt := d.PrimaryTable()
+	if pt == nil {
+		return fmt.Errorf("data: dataset %q has no primary table", d.Name)
+	}
+	if d.Target != "" && pt.Col(d.Target) == nil {
+		return fmt.Errorf("data: dataset %q target column %q not in primary table", d.Name, d.Target)
+	}
+	for _, r := range d.Relations {
+		lt, rt := d.Table(r.LeftTable), d.Table(r.RightTable)
+		if lt == nil || rt == nil {
+			return fmt.Errorf("data: dataset %q relation references missing table (%s→%s)", d.Name, r.LeftTable, r.RightTable)
+		}
+		if lt.Col(r.LeftCol) == nil {
+			return fmt.Errorf("data: dataset %q relation column %s.%s missing", d.Name, r.LeftTable, r.LeftCol)
+		}
+		if rt.Col(r.RightCol) == nil {
+			return fmt.Errorf("data: dataset %q relation column %s.%s missing", d.Name, r.RightTable, r.RightCol)
+		}
+	}
+	return nil
+}
+
+// Consolidate materializes a multi-table dataset into a single table by
+// left-joining every dimension table into the primary table along the
+// declared relations (the "join multi-table datasets into a single table"
+// step of §3.2). Joined columns are prefixed with "<table>_" to avoid name
+// clashes; key columns of dimension tables are not duplicated. Single-table
+// datasets are returned as a clone of the primary table.
+func (d *Dataset) Consolidate() (*Table, error) {
+	pt := d.PrimaryTable()
+	if pt == nil {
+		return nil, fmt.Errorf("data: dataset %q has no primary table", d.Name)
+	}
+	out := pt.Clone()
+	for _, r := range d.Relations {
+		if r.LeftTable != pt.Name {
+			// Chained relations (dimension of a dimension) are resolved
+			// against the running join result when the FK was pulled in.
+			if out.Col(r.LeftTable+"_"+r.LeftCol) == nil && out.Col(r.LeftCol) == nil {
+				continue
+			}
+		}
+		dim := d.Table(r.RightTable)
+		if dim == nil {
+			return nil, fmt.Errorf("data: dataset %q: relation to missing table %q", d.Name, r.RightTable)
+		}
+		fkName := r.LeftCol
+		if out.Col(fkName) == nil {
+			fkName = r.LeftTable + "_" + r.LeftCol
+			if out.Col(fkName) == nil {
+				continue
+			}
+		}
+		if err := leftJoin(out, fkName, dim, r.RightCol); err != nil {
+			return nil, fmt.Errorf("data: dataset %q: %w", d.Name, err)
+		}
+	}
+	out.Name = d.Name
+	return out, nil
+}
+
+// leftJoin joins dim into fact on fact[fk] == dim[pk], appending every
+// non-key dim column as "<dim>_<col>"; unmatched rows get missing cells.
+func leftJoin(fact *Table, fk string, dim *Table, pk string) error {
+	fkCol := fact.Col(fk)
+	pkCol := dim.Col(pk)
+	if fkCol == nil {
+		return fmt.Errorf("join: fact key %q missing", fk)
+	}
+	if pkCol == nil {
+		return fmt.Errorf("join: dim key %q missing in %q", pk, dim.Name)
+	}
+	index := make(map[string]int, pkCol.Len())
+	for i := 0; i < pkCol.Len(); i++ {
+		if !pkCol.IsMissing(i) {
+			index[pkCol.ValueString(i)] = i
+		}
+	}
+	for _, dc := range dim.Cols {
+		if dc.Name == pk {
+			continue
+		}
+		name := dim.Name + "_" + dc.Name
+		if fact.Col(name) != nil {
+			continue // already joined
+		}
+		nc := &Column{Name: name, Kind: dc.Kind}
+		for i := 0; i < fkCol.Len(); i++ {
+			if fkCol.IsMissing(i) {
+				nc.AppendMissing()
+				continue
+			}
+			j, ok := index[fkCol.ValueString(i)]
+			if !ok {
+				nc.AppendMissing()
+				continue
+			}
+			nc.AppendFrom(dc, j)
+		}
+		if err := fact.AddColumn(nc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package data
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Split partitions rows exactly — sizes sum and no row appears
+// twice (checked via a unique id column).
+func TestPropertySplitPartitions(t *testing.T) {
+	f := func(seed int64, frac8 uint8) bool {
+		n := 50 + int(seed%200+200)%200
+		frac := 0.1 + float64(frac8%80)/100
+		ids := make([]float64, n)
+		for i := range ids {
+			ids[i] = float64(i)
+		}
+		tb := NewTable("t")
+		tb.MustAddColumn(NewInt("id", ids))
+		tr, te := tb.Split(frac, seed)
+		if tr.NumRows()+te.NumRows() != n {
+			return false
+		}
+		seen := map[float64]bool{}
+		for _, part := range []*Table{tr, te} {
+			for _, v := range part.Col("id").Nums {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: StratifiedSplit also partitions exactly and keeps every class
+// present in train when a class has at least 2 members.
+func TestPropertyStratifiedSplitPartitions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 60 + rng.Intn(200)
+		ids := make([]float64, n)
+		labels := make([]string, n)
+		classes := 2 + rng.Intn(4)
+		for i := range ids {
+			ids[i] = float64(i)
+			labels[i] = string(rune('a' + i%classes))
+		}
+		tb := NewTable("t")
+		tb.MustAddColumn(NewInt("id", ids))
+		tb.MustAddColumn(NewString("y", labels))
+		tr, te := tb.StratifiedSplit("y", 0.7, seed)
+		if tr.NumRows()+te.NumRows() != n {
+			return false
+		}
+		trainClasses := map[string]bool{}
+		c := tr.Col("y")
+		for i := 0; i < c.Len(); i++ {
+			trainClasses[c.Strs[i]] = true
+		}
+		return len(trainClasses) == classes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Consolidate preserves the fact table's row count and never
+// loses its columns.
+func TestPropertyConsolidatePreservesRows(t *testing.T) {
+	f := func(seed int64) bool {
+		spec := Spec{
+			Name: "p", Rows: 100 + int(seed%100+100)%100, Task: Binary, Classes: 2,
+			Tables: 3,
+			Columns: []ColumnSpec{
+				{Name: "a", Type: ColNumeric, Weight: 1},
+				{Name: "b", Type: ColCategorical, Cardinality: 4, Table: 1},
+				{Name: "c", Type: ColNumeric, Table: 2},
+			},
+		}
+		ds, err := Generate(spec, seed)
+		if err != nil {
+			return false
+		}
+		joined, err := ds.Consolidate()
+		if err != nil {
+			return false
+		}
+		if joined.NumRows() != ds.PrimaryTable().NumRows() {
+			return false
+		}
+		for _, c := range ds.PrimaryTable().Cols {
+			if joined.Col(c.Name) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: corruption injectors never touch the target column and never
+// increase the row count.
+func TestPropertyInjectorsPreserveTarget(t *testing.T) {
+	f := func(seed int64, ratio8 uint8) bool {
+		ratio := float64(ratio8%20) / 100
+		spec := Spec{
+			Name: "p", Rows: 150, Task: Regression,
+			Columns: []ColumnSpec{
+				{Name: "a", Type: ColNumeric, Weight: 1},
+				{Name: "b", Type: ColCategorical, Cardinality: 3},
+			},
+		}
+		ds, err := Generate(spec, seed)
+		if err != nil {
+			return false
+		}
+		pt := ds.PrimaryTable()
+		orig := append([]float64(nil), pt.Col("target").Nums...)
+		InjectOutliers(pt, "target", ratio, seed)
+		InjectMissing(pt, "target", ratio, seed+1)
+		tgt := pt.Col("target")
+		if tgt.MissingCount() != 0 || pt.NumRows() != 150 {
+			return false
+		}
+		for i, v := range tgt.Nums {
+			if v != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CSV round trip preserves shape and missing masks for any
+// generated dataset.
+func TestPropertyCSVRoundTripDataset(t *testing.T) {
+	f := func(seed int64) bool {
+		spec := basicSpec()
+		spec.Rows = 80
+		ds, err := Generate(spec, seed)
+		if err != nil {
+			return false
+		}
+		pt := ds.PrimaryTable()
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, pt); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf, "rt")
+		if err != nil {
+			return false
+		}
+		if back.NumRows() != pt.NumRows() || back.NumCols() != pt.NumCols() {
+			return false
+		}
+		// Missing masks survive (string columns; numeric NaNs are absent
+		// by construction).
+		for ci, c := range pt.Cols {
+			for r := 0; r < c.Len(); r++ {
+				if c.IsMissing(r) != back.Cols[ci].IsMissing(r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,468 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DatasetInfo summarizes a registry entry, mirroring Table 3 of the paper.
+type DatasetInfo struct {
+	ID      int
+	Name    string
+	Tables  int
+	Rows    int // scaled row count at scale=1.0
+	Cols    int // feature columns incl. target (approximate paper ncol)
+	Task    Task
+	Classes int
+}
+
+// registryEntry couples the Table 3 metadata with a spec builder.
+type registryEntry struct {
+	info  DatasetInfo
+	build func(rows int) Spec
+}
+
+// paperRows maps each dataset to the paper's original row count, used for
+// the Table 3 rendition in documentation; generation uses scaled rows.
+var paperRows = map[string]int{
+	"Wifi": 98, "Diabetes": 768, "Tic-Tac-Toe": 958, "IMDB": 30530313,
+	"KDD98": 82318, "Walking": 149332, "CMC": 1473, "EU-IT": 1253,
+	"Survey": 2778, "Etailing": 439, "Accidents": 954036, "Financial": 552017,
+	"Airline": 445827, "Gas-Drift": 13910, "Volkert": 58310, "Yelp": 229907,
+	"Bike-Sharing": 17379, "Utility": 4574, "NYC": 581835, "House-Sales": 21613,
+}
+
+// registry holds the twenty synthetic analogues of the paper's datasets.
+// Row counts are scaled so the full suite runs on a laptop; the scaled
+// counts preserve the small/medium/large ordering of Table 3.
+var registry = []registryEntry{
+	{DatasetInfo{1, "Wifi", 1, 98, 9, Binary, 2}, wifiSpec},
+	{DatasetInfo{2, "Diabetes", 1, 768, 9, Binary, 2}, diabetesSpec},
+	{DatasetInfo{3, "Tic-Tac-Toe", 1, 958, 10, Binary, 2}, ticTacToeSpec},
+	{DatasetInfo{4, "IMDB", 7, 60000, 15, Binary, 2}, imdbSpec},
+	{DatasetInfo{5, "KDD98", 1, 20000, 478, Binary, 2}, kdd98Spec},
+	{DatasetInfo{6, "Walking", 1, 30000, 5, Multiclass, 22}, walkingSpec},
+	{DatasetInfo{7, "CMC", 1, 1473, 10, Multiclass, 3}, cmcSpec},
+	{DatasetInfo{8, "EU-IT", 1, 1253, 23, Multiclass, 12}, euITSpec},
+	{DatasetInfo{9, "Survey", 1, 2778, 29, Multiclass, 9}, surveySpec},
+	{DatasetInfo{10, "Etailing", 1, 439, 44, Multiclass, 5}, etailingSpec},
+	{DatasetInfo{11, "Accidents", 3, 40000, 46, Multiclass, 6}, accidentsSpec},
+	{DatasetInfo{12, "Financial", 8, 30000, 62, Multiclass, 4}, financialSpec},
+	{DatasetInfo{13, "Airline", 19, 25000, 115, Multiclass, 3}, airlineSpec},
+	{DatasetInfo{14, "Gas-Drift", 1, 13910, 129, Multiclass, 6}, gasDriftSpec},
+	{DatasetInfo{15, "Volkert", 1, 25000, 181, Multiclass, 10}, volkertSpec},
+	{DatasetInfo{16, "Yelp", 4, 30000, 194, Multiclass, 9}, yelpSpec},
+	{DatasetInfo{17, "Bike-Sharing", 1, 17379, 12, Regression, 0}, bikeSharingSpec},
+	{DatasetInfo{18, "Utility", 1, 4574, 13, Regression, 0}, utilitySpec},
+	{DatasetInfo{19, "NYC", 1, 40000, 17, Regression, 0}, nycSpec},
+	{DatasetInfo{20, "House-Sales", 1, 21613, 18, Regression, 0}, houseSalesSpec},
+}
+
+// Names returns the registered dataset names in Table 3 order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.info.Name
+	}
+	return out
+}
+
+// Info returns the registry metadata for a dataset name.
+func Info(name string) (DatasetInfo, error) {
+	for _, e := range registry {
+		if e.info.Name == name {
+			return e.info, nil
+		}
+	}
+	return DatasetInfo{}, fmt.Errorf("data: unknown dataset %q", name)
+}
+
+// PaperRows returns the paper's original row count for a dataset name
+// (0 when unknown).
+func PaperRows(name string) int { return paperRows[name] }
+
+// Load generates the named dataset at the given scale (1.0 = registry row
+// counts; 0.1 = one tenth) with a deterministic per-dataset seed.
+func Load(name string, scale float64) (*Dataset, error) {
+	for _, e := range registry {
+		if e.info.Name != name {
+			continue
+		}
+		rows := int(float64(e.info.Rows) * scale)
+		if rows < 60 {
+			rows = 60
+		}
+		spec := e.build(rows)
+		spec.Name = e.info.Name
+		spec.Tables = e.info.Tables
+		return Generate(spec, datasetSeed(name))
+	}
+	return nil, fmt.Errorf("data: unknown dataset %q", name)
+}
+
+// LoadAll generates every registered dataset at the given scale; the result
+// is ordered by Table 3 ID.
+func LoadAll(scale float64) ([]*Dataset, error) {
+	out := make([]*Dataset, 0, len(registry))
+	for _, e := range registry {
+		ds, err := Load(e.info.Name, scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds)
+	}
+	return out, nil
+}
+
+// AllInfo returns registry metadata in Table 3 order.
+func AllInfo() []DatasetInfo {
+	out := make([]DatasetInfo, len(registry))
+	for i, e := range registry {
+		out[i] = e.info
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func datasetSeed(name string) int64 {
+	h := int64(1125899906842597)
+	for _, c := range name {
+		h = h*31 + int64(c)
+	}
+	return h
+}
+
+// numCols is a helper building n weakly-informative numeric noise features.
+func numCols(prefix string, n int, weightEvery int, missing float64) []ColumnSpec {
+	out := make([]ColumnSpec, n)
+	for i := range out {
+		w := 0.0
+		if weightEvery > 0 && i%weightEvery == 0 {
+			w = 0.6
+		}
+		out[i] = ColumnSpec{
+			Name: fmt.Sprintf("%s%d", prefix, i+1), Type: ColNumeric,
+			Mean: float64(i%7) * 3, Std: 1 + float64(i%5)/2, Weight: w,
+			MissingRate: missing,
+		}
+	}
+	return out
+}
+
+func wifiSpec(rows int) Spec {
+	return Spec{
+		Rows: rows, Task: Binary, Classes: 2, NoiseStd: 0.2,
+		Description: "Indoor WiFi localization readings; predict connection quality.",
+		Columns: append([]ColumnSpec{
+			{Name: "router", Type: ColCategorical, Cardinality: 4, Dirty: 4, Weight: 1.2},
+			{Name: "router_label", Type: ColCategorical, Cardinality: 4, Dirty: 3, DuplicateOf: "router"},
+			{Name: "firmware", Type: ColConstant},
+			{Name: "band", Type: ColCategorical, Cardinality: 2, Weight: 0.8},
+		}, numCols("signal", 4, 2, 0.05)...),
+	}
+}
+
+func diabetesSpec(rows int) Spec {
+	return Spec{
+		Rows: rows, Task: Binary, Classes: 2, NoiseStd: 0.45,
+		Description: "Clinical measurements; predict diabetes onset.",
+		Columns: append([]ColumnSpec{
+			{Name: "pregnancies", Type: ColNumeric, Mean: 3, Std: 2, Weight: 0.4},
+			{Name: "glucose", Type: ColNumeric, Mean: 120, Std: 30, Weight: 1.1, MissingRate: 0.05},
+			{Name: "blood_pressure", Type: ColNumeric, Mean: 70, Std: 12, Weight: 0.3, MissingRate: 0.04},
+			{Name: "bmi", Type: ColNumeric, Mean: 32, Std: 7, Weight: 0.9, MissingRate: 0.03},
+		}, numCols("lab", 4, 3, 0.02)...),
+	}
+}
+
+func ticTacToeSpec(rows int) Spec {
+	cols := make([]ColumnSpec, 9)
+	for i := range cols {
+		cols[i] = ColumnSpec{Name: fmt.Sprintf("cell_%d", i+1), Type: ColCategorical,
+			Cardinality: 3, Weight: 0.5}
+	}
+	return Spec{Rows: rows, Task: Binary, Classes: 2, NoiseStd: 0.35,
+		Description: "Board endgame configurations; predict the winner.",
+		Columns:     cols}
+}
+
+func imdbSpec(rows int) Spec {
+	cols := []ColumnSpec{
+		{Name: "runtime", Type: ColNumeric, Mean: 105, Std: 25, Weight: 0.5},
+		{Name: "year", Type: ColNumeric, Mean: 2000, Std: 15, Weight: 0.3},
+		{Name: "votes", Type: ColNumeric, Mean: 5000, Std: 4000, Weight: 0.8, OutlierRate: 0.003},
+		{Name: "genre", Type: ColCategorical, Cardinality: 12, Weight: 1.0, Table: 1},
+		{Name: "country", Type: ColCategorical, Cardinality: 20, Table: 2},
+		{Name: "language", Type: ColCategorical, Cardinality: 15, Table: 3},
+		{Name: "studio", Type: ColCategorical, Cardinality: 30, Weight: 0.4, Table: 4},
+		{Name: "director_rating", Type: ColNumeric, Mean: 6, Std: 1.5, Weight: 0.9, Table: 5},
+		{Name: "actor_rating", Type: ColNumeric, Mean: 6, Std: 1.5, Weight: 0.6, Table: 6},
+		{Name: "budget", Type: ColNumeric, Mean: 20, Std: 18, Weight: 0.2, MissingRate: 0.1},
+	}
+	return Spec{Rows: rows, Task: Binary, Classes: 2, NoiseStd: 0.3,
+		Description: "Multi-table movie metadata; predict above/below-median rating.",
+		Columns:     cols}
+}
+
+func kdd98Spec(rows int) Spec {
+	// 478 columns: mostly sparse numeric donations history + some
+	// categorical demographics; heavy missingness.
+	cols := numCols("adate", 200, 17, 0.35)
+	cols = append(cols, numCols("ramnt", 200, 23, 0.4)...)
+	for i := 0; i < 70; i++ {
+		cols = append(cols, ColumnSpec{
+			Name: fmt.Sprintf("demo%d", i+1), Type: ColCategorical,
+			Cardinality: 5 + i%20, Dirty: 1 + i%3, Weight: pick(i%11 == 0, 0.7, 0),
+			MissingRate: 0.1,
+		})
+	}
+	cols = append(cols,
+		ColumnSpec{Name: "income", Type: ColNumeric, Mean: 50, Std: 20, Weight: 1.0, MissingRate: 0.2},
+		ColumnSpec{Name: "age", Type: ColNumeric, Mean: 55, Std: 15, Weight: 0.8, MissingRate: 0.25},
+	)
+	return Spec{Rows: rows, Task: Binary, Classes: 2, NoiseStd: 0.5, Imbalance: 0.75,
+		Description: "Direct-mail fundraising; predict donors (wide, sparse, imbalanced).",
+		Columns:     cols}
+}
+
+func walkingSpec(rows int) Spec {
+	return Spec{Rows: rows, Task: Multiclass, Classes: 22, NoiseStd: 0.15,
+		Description: "Accelerometer traces; identify the walking person (22 classes).",
+		Columns: []ColumnSpec{
+			{Name: "acc_x", Type: ColNumeric, Std: 2, Weight: 1.4},
+			{Name: "acc_y", Type: ColNumeric, Std: 2, Weight: 1.2},
+			{Name: "acc_z", Type: ColNumeric, Std: 2, Weight: 1.0},
+			{Name: "time_step", Type: ColNumeric, Mean: 500, Std: 280},
+		}}
+}
+
+func cmcSpec(rows int) Spec {
+	return Spec{Rows: rows, Task: Multiclass, Classes: 3, NoiseStd: 0.5,
+		Description: "Contraceptive method choice from demographic survey.",
+		Columns: []ColumnSpec{
+			{Name: "wife_age", Type: ColNumeric, Mean: 32, Std: 8, Weight: 0.9},
+			{Name: "wife_edu", Type: ColCategorical, Cardinality: 4, Weight: 0.9},
+			{Name: "husband_edu", Type: ColCategorical, Cardinality: 4, Weight: 0.3},
+			{Name: "children", Type: ColNumeric, Mean: 3, Std: 2, Weight: 1.0},
+			{Name: "religion", Type: ColBoolean, Weight: 0.3},
+			{Name: "working", Type: ColBoolean},
+			{Name: "husband_job", Type: ColCategorical, Cardinality: 4, Weight: 0.4},
+			{Name: "living_std", Type: ColCategorical, Cardinality: 4, Weight: 0.6},
+			{Name: "media", Type: ColBoolean, Weight: 0.2},
+		}}
+}
+
+func euITSpec(rows int) Spec {
+	// The EU-IT pathology: the *target* has duplicate differently-formatted
+	// labels, and several features carry heavy missingness.
+	cols := []ColumnSpec{
+		{Name: "position", Type: ColCategorical, Cardinality: 10, Dirty: 4, Weight: 1.3},
+		{Name: "seniority", Type: ColSentence, Cardinality: 5, Weight: 1.2},
+		{Name: "country", Type: ColCategorical, Cardinality: 12, Dirty: 2, Weight: 0.5},
+		{Name: "company_size", Type: ColCategorical, Cardinality: 6, Weight: 0.4, MissingRate: 0.15},
+		{Name: "tech_stack", Type: ColList, VocabSize: 12, MinItems: 1, MaxItems: 5, Weight: 1.0},
+	}
+	cols = append(cols, numCols("salary_hist", 17, 6, 0.3)...)
+	return Spec{Rows: rows, Task: Multiclass, Classes: 12, NoiseStd: 0.35,
+		DirtyTarget: 4, Imbalance: 0.35,
+		Description: "EU IT salary survey; messy duplicate job-title labels.",
+		Columns:     cols}
+}
+
+func surveySpec(rows int) Spec {
+	cols := []ColumnSpec{
+		{Name: "experience", Type: ColSentence, Cardinality: 6, Weight: 1.3},
+		{Name: "education", Type: ColCategorical, Cardinality: 5, Dirty: 3, Weight: 0.9},
+		{Name: "field", Type: ColCategorical, Cardinality: 9, Weight: 0.8},
+		{Name: "remote", Type: ColBoolean, Weight: 0.4},
+	}
+	cols = append(cols, numCols("q", 24, 8, 0.08)...)
+	return Spec{Rows: rows, Task: Multiclass, Classes: 9, NoiseStd: 0.3,
+		Description: "Developer survey; predict role from answers.",
+		Columns:     cols}
+}
+
+func etailingSpec(rows int) Spec {
+	cols := []ColumnSpec{
+		{Name: "segment", Type: ColCategorical, Cardinality: 5, Dirty: 5, Weight: 1.6},
+		{Name: "region", Type: ColCategorical, Cardinality: 8, Dirty: 3, Weight: 0.7},
+		{Name: "device", Type: ColCategorical, Cardinality: 4, Dirty: 2, Weight: 0.5},
+		{Name: "payment", Type: ColCategorical, Cardinality: 6, Weight: 0.3},
+	}
+	cols = append(cols, numCols("behav", 39, 9, 0.12)...)
+	return Spec{Rows: rows, Task: Multiclass, Classes: 5, NoiseStd: 0.3,
+		Description: "E-tailing shopper survey; duplicate category spellings correlate with the target.",
+		Columns:     cols}
+}
+
+func accidentsSpec(rows int) Spec {
+	cols := []ColumnSpec{
+		{Name: "severity_input", Type: ColNumeric, Std: 1.5, Weight: 1.2},
+		{Name: "weather", Type: ColCategorical, Cardinality: 8, Weight: 0.8, Table: 1},
+		{Name: "road_type", Type: ColCategorical, Cardinality: 6, Weight: 0.6, Table: 1},
+		{Name: "vehicle", Type: ColCategorical, Cardinality: 10, Weight: 0.5, Table: 2},
+		{Name: "vehicle_age", Type: ColNumeric, Mean: 8, Std: 4, Weight: 0.3, Table: 2},
+		{Name: "hour", Type: ColNumeric, Mean: 12, Std: 6, Weight: 0.4},
+	}
+	cols = append(cols, numCols("sensor", 38, 11, 0.15)...)
+	return Spec{Rows: rows, Task: Multiclass, Classes: 6, NoiseStd: 0.35,
+		Description: "Traffic accidents (3 tables); predict severity.",
+		Columns:     cols}
+}
+
+func financialSpec(rows int) Spec {
+	cols := []ColumnSpec{
+		{Name: "amount", Type: ColNumeric, Mean: 5000, Std: 3000, Weight: 1.1, OutlierRate: 0.002},
+		{Name: "duration", Type: ColNumeric, Mean: 24, Std: 12, Weight: 0.8},
+		{Name: "account_type", Type: ColCategorical, Cardinality: 4, Weight: 0.7, Table: 1},
+		{Name: "district", Type: ColCategorical, Cardinality: 40, Table: 2},
+		{Name: "district_avg_salary", Type: ColNumeric, Mean: 9000, Std: 1500, Weight: 0.6, Table: 2},
+		{Name: "card_type", Type: ColCategorical, Cardinality: 3, Weight: 0.5, Table: 3},
+		{Name: "order_kind", Type: ColCategorical, Cardinality: 5, Table: 4},
+		{Name: "trans_freq", Type: ColNumeric, Mean: 20, Std: 10, Weight: 0.9, Table: 5},
+		{Name: "loan_hist", Type: ColNumeric, Mean: 2, Std: 1.5, Weight: 0.7, Table: 6},
+		{Name: "client_age", Type: ColNumeric, Mean: 45, Std: 15, Weight: 0.4, Table: 7},
+	}
+	cols = append(cols, numCols("feat", 50, 13, 0.1)...)
+	return Spec{Rows: rows, Task: Multiclass, Classes: 4, NoiseStd: 0.3,
+		Description: "Loan outcomes over 8 relational banking tables.",
+		Columns:     cols}
+}
+
+func airlineSpec(rows int) Spec {
+	cols := []ColumnSpec{
+		{Name: "dep_delay", Type: ColNumeric, Mean: 10, Std: 20, Weight: 1.5},
+		{Name: "distance", Type: ColNumeric, Mean: 1200, Std: 600, Weight: 0.5},
+	}
+	// 18 dimension tables (19 total), each contributing a handful of cols.
+	for t := 1; t <= 18; t++ {
+		cols = append(cols,
+			ColumnSpec{Name: fmt.Sprintf("dim%d_cat", t), Type: ColCategorical,
+				Cardinality: 4 + t%9, Weight: pick(t%5 == 0, 0.6, 0), Table: t},
+			ColumnSpec{Name: fmt.Sprintf("dim%d_val", t), Type: ColNumeric,
+				Mean: float64(t), Std: 2, Weight: pick(t%7 == 0, 0.4, 0), Table: t},
+		)
+	}
+	cols = append(cols, numCols("leg", 75, 19, 0.2)...)
+	return Spec{Rows: rows, Task: Multiclass, Classes: 3, NoiseStd: 0.25,
+		Description: "Flight on-time performance over 19 tables.",
+		Columns:     cols}
+}
+
+func gasDriftSpec(rows int) Spec {
+	cols := numCols("s", 128, 6, 0.0)
+	return Spec{Rows: rows, Task: Multiclass, Classes: 6, NoiseStd: 0.25,
+		Description: "Chemical sensor array drift; 128 numeric sensor features.",
+		Columns:     cols}
+}
+
+func volkertSpec(rows int) Spec {
+	cols := numCols("v", 180, 8, 0.05)
+	return Spec{Rows: rows, Task: Multiclass, Classes: 10, NoiseStd: 0.35,
+		Description: "Anonymized 180-feature multiclass benchmark.",
+		Columns:     cols}
+}
+
+func yelpSpec(rows int) Spec {
+	cols := []ColumnSpec{
+		{Name: "categories", Type: ColList, VocabSize: 24, MinItems: 1, MaxItems: 6, Weight: 1.4},
+		{Name: "amenities", Type: ColList, VocabSize: 16, MinItems: 0, MaxItems: 5, Weight: 0.8},
+		{Name: "city", Type: ColCategorical, Cardinality: 30, Dirty: 2, Weight: 0.5, Table: 1},
+		{Name: "state", Type: ColCategorical, Cardinality: 12, Table: 1},
+		{Name: "user_avg", Type: ColNumeric, Mean: 3.7, Std: 0.6, Weight: 0.9, Table: 2},
+		{Name: "user_count", Type: ColNumeric, Mean: 40, Std: 35, Weight: 0.3, Table: 2},
+		{Name: "checkins", Type: ColNumeric, Mean: 200, Std: 150, Weight: 0.6, Table: 3},
+		// Hashed-timestamp pathology: large int values, some sentinel zeros
+		// that naive tools misinterpret as missing.
+		{Name: "ts_hash", Type: ColNumeric, Mean: 8e8, Std: 3e8},
+	}
+	cols = append(cols, numCols("attr", 180, 16, 0.18)...)
+	return Spec{Rows: rows, Task: Multiclass, Classes: 9, NoiseStd: 0.3,
+		Description: "Business reviews over 4 tables; list-valued category features.",
+		Columns:     cols}
+}
+
+func bikeSharingSpec(rows int) Spec {
+	return Spec{Rows: rows, Task: Regression, NoiseStd: 0.25,
+		Description: "Hourly bike rental demand.",
+		Columns: []ColumnSpec{
+			{Name: "hour", Type: ColNumeric, Mean: 12, Std: 6.9, Weight: 1.2},
+			{Name: "temp", Type: ColNumeric, Mean: 20, Std: 8, Weight: 1.0},
+			{Name: "humidity", Type: ColNumeric, Mean: 60, Std: 20, Weight: 0.5},
+			{Name: "windspeed", Type: ColNumeric, Mean: 13, Std: 8, Weight: 0.2},
+			{Name: "season", Type: ColCategorical, Cardinality: 4, Weight: 0.8},
+			{Name: "weekday", Type: ColCategorical, Cardinality: 7, Weight: 0.4},
+			{Name: "weather", Type: ColCategorical, Cardinality: 4, Weight: 0.6},
+			{Name: "holiday", Type: ColBoolean, Weight: 0.2},
+			{Name: "workingday", Type: ColBoolean, Weight: 0.4},
+			{Name: "yr", Type: ColBoolean, Weight: 0.3},
+			{Name: "record_id", Type: ColID},
+		}}
+}
+
+func utilitySpec(rows int) Spec {
+	return Spec{Rows: rows, Task: Regression, NoiseStd: 0.2,
+		Description: "Utility consumption; messy categorical meter classes.",
+		Columns: []ColumnSpec{
+			{Name: "meter_class", Type: ColCategorical, Cardinality: 6, Dirty: 4, Weight: 1.3},
+			{Name: "zone", Type: ColCategorical, Cardinality: 10, Dirty: 2, Weight: 0.7},
+			{Name: "sqft", Type: ColNumeric, Mean: 1800, Std: 600, Weight: 1.0},
+			{Name: "occupants", Type: ColNumeric, Mean: 3, Std: 1.5, Weight: 0.6},
+			{Name: "ac", Type: ColBoolean, Weight: 0.5},
+			{Name: "built_year", Type: ColNumeric, Mean: 1985, Std: 20, Weight: 0.3},
+			{Name: "insulation", Type: ColCategorical, Cardinality: 4, Weight: 0.4, MissingRate: 0.1},
+			{Name: "readings", Type: ColNumeric, Mean: 300, Std: 90, Weight: 0.8},
+			{Name: "tariff", Type: ColCategorical, Cardinality: 5, Weight: 0.2},
+			{Name: "solar", Type: ColBoolean, Weight: 0.3},
+			{Name: "ev", Type: ColBoolean, Weight: 0.2},
+			{Name: "meter_id", Type: ColID},
+		}}
+}
+
+func nycSpec(rows int) Spec {
+	cols := []ColumnSpec{
+		{Name: "trip_distance", Type: ColNumeric, Mean: 3, Std: 2.5, Weight: 1.5, OutlierRate: 0.002},
+		{Name: "pickup_hour", Type: ColNumeric, Mean: 13, Std: 6, Weight: 0.5},
+		{Name: "passenger_count", Type: ColNumeric, Mean: 1.6, Std: 1.2, Weight: 0.1},
+		{Name: "pickup_zone", Type: ColCategorical, Cardinality: 40, Weight: 0.7},
+		{Name: "dropoff_zone", Type: ColCategorical, Cardinality: 40, Weight: 0.5},
+		{Name: "vendor", Type: ColCategorical, Cardinality: 3},
+		{Name: "payment_type", Type: ColCategorical, Cardinality: 5, Weight: 0.2},
+		{Name: "tolls", Type: ColNumeric, Mean: 0.4, Std: 1.5, Weight: 0.4},
+	}
+	cols = append(cols, numCols("meta", 8, 4, 0.05)...)
+	return Spec{Rows: rows, Task: Regression, NoiseStd: 0.2,
+		Description: "Taxi fares; predict total amount.",
+		Columns:     cols}
+}
+
+func houseSalesSpec(rows int) Spec {
+	return Spec{Rows: rows, Task: Regression, NoiseStd: 0.2,
+		Description: "House sale prices.",
+		Columns: []ColumnSpec{
+			{Name: "sqft_living", Type: ColNumeric, Mean: 2000, Std: 800, Weight: 1.4},
+			{Name: "sqft_lot", Type: ColNumeric, Mean: 12000, Std: 30000, Weight: 0.2, OutlierRate: 0.004},
+			{Name: "bedrooms", Type: ColNumeric, Mean: 3.4, Std: 1, Weight: 0.4},
+			{Name: "bathrooms", Type: ColNumeric, Mean: 2.1, Std: 0.8, Weight: 0.6},
+			{Name: "floors", Type: ColNumeric, Mean: 1.5, Std: 0.5, Weight: 0.2},
+			{Name: "waterfront", Type: ColBoolean, Weight: 0.5},
+			{Name: "view", Type: ColCategorical, Cardinality: 5, Weight: 0.4},
+			{Name: "condition", Type: ColCategorical, Cardinality: 5, Weight: 0.3},
+			{Name: "grade", Type: ColNumeric, Mean: 7.6, Std: 1.2, Weight: 1.1},
+			{Name: "yr_built", Type: ColNumeric, Mean: 1971, Std: 29, Weight: 0.3},
+			{Name: "zipcode", Type: ColCategorical, Cardinality: 70, Weight: 0.6},
+			{Name: "lat", Type: ColNumeric, Mean: 47.5, Std: 0.14, Weight: 0.5},
+			{Name: "long", Type: ColNumeric, Mean: -122.2, Std: 0.14, Weight: 0.2},
+			{Name: "renovated", Type: ColBoolean, Weight: 0.2},
+			{Name: "basement", Type: ColBoolean, Weight: 0.3},
+			{Name: "address", Type: ColComposite, Cardinality: 12},
+			{Name: "sale_id", Type: ColID},
+		}}
+}
+
+func pick(cond bool, a, b float64) float64 {
+	if cond {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,118 @@
+package data
+
+import (
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 20 {
+		t.Fatalf("registry has %d datasets, want 20", len(names))
+	}
+	infos := AllInfo()
+	for i, in := range infos {
+		if in.ID != i+1 {
+			t.Fatalf("registry IDs not contiguous: %v", in)
+		}
+		if PaperRows(in.Name) == 0 {
+			t.Errorf("dataset %q missing paper row count", in.Name)
+		}
+	}
+}
+
+func TestInfoLookup(t *testing.T) {
+	in, err := Info("Diabetes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Task != Binary || in.Tables != 1 {
+		t.Fatalf("Diabetes info = %+v", in)
+	}
+	if _, err := Info("Nope"); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestLoadSmallDatasets(t *testing.T) {
+	for _, name := range []string{"Wifi", "Diabetes", "CMC", "Utility", "EU-IT", "Etailing", "Survey"} {
+		ds, err := Load(name, 1.0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		info, _ := Info(name)
+		if ds.PrimaryTable().NumRows() != info.Rows && info.Rows >= 60 {
+			t.Errorf("%s rows = %d, want %d", name, ds.PrimaryTable().NumRows(), info.Rows)
+		}
+		if info.Task.IsClassification() {
+			if ds.PrimaryTable().Col(ds.Target).Kind != KindString {
+				t.Errorf("%s: classification target must be string", name)
+			}
+		}
+	}
+}
+
+func TestLoadMultiTable(t *testing.T) {
+	ds, err := Load("Financial", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumTables() != 8 {
+		t.Fatalf("Financial tables = %d, want 8", ds.NumTables())
+	}
+	joined, err := ds.Consolidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.NumCols() <= ds.PrimaryTable().NumCols() {
+		t.Fatal("consolidation must add dimension columns")
+	}
+}
+
+func TestLoadScale(t *testing.T) {
+	big, err := Load("Gas-Drift", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(13910 * 0.2)
+	if big.PrimaryTable().NumRows() != want {
+		t.Fatalf("scaled rows = %d, want %d", big.PrimaryTable().NumRows(), want)
+	}
+	tiny, _ := Load("Wifi", 0.01)
+	if tiny.PrimaryTable().NumRows() < 60 {
+		t.Fatal("minimum row floor not applied")
+	}
+	if _, err := Load("Nope", 1); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestLoadDeterminism(t *testing.T) {
+	a, _ := Load("Utility", 0.5)
+	b, _ := Load("Utility", 0.5)
+	at, bt := a.PrimaryTable(), b.PrimaryTable()
+	for ci := range at.Cols {
+		for r := 0; r < at.NumRows(); r += 97 {
+			if at.Cols[ci].ValueString(r) != bt.Cols[ci].ValueString(r) {
+				t.Fatal("Load must be deterministic")
+			}
+		}
+	}
+}
+
+func TestEUITDirtyTargetPresent(t *testing.T) {
+	ds, _ := Load("EU-IT", 1.0)
+	got := ds.PrimaryTable().Col(ds.Target).DistinctCount()
+	if got <= 12 {
+		t.Fatalf("EU-IT target distinct = %d, want > 12 (dirty labels)", got)
+	}
+}
+
+func TestWifiConstantColumn(t *testing.T) {
+	ds, _ := Load("Wifi", 1.0)
+	if !ds.PrimaryTable().Col("firmware").IsConstant() {
+		t.Fatal("Wifi firmware column should be constant (paper §5.3)")
+	}
+}

@@ -1,0 +1,558 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// ColType is the logical generator type of a synthetic column.
+type ColType int
+
+// Synthetic column generator types. Each triggers a specific CatDB
+// mechanism: dirty categoricals exercise categorical-value refinement,
+// composites exercise column splitting, lists exercise k-hot expansion,
+// sentences exercise sentence-to-categorical transformation.
+const (
+	ColNumeric ColType = iota
+	ColCategorical
+	ColComposite
+	ColList
+	ColSentence
+	ColConstant
+	ColID
+	ColBoolean
+)
+
+// ColumnSpec describes one synthetic column.
+type ColumnSpec struct {
+	Name        string
+	Type        ColType
+	Cardinality int     // number of latent categories (categorical/sentence/composite parts)
+	Dirty       int     // surface variants per category; 1 (or 0) = clean
+	MissingRate float64 // fraction of cells blanked out
+	OutlierRate float64 // fraction of numeric cells corrupted with extreme values
+	Weight      float64 // contribution of the latent to the target signal; 0 = pure noise
+	VocabSize   int     // list columns: size of the item vocabulary
+	MinItems    int     // list columns: min items per row
+	MaxItems    int     // list columns: max items per row
+	Mean, Std   float64 // numeric columns
+	Table       int     // 0 = fact table; >0 = dimension table index
+	DuplicateOf string  // generate as a (possibly dirty) copy of another column's latent
+}
+
+// Spec describes a full synthetic dataset.
+type Spec struct {
+	Name        string
+	Rows        int
+	Task        Task
+	Classes     int     // classification class count
+	Imbalance   float64 // 0 = balanced; 0.9 = heavily skewed class sizes
+	NoiseStd    float64 // label noise scale relative to the signal
+	DirtyTarget int     // classification: surface variants per class label (EU-IT pathology)
+	Columns     []ColumnSpec
+	Tables      int // total table count (1 = single table)
+	TargetName  string
+	Description string
+}
+
+// variantSuffixes are the deterministic "messy spelling" transformations the
+// generator applies to surface forms; catalog refinement reverses them.
+func renderVariant(base string, variant int) string {
+	switch variant % 6 {
+	case 0:
+		return base
+	case 1:
+		return strings.ToUpper(base)
+	case 2:
+		return titleCase(base)
+	case 3:
+		return " " + base
+	case 4:
+		return strings.ReplaceAll(base, "_", "-")
+	default:
+		return base + " "
+	}
+}
+
+// titleCase upper-cases the first letter of each space/underscore-separated
+// word (a local replacement for the deprecated strings.Title).
+func titleCase(s string) string {
+	out := []byte(s)
+	up := true
+	for i := 0; i < len(out); i++ {
+		c := out[i]
+		if up && c >= 'a' && c <= 'z' {
+			out[i] = c - 'a' + 'A'
+		}
+		up = c == ' ' || c == '_' || c == '-'
+	}
+	return string(out)
+}
+
+// sentenceTemplates wrap a categorical token into free text; refinement
+// extracts the token back out.
+var sentenceTemplates = []string{
+	"%s",
+	"about %s",
+	"roughly %s or so",
+	"%s (confirmed)",
+	"reported as %s",
+	"it is %s overall",
+}
+
+// Generate materializes the spec into a dataset. The same spec+seed always
+// yields the identical dataset.
+func Generate(spec Spec, seed int64) (*Dataset, error) {
+	if spec.Rows <= 0 {
+		return nil, fmt.Errorf("data: spec %q: non-positive row count", spec.Name)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := spec.Rows
+
+	// Phase 1: latent values per column (dimension-table columns derive
+	// from a shared per-table group id so that joins reconstruct them).
+	type gen struct {
+		spec   ColumnSpec
+		latent []float64 // numeric latent or category index
+		second []float64 // composite: second part's latent
+	}
+	gens := make([]*gen, 0, len(spec.Columns))
+	latentByName := map[string]*gen{}
+
+	nTables := spec.Tables
+	if nTables < 1 {
+		nTables = 1
+	}
+	// Group ids for dimension tables: dimGroups[t][row] in [0, dimCard[t]).
+	dimCard := make([]int, nTables)
+	dimGroups := make([][]int, nTables)
+	for t := 1; t < nTables; t++ {
+		card := n / 20
+		if card < 4 {
+			card = 4
+		}
+		if card > 500 {
+			card = 500
+		}
+		dimCard[t] = card
+		g := make([]int, n)
+		for i := range g {
+			g[i] = rng.Intn(card)
+		}
+		dimGroups[t] = g
+	}
+
+	for _, cs := range spec.Columns {
+		g := &gen{spec: cs, latent: make([]float64, n)}
+		card := cs.Cardinality
+		if card <= 0 {
+			card = 8
+		}
+		if dup, ok := latentByName[cs.DuplicateOf]; ok && cs.DuplicateOf != "" {
+			copy(g.latent, dup.latent)
+		} else {
+			switch cs.Type {
+			case ColNumeric:
+				std := cs.Std
+				if std == 0 {
+					std = 1
+				}
+				for i := range g.latent {
+					if cs.Table > 0 {
+						gi := dimGroups[cs.Table][i]
+						g.latent[i] = cs.Mean + std*groupNoise(gi, cs.Name)
+					} else {
+						g.latent[i] = cs.Mean + std*rng.NormFloat64()
+					}
+				}
+			case ColBoolean:
+				for i := range g.latent {
+					if cs.Table > 0 {
+						g.latent[i] = float64(dimGroups[cs.Table][i] % 2)
+					} else if rng.Float64() < 0.5 {
+						g.latent[i] = 1
+					}
+				}
+			case ColConstant:
+				for i := range g.latent {
+					g.latent[i] = 1
+				}
+			case ColID:
+				for i := range g.latent {
+					g.latent[i] = float64(i)
+				}
+			case ColList:
+				// latent is a bitmask over min(VocabSize,30) items.
+				vs := cs.VocabSize
+				if vs <= 0 {
+					vs = 8
+				}
+				if vs > 30 {
+					vs = 30
+				}
+				minI, maxI := cs.MinItems, cs.MaxItems
+				if minI <= 0 {
+					minI = 1
+				}
+				if maxI < minI {
+					maxI = minI + 2
+				}
+				for i := range g.latent {
+					k := minI + rng.Intn(maxI-minI+1)
+					mask := 0
+					for j := 0; j < k; j++ {
+						mask |= 1 << uint(rng.Intn(vs))
+					}
+					g.latent[i] = float64(mask)
+				}
+			default: // categorical, sentence, composite
+				for i := range g.latent {
+					if cs.Table > 0 {
+						g.latent[i] = float64(dimGroups[cs.Table][i] % card)
+					} else {
+						g.latent[i] = float64(rng.Intn(card))
+					}
+				}
+				if cs.Type == ColComposite {
+					g.second = make([]float64, n)
+					for i := range g.second {
+						g.second[i] = float64(rng.Intn(card))
+					}
+				}
+			}
+		}
+		gens = append(gens, g)
+		latentByName[cs.Name] = g
+	}
+
+	// Phase 2: target from the weighted latents.
+	score := make([]float64, n)
+	for _, g := range gens {
+		w := g.spec.Weight
+		if w == 0 {
+			continue
+		}
+		card := float64(g.spec.Cardinality)
+		if card <= 0 {
+			card = 8
+		}
+		for i := range score {
+			switch g.spec.Type {
+			case ColNumeric:
+				std := g.spec.Std
+				if std == 0 {
+					std = 1
+				}
+				score[i] += w * (g.latent[i] - g.spec.Mean) / std
+			case ColList:
+				// Each set bit of the low half of the vocab pushes the
+				// score up; the high half pushes it down.
+				mask := int(g.latent[i])
+				vs := g.spec.VocabSize
+				if vs <= 0 {
+					vs = 8
+				}
+				if vs > 30 {
+					vs = 30
+				}
+				for b := 0; b < vs; b++ {
+					if mask&(1<<uint(b)) != 0 {
+						if b < vs/2 {
+							score[i] += w / float64(vs)
+						} else {
+							score[i] -= w / float64(vs)
+						}
+					}
+				}
+			default:
+				// Categorical effect: symmetric around the middle category.
+				score[i] += w * (g.latent[i] - (card-1)/2) / card * 2
+			}
+		}
+	}
+	noise := spec.NoiseStd
+	if noise == 0 {
+		noise = 0.3
+	}
+	for i := range score {
+		score[i] += noise * rng.NormFloat64()
+	}
+
+	targetName := spec.TargetName
+	if targetName == "" {
+		targetName = "target"
+	}
+	var targetCol *Column
+	switch spec.Task {
+	case Regression:
+		vals := make([]float64, n)
+		for i, s := range score {
+			vals[i] = 100 + 50*s
+		}
+		targetCol = NewNumeric(targetName, vals)
+	default:
+		classes := spec.Classes
+		if classes < 2 {
+			classes = 2
+		}
+		labels := assignClasses(score, classes, spec.Imbalance)
+		strs := make([]string, n)
+		for i, cl := range labels {
+			base := fmt.Sprintf("class_%d", cl)
+			if spec.DirtyTarget > 1 {
+				strs[i] = renderVariant(base, rng.Intn(spec.DirtyTarget))
+			} else {
+				strs[i] = base
+			}
+		}
+		targetCol = NewString(targetName, strs)
+	}
+
+	// Phase 3: render surface forms into tables.
+	tables := make([]*Table, nTables)
+	tables[0] = NewTable(spec.Name)
+	for t := 1; t < nTables; t++ {
+		tables[t] = NewTable(fmt.Sprintf("%s_dim%d", spec.Name, t))
+	}
+	ds := &Dataset{Name: spec.Name, Primary: spec.Name, Target: targetName, Task: spec.Task, Description: spec.Description}
+
+	// Fact table FK columns and dimension tables.
+	for t := 1; t < nTables; t++ {
+		fk := make([]float64, n)
+		for i := range fk {
+			fk[i] = float64(dimGroups[t][i])
+		}
+		fkCol := NewInt(fmt.Sprintf("dim%d_id", t), fk)
+		tables[0].MustAddColumn(fkCol)
+		keys := make([]float64, dimCard[t])
+		for i := range keys {
+			keys[i] = float64(i)
+		}
+		tables[t].MustAddColumn(NewInt("id", keys))
+		ds.Relations = append(ds.Relations, Relation{
+			LeftTable: spec.Name, LeftCol: fmt.Sprintf("dim%d_id", t),
+			RightTable: tables[t].Name, RightCol: "id",
+		})
+	}
+
+	for _, g := range gens {
+		cs := g.spec
+		var col *Column
+		tbl := tables[0]
+		vals := g.latent
+		rowsHere := n
+		if cs.Table > 0 && cs.Table < nTables {
+			tbl = tables[cs.Table]
+			// Dimension tables store one row per group: re-derive the
+			// latent per group id deterministically.
+			rowsHere = dimCard[cs.Table]
+			vals = make([]float64, rowsHere)
+			for gi := 0; gi < rowsHere; gi++ {
+				switch cs.Type {
+				case ColNumeric:
+					std := cs.Std
+					if std == 0 {
+						std = 1
+					}
+					vals[gi] = cs.Mean + std*groupNoise(gi, cs.Name)
+				case ColBoolean:
+					vals[gi] = float64(gi % 2)
+				default:
+					card := cs.Cardinality
+					if card <= 0 {
+						card = 8
+					}
+					vals[gi] = float64(gi % card)
+				}
+			}
+		}
+		col = renderColumn(cs, vals, g.second, rng)
+		// Missing / outlier injection (fact-table columns only; dimension
+		// rows are reference data).
+		if cs.Table == 0 {
+			for i := 0; i < col.Len(); i++ {
+				if cs.MissingRate > 0 && rng.Float64() < cs.MissingRate {
+					col.SetMissing(i)
+				} else if cs.OutlierRate > 0 && col.Kind.IsNumeric() && rng.Float64() < cs.OutlierRate {
+					col.Nums[i] = col.Nums[i]*50 + 1000
+				}
+			}
+		}
+		tbl.MustAddColumn(col)
+	}
+	tables[0].MustAddColumn(targetCol)
+
+	ds.Tables = tables
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// renderColumn converts latent values into a surface-form column.
+func renderColumn(cs ColumnSpec, latent, second []float64, rng *rand.Rand) *Column {
+	n := len(latent)
+	switch cs.Type {
+	case ColNumeric:
+		vals := append([]float64(nil), latent...)
+		return NewNumeric(cs.Name, vals)
+	case ColBoolean:
+		b := make([]bool, n)
+		for i, v := range latent {
+			b[i] = v != 0
+		}
+		return NewBool(cs.Name, b)
+	case ColConstant:
+		strs := make([]string, n)
+		for i := range strs {
+			strs[i] = "const"
+		}
+		return NewString(cs.Name, strs)
+	case ColID:
+		vals := append([]float64(nil), latent...)
+		return NewInt(cs.Name, vals)
+	case ColCategorical:
+		strs := make([]string, n)
+		dirty := cs.Dirty
+		if dirty < 1 {
+			dirty = 1
+		}
+		for i, v := range latent {
+			base := categoryLabel(cs.Name, int(v))
+			strs[i] = renderVariant(base, rng.Intn(dirty))
+		}
+		return NewString(cs.Name, strs)
+	case ColSentence:
+		strs := make([]string, n)
+		for i, v := range latent {
+			base := categoryLabel(cs.Name, int(v))
+			tmpl := sentenceTemplates[rng.Intn(len(sentenceTemplates))]
+			strs[i] = fmt.Sprintf(tmpl, base)
+		}
+		return NewString(cs.Name, strs)
+	case ColComposite:
+		// Mirrors the paper's Address pathology: a mix of an alphabetic
+		// part (state-like) and a numeric part (zip-like) in varying order.
+		strs := make([]string, n)
+		for i, v := range latent {
+			a := categoryLabel(cs.Name+"_a", int(v))
+			bIdx := 0
+			if second != nil {
+				bIdx = int(second[i])
+			}
+			b := fmt.Sprintf("%04d", 7000+bIdx*37)
+			if rng.Float64() < 0.5 {
+				strs[i] = a + " " + b
+			} else {
+				strs[i] = b + " " + a
+			}
+		}
+		return NewString(cs.Name, strs)
+	case ColList:
+		vs := cs.VocabSize
+		if vs <= 0 {
+			vs = 8
+		}
+		if vs > 30 {
+			vs = 30
+		}
+		strs := make([]string, n)
+		for i, v := range latent {
+			mask := int(v)
+			var items []string
+			for b := 0; b < vs; b++ {
+				if mask&(1<<uint(b)) != 0 {
+					items = append(items, categoryLabel(cs.Name+"_item", b))
+				}
+			}
+			// Vary the order so the raw joined string has high cardinality.
+			rng.Shuffle(len(items), func(x, y int) { items[x], items[y] = items[y], items[x] })
+			strs[i] = strings.Join(items, ", ")
+		}
+		return NewString(cs.Name, strs)
+	default:
+		vals := append([]float64(nil), latent...)
+		return NewNumeric(cs.Name, vals)
+	}
+}
+
+// categoryLabel generates a stable human-ish label for category idx of col.
+func categoryLabel(col string, idx int) string {
+	words := []string{"alpha", "bravo", "congo", "delta", "echo", "fargo", "golf", "hotel",
+		"india", "jazz", "kilo", "lima", "mango", "nova", "oscar", "punta",
+		"quartz", "romeo", "sierra", "tango", "umbra", "victor", "whisky", "xray"}
+	w := words[((idx%len(words))+len(words))%len(words)]
+	if idx >= len(words) {
+		return fmt.Sprintf("%s_%d", w, idx/len(words))
+	}
+	return w
+}
+
+// groupNoise is a deterministic pseudo-random value in ~N(0,1) derived from
+// a group id and column name, so dimension-table values are stable.
+func groupNoise(gid int, name string) float64 {
+	h := uint64(1469598103934665603)
+	for _, b := range []byte(name) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	h = (h ^ uint64(gid)) * 1099511628211
+	// Map two 32-bit halves to a rough normal via sum of uniforms.
+	u1 := float64(h&0xffffffff) / float64(0xffffffff)
+	u2 := float64(h>>32) / float64(1<<32)
+	return (u1 + u2 - 1.0) * math.Sqrt2 * 1.7
+}
+
+// assignClasses bins scores into classes by quantile; imbalance in (0,1)
+// skews the bin edges so that low classes absorb most rows.
+func assignClasses(score []float64, classes int, imbalance float64) []int {
+	n := len(score)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if score[idx[a]] != score[idx[b]] {
+			return score[idx[a]] < score[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	out := make([]int, n)
+	// Cumulative class share: balanced = equal; imbalanced = geometric decay.
+	shares := make([]float64, classes)
+	if imbalance <= 0 {
+		for i := range shares {
+			shares[i] = 1.0 / float64(classes)
+		}
+	} else {
+		r := 1 - imbalance
+		total := 0.0
+		w := 1.0
+		for i := range shares {
+			shares[i] = w
+			total += w
+			w *= r
+		}
+		for i := range shares {
+			shares[i] /= total
+		}
+	}
+	pos := 0
+	for c := 0; c < classes; c++ {
+		cnt := int(shares[c] * float64(n))
+		if c == classes-1 {
+			cnt = n - pos
+		}
+		for k := 0; k < cnt && pos < n; k++ {
+			out[idx[pos]] = c
+			pos++
+		}
+	}
+	for pos < n {
+		out[idx[pos]] = classes - 1
+		pos++
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+func basicSpec() Spec {
+	return Spec{
+		Name: "basic", Rows: 500, Task: Binary, Classes: 2, NoiseStd: 0.2,
+		Columns: []ColumnSpec{
+			{Name: "num", Type: ColNumeric, Mean: 10, Std: 2, Weight: 1},
+			{Name: "cat", Type: ColCategorical, Cardinality: 4, Weight: 1},
+			{Name: "dirty", Type: ColCategorical, Cardinality: 3, Dirty: 4},
+			{Name: "lst", Type: ColList, VocabSize: 6, MinItems: 1, MaxItems: 3},
+			{Name: "sent", Type: ColSentence, Cardinality: 4},
+			{Name: "comp", Type: ColComposite, Cardinality: 5},
+			{Name: "konst", Type: ColConstant},
+			{Name: "rowid", Type: ColID},
+			{Name: "flag", Type: ColBoolean},
+			{Name: "gap", Type: ColNumeric, MissingRate: 0.3},
+		},
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds, err := Generate(basicSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := ds.PrimaryTable()
+	if pt == nil {
+		t.Fatal("no primary table")
+	}
+	if pt.NumRows() != 500 {
+		t.Fatalf("rows = %d", pt.NumRows())
+	}
+	// 10 feature columns + target.
+	if pt.NumCols() != 11 {
+		t.Fatalf("cols = %d, want 11 (%v)", pt.NumCols(), pt.ColumnNames())
+	}
+	if pt.Col("target") == nil {
+		t.Fatal("target column missing")
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, _ := Generate(basicSpec(), 7)
+	b, _ := Generate(basicSpec(), 7)
+	at, bt := a.PrimaryTable(), b.PrimaryTable()
+	for ci := range at.Cols {
+		for r := 0; r < at.NumRows(); r++ {
+			if at.Cols[ci].ValueString(r) != bt.Cols[ci].ValueString(r) {
+				t.Fatalf("row %d col %s differs between identical seeds", r, at.Cols[ci].Name)
+			}
+		}
+	}
+	c, _ := Generate(basicSpec(), 8)
+	same := true
+	ct := c.PrimaryTable()
+	for r := 0; r < 20; r++ {
+		if at.Col("num").Nums[r] != ct.Col("num").Nums[r] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical numeric column")
+	}
+}
+
+func TestGenerateColumnTypes(t *testing.T) {
+	ds, _ := Generate(basicSpec(), 3)
+	pt := ds.PrimaryTable()
+	if pt.Col("num").Kind != KindFloat {
+		t.Error("num kind")
+	}
+	if pt.Col("cat").Kind != KindString {
+		t.Error("cat kind")
+	}
+	if pt.Col("flag").Kind != KindBool {
+		t.Error("flag kind")
+	}
+	if pt.Col("rowid").Kind != KindInt {
+		t.Error("rowid kind")
+	}
+	if !pt.Col("konst").IsConstant() {
+		t.Error("constant column must be constant")
+	}
+	// Dirty categorical has more surface forms than latent categories.
+	if got := pt.Col("dirty").DistinctCount(); got <= 3 {
+		t.Errorf("dirty distinct = %d, want > 3", got)
+	}
+	// List values contain comma-separated items.
+	found := false
+	for _, v := range pt.Col("lst").Strs {
+		if strings.Contains(v, ", ") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("list column should contain multi-item rows")
+	}
+	// Missing-rate column actually has missing cells.
+	if pt.Col("gap").MissingCount() == 0 {
+		t.Error("gap column should have missing cells")
+	}
+}
+
+func TestGenerateImbalance(t *testing.T) {
+	spec := basicSpec()
+	spec.Classes = 4
+	spec.Task = Multiclass
+	spec.Imbalance = 0.7
+	ds, _ := Generate(spec, 5)
+	counts := map[string]int{}
+	c := ds.PrimaryTable().Col("target")
+	for i := 0; i < c.Len(); i++ {
+		counts[c.Strs[i]]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("classes = %d", len(counts))
+	}
+	if counts["class_0"] <= counts["class_3"] {
+		t.Fatalf("imbalance not applied: %v", counts)
+	}
+}
+
+func TestGenerateDirtyTarget(t *testing.T) {
+	spec := basicSpec()
+	spec.Task = Multiclass
+	spec.Classes = 3
+	spec.DirtyTarget = 4
+	ds, _ := Generate(spec, 5)
+	got := ds.PrimaryTable().Col("target").DistinctCount()
+	if got <= 3 {
+		t.Fatalf("dirty target distinct = %d, want > 3", got)
+	}
+}
+
+func TestGenerateRegression(t *testing.T) {
+	spec := basicSpec()
+	spec.Task = Regression
+	ds, _ := Generate(spec, 5)
+	if ds.PrimaryTable().Col("target").Kind != KindFloat {
+		t.Fatal("regression target must be numeric")
+	}
+}
+
+func TestGenerateMultiTable(t *testing.T) {
+	spec := basicSpec()
+	spec.Tables = 3
+	spec.Columns = append(spec.Columns,
+		ColumnSpec{Name: "dimcat", Type: ColCategorical, Cardinality: 5, Weight: 1, Table: 1},
+		ColumnSpec{Name: "dimnum", Type: ColNumeric, Mean: 3, Std: 1, Table: 2},
+	)
+	ds, err := Generate(spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumTables() != 3 {
+		t.Fatalf("tables = %d", ds.NumTables())
+	}
+	if len(ds.Relations) != 2 {
+		t.Fatalf("relations = %d", len(ds.Relations))
+	}
+	joined, err := ds.Consolidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.NumRows() != 500 {
+		t.Fatalf("joined rows = %d", joined.NumRows())
+	}
+	if joined.Col("basic_dim1_dimcat") == nil {
+		t.Fatalf("joined dim column missing: %v", joined.ColumnNames())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Spec{Name: "x", Rows: 0}, 1); err == nil {
+		t.Fatal("zero rows must error")
+	}
+}
+
+func TestDuplicateOf(t *testing.T) {
+	spec := Spec{
+		Name: "dup", Rows: 300, Task: Binary, Classes: 2,
+		Columns: []ColumnSpec{
+			{Name: "orig", Type: ColCategorical, Cardinality: 4, Weight: 1},
+			{Name: "copy", Type: ColCategorical, Cardinality: 4, DuplicateOf: "orig"},
+		},
+	}
+	ds, _ := Generate(spec, 2)
+	pt := ds.PrimaryTable()
+	same := 0
+	for i := 0; i < pt.NumRows(); i++ {
+		if pt.Col("orig").Strs[i] == pt.Col("copy").Strs[i] {
+			same++
+		}
+	}
+	if same != pt.NumRows() {
+		t.Fatalf("clean duplicate should match everywhere: %d/%d", same, pt.NumRows())
+	}
+}
+
+func TestAssignClassesBalanced(t *testing.T) {
+	score := make([]float64, 100)
+	for i := range score {
+		score[i] = float64(i)
+	}
+	cls := assignClasses(score, 4, 0)
+	counts := map[int]int{}
+	for _, c := range cls {
+		counts[c]++
+	}
+	for c := 0; c < 4; c++ {
+		if counts[c] != 25 {
+			t.Fatalf("balanced counts = %v", counts)
+		}
+	}
+	// Ordering: lowest scores get class 0.
+	if cls[0] != 0 || cls[99] != 3 {
+		t.Fatalf("ordering broken: first=%d last=%d", cls[0], cls[99])
+	}
+}
+
+func TestRenderVariantAndTitleCase(t *testing.T) {
+	if renderVariant("alpha_one", 0) != "alpha_one" {
+		t.Fatal("variant 0 must be identity")
+	}
+	if renderVariant("alpha", 1) != "ALPHA" {
+		t.Fatal("variant 1 must upper-case")
+	}
+	if titleCase("alpha beta_gamma") != "Alpha Beta_Gamma" {
+		t.Fatalf("titleCase = %q", titleCase("alpha beta_gamma"))
+	}
+	seen := map[string]bool{}
+	for v := 0; v < 6; v++ {
+		seen[renderVariant("mango_2", v)] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("expected ≥4 distinct variants, got %d", len(seen))
+	}
+}
+
+func TestCategoryLabelStability(t *testing.T) {
+	if categoryLabel("c", 0) != categoryLabel("c", 0) {
+		t.Fatal("labels must be stable")
+	}
+	if categoryLabel("c", 0) == categoryLabel("c", 1) {
+		t.Fatal("labels must differ by index")
+	}
+	if categoryLabel("c", 30) == categoryLabel("c", 6) {
+		t.Fatal("wrapped labels must still be unique")
+	}
+}

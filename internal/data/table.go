@@ -1,0 +1,208 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Table is an ordered collection of equal-length columns.
+type Table struct {
+	Name string
+	Cols []*Column
+}
+
+// NewTable returns an empty table with the given name.
+func NewTable(name string) *Table { return &Table{Name: name} }
+
+// NumRows returns the row count (0 for a table with no columns).
+func (t *Table) NumRows() int {
+	if len(t.Cols) == 0 {
+		return 0
+	}
+	return t.Cols[0].Len()
+}
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return len(t.Cols) }
+
+// Col returns the column with the given name, or nil if absent.
+func (t *Table) Col(name string) *Column {
+	for _, c := range t.Cols {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColumnNames returns the column names in order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// AddColumn appends a column; it returns an error on row-count mismatch or
+// duplicate name.
+func (t *Table) AddColumn(c *Column) error {
+	if len(t.Cols) > 0 && c.Len() != t.NumRows() {
+		return fmt.Errorf("data: column %q has %d rows, table %q has %d", c.Name, c.Len(), t.Name, t.NumRows())
+	}
+	if t.Col(c.Name) != nil {
+		return fmt.Errorf("data: duplicate column %q in table %q", c.Name, t.Name)
+	}
+	t.Cols = append(t.Cols, c)
+	return nil
+}
+
+// MustAddColumn is AddColumn that panics on error; for construction of
+// literal tables in tests and generators where the invariant is known.
+func (t *Table) MustAddColumn(c *Column) {
+	if err := t.AddColumn(c); err != nil {
+		panic(err)
+	}
+}
+
+// DropColumn removes the named column; it reports whether it was present.
+func (t *Table) DropColumn(name string) bool {
+	i := t.ColIndex(name)
+	if i < 0 {
+		return false
+	}
+	t.Cols = append(t.Cols[:i], t.Cols[i+1:]...)
+	return true
+}
+
+// ReplaceColumn swaps the named column for c (same name requirement is not
+// enforced; c keeps its own name). It reports whether name was present.
+func (t *Table) ReplaceColumn(name string, c *Column) bool {
+	i := t.ColIndex(name)
+	if i < 0 {
+		return false
+	}
+	t.Cols[i] = c
+	return true
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	out := &Table{Name: t.Name, Cols: make([]*Column, len(t.Cols))}
+	for i, c := range t.Cols {
+		out.Cols[i] = c.Clone()
+	}
+	return out
+}
+
+// SelectRows returns a new table containing only the given row indexes.
+func (t *Table) SelectRows(rows []int) *Table {
+	out := &Table{Name: t.Name, Cols: make([]*Column, len(t.Cols))}
+	for i, c := range t.Cols {
+		out.Cols[i] = c.Select(rows)
+	}
+	return out
+}
+
+// Head returns the first n rows (or all rows if n exceeds the row count).
+func (t *Table) Head(n int) *Table {
+	if n > t.NumRows() {
+		n = t.NumRows()
+	}
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return t.SelectRows(rows)
+}
+
+// Sample returns up to n rows drawn without replacement using rng.
+func (t *Table) Sample(n int, rng *rand.Rand) *Table {
+	if n >= t.NumRows() {
+		return t.Clone()
+	}
+	perm := rng.Perm(t.NumRows())[:n]
+	return t.SelectRows(perm)
+}
+
+// Split partitions the table into train/test with the given train fraction,
+// shuffling with the seed. It mirrors the paper's 70/30 split.
+func (t *Table) Split(trainFrac float64, seed int64) (train, test *Table) {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(t.NumRows())
+	cut := int(trainFrac * float64(len(perm)))
+	if cut < 1 && len(perm) > 1 {
+		cut = 1
+	}
+	return t.SelectRows(perm[:cut]), t.SelectRows(perm[cut:])
+}
+
+// StratifiedSplit splits the table keeping the per-class proportions of the
+// target column close to the original; it falls back to Split when target is
+// missing or numeric with high cardinality.
+func (t *Table) StratifiedSplit(target string, trainFrac float64, seed int64) (train, test *Table) {
+	col := t.Col(target)
+	if col == nil {
+		return t.Split(trainFrac, seed)
+	}
+	groups := map[string][]int{}
+	for i := 0; i < t.NumRows(); i++ {
+		groups[col.ValueString(i)] = append(groups[col.ValueString(i)], i)
+	}
+	if len(groups) > t.NumRows()/2 {
+		return t.Split(trainFrac, seed)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var trainRows, testRows []int
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rows := groups[k]
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		cut := int(trainFrac * float64(len(rows)))
+		if cut < 1 && len(rows) > 1 {
+			cut = 1
+		}
+		trainRows = append(trainRows, rows[:cut]...)
+		testRows = append(testRows, rows[cut:]...)
+	}
+	rng.Shuffle(len(trainRows), func(i, j int) { trainRows[i], trainRows[j] = trainRows[j], trainRows[i] })
+	rng.Shuffle(len(testRows), func(i, j int) { testRows[i], testRows[j] = testRows[j], testRows[i] })
+	return t.SelectRows(trainRows), t.SelectRows(testRows)
+}
+
+// AppendRows appends all rows of src to t; the tables must share the same
+// column names and kinds in order.
+func (t *Table) AppendRows(src *Table) error {
+	if len(t.Cols) != len(src.Cols) {
+		return fmt.Errorf("data: append: column count mismatch %d vs %d", len(t.Cols), len(src.Cols))
+	}
+	for i, c := range t.Cols {
+		s := src.Cols[i]
+		if c.Name != s.Name || c.Kind != s.Kind {
+			return fmt.Errorf("data: append: column %d mismatch (%s %s vs %s %s)", i, c.Name, c.Kind, s.Name, s.Kind)
+		}
+	}
+	for i, c := range t.Cols {
+		s := src.Cols[i]
+		for r := 0; r < s.Len(); r++ {
+			c.AppendFrom(s, r)
+		}
+		_ = i
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"catdb/internal/data"
+)
+
+func TestColumnEmbeddingNormalized(t *testing.T) {
+	c := data.NewString("s", []string{"a", "b", "c", "a"})
+	v := Column(c)
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("norm = %g, want 1", math.Sqrt(norm))
+	}
+}
+
+func TestCosineSelfSimilarity(t *testing.T) {
+	c := data.NewString("s", []string{"x", "y", "z", "x", "y"})
+	v := Column(c)
+	if got := Cosine(v, v); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("self cosine = %g", got)
+	}
+}
+
+func TestCosineSimilarColumnsCloserThanDissimilar(t *testing.T) {
+	a := data.NewString("a", []string{"red", "blue", "green", "red", "blue", "green"})
+	b := data.NewString("b", []string{"red", "blue", "green", "green", "blue", "red"})
+	c := data.NewString("c", []string{"cat", "dog", "bird", "fish", "lion", "bear"})
+	simAB := Cosine(Column(a), Column(b))
+	simAC := Cosine(Column(a), Column(c))
+	if simAB <= simAC {
+		t.Fatalf("similar columns cos=%g should beat dissimilar cos=%g", simAB, simAC)
+	}
+}
+
+func TestInclusionScore(t *testing.T) {
+	sub := data.NewString("sub", []string{"a", "b"})
+	sup := data.NewString("sup", []string{"a", "b", "c", "d"})
+	if got := InclusionScore(sub, sup); got != 1 {
+		t.Fatalf("full inclusion = %g, want 1", got)
+	}
+	if got := InclusionScore(sup, sub); got != 0.5 {
+		t.Fatalf("partial inclusion = %g, want 0.5", got)
+	}
+	empty := data.NewString("e", nil)
+	if InclusionScore(empty, sup) != 0 {
+		t.Fatal("empty column inclusion must be 0")
+	}
+}
+
+func TestCorrelationNumeric(t *testing.T) {
+	n := 200
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = 2*x[i] + 0.1*rng.NormFloat64()
+		z[i] = rng.NormFloat64()
+	}
+	cx := data.NewNumeric("x", x)
+	cy := data.NewNumeric("y", y)
+	cz := data.NewNumeric("z", z)
+	if got := Correlation(cx, cy); got < 0.95 {
+		t.Fatalf("correlated cols corr = %g, want > 0.95", got)
+	}
+	if got := math.Abs(Correlation(cx, cz)); got > 0.3 {
+		t.Fatalf("independent cols corr = %g, want ≈0", got)
+	}
+}
+
+func TestCorrelationHandlesMissing(t *testing.T) {
+	a := data.NewNumeric("a", []float64{1, 2, 3, 4})
+	b := data.NewNumeric("b", []float64{1, 2, 3, 4})
+	a.SetMissing(0)
+	if got := Correlation(a, b); got < 0.99 {
+		t.Fatalf("corr with missing = %g", got)
+	}
+	tiny := data.NewNumeric("t", []float64{1})
+	if Correlation(tiny, tiny) != 1 && Correlation(tiny, tiny) != 0 {
+		t.Fatal("tiny column should not NaN")
+	}
+}
+
+func TestCorrelationConstantColumn(t *testing.T) {
+	a := data.NewNumeric("a", []float64{5, 5, 5})
+	b := data.NewNumeric("b", []float64{1, 2, 3})
+	if got := Correlation(a, b); got != 0 {
+		t.Fatalf("constant col corr = %g, want 0", got)
+	}
+}
+
+func TestCramersVAssociation(t *testing.T) {
+	n := 600
+	feat := make([]string, n)
+	tgt := make([]string, n)
+	noise := make([]string, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < n; i++ {
+		k := i % 3
+		feat[i] = string(rune('a' + k))
+		tgt[i] = string(rune('x' + k)) // perfect association
+		noise[i] = string(rune('a' + rng.Intn(3)))
+	}
+	cf := data.NewString("f", feat)
+	ct := data.NewString("t", tgt)
+	cn := data.NewString("n", noise)
+	strong := CramersV(cf, ct)
+	weak := CramersV(cn, ct)
+	if strong < 0.9 {
+		t.Fatalf("perfect association V = %g, want ≈1", strong)
+	}
+	if weak > 0.3 {
+		t.Fatalf("noise association V = %g, want ≈0", weak)
+	}
+}
+
+func TestCramersVNumericBinning(t *testing.T) {
+	n := 400
+	x := make([]float64, n)
+	y := make([]string, n)
+	for i := 0; i < n; i++ {
+		x[i] = float64(i)
+		if i < n/2 {
+			y[i] = "low"
+		} else {
+			y[i] = "high"
+		}
+	}
+	v := CramersV(data.NewNumeric("x", x), data.NewString("y", y))
+	if v < 0.8 {
+		t.Fatalf("binned numeric association = %g, want high", v)
+	}
+}
+
+func TestCramersVDegenerate(t *testing.T) {
+	a := data.NewString("a", []string{"x", "x"})
+	b := data.NewString("b", []string{"p", "q"})
+	if CramersV(a, b) != 0 {
+		t.Fatal("single-level feature must give 0")
+	}
+	if CramersV(data.NewString("e", nil), data.NewString("f", nil)) != 0 {
+		t.Fatal("empty must give 0")
+	}
+}
+
+// Property: cosine similarity is symmetric and bounded.
+func TestCosineProperties(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		mk := func(r *rand.Rand) data.Column {
+			n := 5 + r.Intn(40)
+			vals := make([]string, n)
+			for i := range vals {
+				vals[i] = string(rune('a' + r.Intn(10)))
+			}
+			return *data.NewString("c", vals)
+		}
+		ca, cb := mk(ra), mk(rb)
+		va, vb := Column(&ca), Column(&cb)
+		s1, s2 := Cosine(va, vb), Cosine(vb, va)
+		return math.Abs(s1-s2) < 1e-12 && s1 >= -1 && s1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumericBucketStability(t *testing.T) {
+	if numericBucket(123) != numericBucket(150) {
+		t.Fatal("same leading digit+magnitude should share a bucket")
+	}
+	if numericBucket(123) == numericBucket(923) {
+		t.Fatal("different leading digits should differ")
+	}
+	if numericBucket(0) != "zero" {
+		t.Fatal("zero bucket")
+	}
+	if numericBucket(-5) == numericBucket(5) {
+		t.Fatal("sign must matter")
+	}
+}

@@ -1,0 +1,311 @@
+// Package errkb implements the paper's error-management substrate (§4.2):
+// a taxonomy of 23 error types in three groups (environment/package
+// errors handled by the knowledge base, syntax/parse errors, and
+// runtime/semantic errors), a knowledge base of locally-applicable
+// patches, and an error-trace dataset with the distribution statistics of
+// Table 2 and Figure 8.
+package errkb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"catdb/internal/pipescript"
+)
+
+// Category is one of the paper's three error groups.
+type Category int
+
+// The three groups of Figure 7/8.
+const (
+	CategoryKB Category = iota // environment & package errors (KB API)
+	CategorySE                 // syntax & parse errors
+	CategoryRE                 // runtime & semantic errors
+)
+
+// String returns the paper's abbreviation.
+func (c Category) String() string {
+	switch c {
+	case CategoryKB:
+		return "KB"
+	case CategorySE:
+		return "SE"
+	default:
+		return "RE"
+	}
+}
+
+// Classified describes one classified pipeline error.
+type Classified struct {
+	Category Category
+	// Type is one of the 23 error type names.
+	Type string
+	// Code is the machine code (pipescript error code or E_SYNTAX).
+	Code string
+	Line int
+	Msg  string
+}
+
+// The 23 error types (6 KB + 5 SE + 12 RE), mirroring the taxonomy the
+// paper extracts from its request logs (Figure 8).
+var AllErrorTypes = []string{
+	// KB group.
+	"ModuleNotFoundError", "ImportError", "PackageVersionError",
+	"EnvironmentPathError", "DependencyConflictError", "PermissionError",
+	// SE group.
+	"SyntaxError", "IndentationError", "UnterminatedString",
+	"InvalidKeyword", "MalformedOption",
+	// RE group.
+	"KeyError", "ValueError", "NaNError", "TypeError", "AttributeError",
+	"MemoryError", "EmptyDataError", "TargetError", "TaskError",
+	"FeatureExplosionError", "ModelNotFoundError", "NoTrainError",
+}
+
+// Classify maps a pipeline error (from pipescript.Parse or Execute) to the
+// taxonomy. Unknown errors classify as a generic runtime ValueError.
+func Classify(err error) Classified {
+	var se *pipescript.SyntaxError
+	if errors.As(err, &se) {
+		typ := "SyntaxError"
+		switch {
+		case strings.Contains(se.Msg, "unterminated"):
+			typ = "UnterminatedString"
+		case strings.Contains(se.Msg, "unknown statement"):
+			typ = "InvalidKeyword"
+		case strings.Contains(se.Msg, "malformed option"):
+			typ = "MalformedOption"
+		case strings.Contains(se.Msg, "argument"):
+			typ = "IndentationError" // malformed statement shape
+		}
+		return Classified{Category: CategorySE, Type: typ, Code: "E_SYNTAX", Line: se.Line, Msg: se.Msg}
+	}
+	var re *pipescript.RuntimeError
+	if errors.As(err, &re) {
+		c := Classified{Code: re.Code, Line: re.Line, Msg: re.Msg}
+		switch re.Code {
+		case pipescript.ErrPkgMissing:
+			c.Category, c.Type = CategoryKB, "ModuleNotFoundError"
+		case pipescript.ErrUnknownColumn:
+			c.Category, c.Type = CategoryRE, "KeyError"
+		case pipescript.ErrStringInMatrix:
+			c.Category, c.Type = CategoryRE, "ValueError"
+		case pipescript.ErrNaNInMatrix:
+			c.Category, c.Type = CategoryRE, "NaNError"
+		case pipescript.ErrTypeMismatch:
+			c.Category, c.Type = CategoryRE, "TypeError"
+		case pipescript.ErrBadOption:
+			c.Category, c.Type = CategoryRE, "AttributeError"
+		case pipescript.ErrUnknownModel:
+			c.Category, c.Type = CategoryRE, "ModelNotFoundError"
+		case pipescript.ErrNoTrainStmt:
+			c.Category, c.Type = CategoryRE, "NoTrainError"
+		case pipescript.ErrEmptyData:
+			c.Category, c.Type = CategoryRE, "EmptyDataError"
+		case pipescript.ErrTargetMissing:
+			c.Category, c.Type = CategoryRE, "TargetError"
+		case pipescript.ErrTaskMismatch:
+			c.Category, c.Type = CategoryRE, "TaskError"
+		case pipescript.ErrModelOOM:
+			c.Category, c.Type = CategoryRE, "MemoryError"
+		case pipescript.ErrTooManyFeatures:
+			c.Category, c.Type = CategoryRE, "FeatureExplosionError"
+		case pipescript.ErrPolicy:
+			// Compliance violations surface as unavailable-model errors in
+			// the taxonomy; the fix path swaps in an allowed alternative.
+			c.Category, c.Type = CategoryRE, "ModelNotFoundError"
+		default:
+			c.Category, c.Type = CategoryRE, "ValueError"
+		}
+		return c
+	}
+	return Classified{Category: CategoryRE, Type: "ValueError", Code: "E_UNKNOWN", Msg: err.Error()}
+}
+
+// KnowledgeBase holds locally-applicable patches: fixes that need no LLM
+// round trip (§4.2's "cost-effective and locally executable solution").
+// Beyond the built-in patches it accumulates patches learned from
+// successful LLM repairs (see LearnFromFix), so recurring rare errors stop
+// costing LLM round trips.
+type KnowledgeBase struct {
+	learned []LearnedPatch
+}
+
+// NewKnowledgeBase returns the built-in knowledge base.
+func NewKnowledgeBase() *KnowledgeBase { return &KnowledgeBase{} }
+
+// CanPatch reports whether the KB has a local patch for the error.
+func (kb *KnowledgeBase) CanPatch(c Classified) bool {
+	switch {
+	case c.Category == CategoryKB:
+		return true
+	case c.Category == CategorySE && (c.Type == "InvalidKeyword" || c.Type == "UnterminatedString"):
+		// The ast-level auto-fixes of §4.2: uncommented prose and stray
+		// markdown fences are stripped locally.
+		return true
+	default:
+		return false
+	}
+}
+
+// Patch applies the local fix and returns the patched source. It returns
+// an error when no patch applies.
+func (kb *KnowledgeBase) Patch(source string, c Classified) (string, error) {
+	lines := strings.Split(strings.TrimRight(source, "\n"), "\n")
+	idx := c.Line - 1
+	switch {
+	case c.Code == pipescript.ErrPkgMissing:
+		// "Install" substitute: the environment has no external packages,
+		// so the require is removed (equivalent behaviour: the pipeline
+		// proceeds with built-ins).
+		var kept []string
+		for _, l := range lines {
+			if strings.HasPrefix(strings.TrimSpace(l), "require ") {
+				pkg := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(l), "require "))
+				if !pipescript.AvailablePackages[pkg] {
+					continue
+				}
+			}
+			kept = append(kept, l)
+		}
+		return strings.Join(kept, "\n") + "\n", nil
+	case c.Category == CategorySE && c.Type == "InvalidKeyword":
+		if idx >= 0 && idx < len(lines) {
+			lines = append(lines[:idx], lines[idx+1:]...)
+			return strings.Join(lines, "\n") + "\n", nil
+		}
+	case c.Category == CategorySE && c.Type == "UnterminatedString":
+		if idx >= 0 && idx < len(lines) {
+			lines[idx] = lines[idx] + `"`
+			return strings.Join(lines, "\n") + "\n", nil
+		}
+	}
+	return "", fmt.Errorf("errkb: no local patch for %s/%s", c.Category, c.Type)
+}
+
+// TryPatch applies the best available local fix — a built-in patch first,
+// then any learned patch matching the error shape — and reports whether
+// one was applied.
+func (kb *KnowledgeBase) TryPatch(source string, c Classified) (string, bool) {
+	if kb == nil {
+		return source, false
+	}
+	if kb.CanPatch(c) {
+		if out, err := kb.Patch(source, c); err == nil {
+			return out, true
+		}
+	}
+	if p := kb.learnedPatchFor(c, source); p != nil {
+		if out, err := applyLearned(p, source, c); err == nil {
+			return out, true
+		}
+	}
+	return source, false
+}
+
+// Trace is one recorded error event of the error-trace dataset.
+type Trace struct {
+	Model    string   `json:"model"`
+	Dataset  string   `json:"dataset"`
+	Category string   `json:"category"`
+	Type     string   `json:"type"`
+	Code     string   `json:"code"`
+	Attempt  int      `json:"attempt"`
+	Fixed    bool     `json:"fixed"`
+	FixedBy  string   `json:"fixed_by"` // "kb" or "llm"
+	_        struct{} `json:"-"`
+}
+
+// TraceStore accumulates error traces across runs (the paper's
+// "substantial error traces ... collected over an extended system
+// development period").
+type TraceStore struct {
+	Traces []Trace `json:"traces"`
+}
+
+// NewTraceStore returns an empty store.
+func NewTraceStore() *TraceStore { return &TraceStore{} }
+
+// Add records one trace.
+func (s *TraceStore) Add(t Trace) { s.Traces = append(s.Traces, t) }
+
+// Len returns the trace count.
+func (s *TraceStore) Len() int { return len(s.Traces) }
+
+// Distribution summarizes the KB/SE/RE shares per model (Table 2).
+type Distribution struct {
+	Model         string
+	TotalRequests int
+	KBPct         float64
+	SEPct         float64
+	REPct         float64
+}
+
+// DistributionByModel computes Table 2 rows from the recorded traces.
+func (s *TraceStore) DistributionByModel() []Distribution {
+	counts := map[string]map[string]int{}
+	for _, t := range s.Traces {
+		if counts[t.Model] == nil {
+			counts[t.Model] = map[string]int{}
+		}
+		counts[t.Model][t.Category]++
+		counts[t.Model]["total"]++
+	}
+	models := make([]string, 0, len(counts))
+	for m := range counts {
+		models = append(models, m)
+	}
+	sort.Strings(models)
+	var out []Distribution
+	for _, m := range models {
+		c := counts[m]
+		total := c["total"]
+		if total == 0 {
+			continue
+		}
+		out = append(out, Distribution{
+			Model: m, TotalRequests: total,
+			KBPct: 100 * float64(c["KB"]) / float64(total),
+			SEPct: 100 * float64(c["SE"]) / float64(total),
+			REPct: 100 * float64(c["RE"]) / float64(total),
+		})
+	}
+	return out
+}
+
+// TypeHistogram counts traces per error type (Figure 8).
+func (s *TraceStore) TypeHistogram() map[string]int {
+	out := map[string]int{}
+	for _, t := range s.Traces {
+		out[t.Type]++
+	}
+	return out
+}
+
+// Save writes the trace dataset as JSON.
+func (s *TraceStore) Save(path string) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("errkb: marshal traces: %w", err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("errkb: %w", err)
+	}
+	return nil
+}
+
+// LoadTraces reads a trace dataset from JSON.
+func LoadTraces(path string) (*TraceStore, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("errkb: %w", err)
+	}
+	var s TraceStore
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("errkb: parse traces: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,227 @@
+package errkb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// This file implements the growing half of the knowledge base: §4.2 notes
+// that "by adding rare remaining errors to the knowledge base, any manual
+// error correction became the exception". LearnFromFix observes a
+// successful LLM repair, generalizes it into a replayable patch, and
+// future occurrences of the same error shape are fixed locally without an
+// LLM round trip.
+
+// PatchAction is the kind of generalized repair a learned patch performs.
+type PatchAction string
+
+// Learned patch actions.
+const (
+	ActionDeleteLine   PatchAction = "delete-line"   // remove the offending statement
+	ActionInsertBefore PatchAction = "insert-before" // insert a statement before train
+	ActionReplaceModel PatchAction = "replace-model" // rewrite the train model
+)
+
+// LearnedPatch is one generalized repair: it matches on the error code
+// plus the statement keyword of the offending line, and applies a
+// line-level action.
+type LearnedPatch struct {
+	Code    string      `json:"code"`    // pipeline error code (e.g. E_NAN_IN_MATRIX)
+	StmtOp  string      `json:"stmt_op"` // keyword of the offending line ("" = any)
+	Action  PatchAction `json:"action"`
+	Payload string      `json:"payload"` // inserted statement / replacement model
+	Hits    int         `json:"hits"`    // times replayed
+}
+
+// LearnFromFix compares the pipeline before and after a successful LLM
+// repair of error c and, when the repair has a simple generalizable shape
+// (one line deleted, one statement inserted, or the model swapped),
+// records it as a learned patch. It reports whether anything was learned.
+func (kb *KnowledgeBase) LearnFromFix(before, after string, c Classified) bool {
+	if kb == nil {
+		return false
+	}
+	b := splitLines(before)
+	a := splitLines(after)
+	// One line removed?
+	if len(a) == len(b)-1 {
+		if idx := firstDiff(b, a); idx >= 0 && equalTail(b, a, idx+1, idx) {
+			op := stmtOp(b[idx])
+			kb.learned = append(kb.learned, LearnedPatch{
+				Code: c.Code, StmtOp: op, Action: ActionDeleteLine,
+			})
+			return true
+		}
+	}
+	// One line inserted?
+	if len(a) == len(b)+1 {
+		if idx := firstDiff(a, b); idx >= 0 && equalTail(a, b, idx+1, idx) {
+			kb.learned = append(kb.learned, LearnedPatch{
+				Code: c.Code, Action: ActionInsertBefore, Payload: strings.TrimSpace(a[idx]),
+			})
+			return true
+		}
+	}
+	// Model rewritten in place?
+	if len(a) == len(b) {
+		for i := range b {
+			if b[i] == a[i] {
+				continue
+			}
+			if stmtOp(b[i]) == "train" && stmtOp(a[i]) == "train" {
+				if m := modelOf(a[i]); m != "" {
+					kb.learned = append(kb.learned, LearnedPatch{
+						Code: c.Code, StmtOp: "train", Action: ActionReplaceModel, Payload: m,
+					})
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// LearnedCount returns the number of learned patches.
+func (kb *KnowledgeBase) LearnedCount() int { return len(kb.learned) }
+
+// learnedPatchFor finds a learned patch matching the classified error and
+// the offending line's statement keyword.
+func (kb *KnowledgeBase) learnedPatchFor(c Classified, source string) *LearnedPatch {
+	lines := splitLines(source)
+	op := ""
+	if c.Line-1 >= 0 && c.Line-1 < len(lines) {
+		op = stmtOp(lines[c.Line-1])
+	}
+	for i := range kb.learned {
+		p := &kb.learned[i]
+		if p.Code != c.Code {
+			continue
+		}
+		if p.StmtOp != "" && p.StmtOp != op {
+			continue
+		}
+		return p
+	}
+	return nil
+}
+
+// applyLearned replays a learned patch against the source.
+func applyLearned(p *LearnedPatch, source string, c Classified) (string, error) {
+	lines := splitLines(source)
+	switch p.Action {
+	case ActionDeleteLine:
+		idx := c.Line - 1
+		if idx < 0 || idx >= len(lines) {
+			return "", fmt.Errorf("errkb: learned delete out of range")
+		}
+		lines = append(lines[:idx], lines[idx+1:]...)
+	case ActionInsertBefore:
+		inserted := false
+		out := make([]string, 0, len(lines)+1)
+		for _, l := range lines {
+			if !inserted && stmtOp(l) == "train" {
+				out = append(out, p.Payload)
+				inserted = true
+			}
+			out = append(out, l)
+		}
+		if !inserted {
+			out = append(out, p.Payload)
+		}
+		lines = out
+	case ActionReplaceModel:
+		for i, l := range lines {
+			if stmtOp(l) == "train" {
+				lines[i] = replaceModel(l, p.Payload)
+			}
+		}
+	default:
+		return "", fmt.Errorf("errkb: unknown learned action %q", p.Action)
+	}
+	p.Hits++
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// SaveLearned persists the learned patches as JSON.
+func (kb *KnowledgeBase) SaveLearned(path string) error {
+	b, err := json.MarshalIndent(kb.learned, "", "  ")
+	if err != nil {
+		return fmt.Errorf("errkb: %w", err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("errkb: %w", err)
+	}
+	return nil
+}
+
+// LoadLearned restores learned patches from JSON, appending to any
+// already present.
+func (kb *KnowledgeBase) LoadLearned(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("errkb: %w", err)
+	}
+	var patches []LearnedPatch
+	if err := json.Unmarshal(b, &patches); err != nil {
+		return fmt.Errorf("errkb: %w", err)
+	}
+	kb.learned = append(kb.learned, patches...)
+	return nil
+}
+
+func splitLines(s string) []string {
+	return strings.Split(strings.TrimRight(s, "\n"), "\n")
+}
+
+func stmtOp(line string) string {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[0]
+}
+
+func modelOf(trainLine string) string {
+	for _, f := range strings.Fields(trainLine) {
+		if strings.HasPrefix(f, "model=") {
+			return strings.TrimPrefix(f, "model=")
+		}
+	}
+	return ""
+}
+
+func replaceModel(trainLine, model string) string {
+	fields := strings.Fields(trainLine)
+	for i, f := range fields {
+		if strings.HasPrefix(f, "model=") {
+			fields[i] = "model=" + model
+		}
+	}
+	return strings.Join(fields, " ")
+}
+
+// firstDiff returns the first index where long and short differ (long has
+// one extra element), or -1 when the prefixes match entirely.
+func firstDiff(long, short []string) int {
+	for i := range short {
+		if long[i] != short[i] {
+			return i
+		}
+	}
+	return len(short)
+}
+
+// equalTail reports whether long[li:] == short[si:].
+func equalTail(long, short []string, li, si int) bool {
+	if len(long)-li != len(short)-si {
+		return false
+	}
+	for i := 0; li+i < len(long); i++ {
+		if long[li+i] != short[si+i] {
+			return false
+		}
+	}
+	return true
+}

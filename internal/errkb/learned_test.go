@@ -1,0 +1,122 @@
+package errkb
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"catdb/internal/pipescript"
+)
+
+func TestLearnDeleteLine(t *testing.T) {
+	kb := NewKnowledgeBase()
+	before := "pipeline \"x\"\nimpute \"ghost\" strategy=median\ntrain model=knn target=\"y\"\n"
+	after := "pipeline \"x\"\ntrain model=knn target=\"y\"\n"
+	c := Classified{Category: CategoryRE, Code: pipescript.ErrUnknownColumn, Line: 2}
+	if !kb.LearnFromFix(before, after, c) {
+		t.Fatal("delete fix not learned")
+	}
+	if kb.LearnedCount() != 1 {
+		t.Fatalf("learned = %d", kb.LearnedCount())
+	}
+	// Replay on a new occurrence with the same shape.
+	src := "pipeline \"y\"\nimpute \"phantom\" strategy=mean\ntrain model=gbm target=\"z\"\n"
+	out, ok := kb.TryPatch(src, Classified{Code: pipescript.ErrUnknownColumn, Line: 2})
+	if !ok {
+		t.Fatal("learned patch not replayed")
+	}
+	if strings.Contains(out, "phantom") {
+		t.Fatalf("offending line must be removed:\n%s", out)
+	}
+	if _, err := pipescript.Parse(out); err != nil {
+		t.Fatalf("patched source must parse: %v", err)
+	}
+}
+
+func TestLearnInsertBefore(t *testing.T) {
+	kb := NewKnowledgeBase()
+	before := "pipeline \"x\"\nonehot \"c\"\ntrain model=knn target=\"y\"\n"
+	after := "pipeline \"x\"\nonehot \"c\"\nimpute_all strategy=auto\ntrain model=knn target=\"y\"\n"
+	c := Classified{Category: CategoryRE, Code: pipescript.ErrNaNInMatrix, Line: 3}
+	if !kb.LearnFromFix(before, after, c) {
+		t.Fatal("insert fix not learned")
+	}
+	src := "pipeline \"z\"\ntrain model=gbm target=\"w\"\n"
+	out, ok := kb.TryPatch(src, Classified{Code: pipescript.ErrNaNInMatrix, Line: 2})
+	if !ok || !strings.Contains(out, "impute_all") {
+		t.Fatalf("learned insert not replayed:\n%s", out)
+	}
+	// Inserted before train.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[1], "impute_all") {
+		t.Fatalf("insert position wrong:\n%s", out)
+	}
+}
+
+func TestLearnReplaceModel(t *testing.T) {
+	kb := NewKnowledgeBase()
+	before := "pipeline \"x\"\ntrain model=tabpfn target=\"y\"\n"
+	after := "pipeline \"x\"\ntrain model=random_forest target=\"y\"\n"
+	c := Classified{Category: CategoryRE, Code: pipescript.ErrModelOOM, Line: 2}
+	if !kb.LearnFromFix(before, after, c) {
+		t.Fatal("model swap not learned")
+	}
+	src := "pipeline \"q\"\ntrain model=tabpfn target=\"t\"\n"
+	out, ok := kb.TryPatch(src, Classified{Code: pipescript.ErrModelOOM, Line: 2})
+	if !ok || !strings.Contains(out, "model=random_forest") {
+		t.Fatalf("learned model swap not replayed:\n%s", out)
+	}
+}
+
+func TestLearnRejectsComplexDiffs(t *testing.T) {
+	kb := NewKnowledgeBase()
+	before := "pipeline \"x\"\na\nb\ntrain model=knn\n"
+	after := "pipeline \"x\"\nc\nd\ntrain model=knn\n"
+	if kb.LearnFromFix(before, after, Classified{Code: "E_X", Line: 2}) {
+		t.Fatal("multi-line rewrites must not be generalized")
+	}
+	if kb.LearnedCount() != 0 {
+		t.Fatal("nothing should be learned")
+	}
+}
+
+func TestTryPatchBuiltinStillFirst(t *testing.T) {
+	kb := NewKnowledgeBase()
+	src := "pipeline \"x\"\nrequire xgboost\ntrain model=knn target=\"y\"\n"
+	c := Classified{Category: CategoryKB, Code: pipescript.ErrPkgMissing, Line: 2}
+	out, ok := kb.TryPatch(src, c)
+	if !ok || strings.Contains(out, "xgboost") {
+		t.Fatalf("built-in patch must fire: %v\n%s", ok, out)
+	}
+}
+
+func TestLearnedPersistence(t *testing.T) {
+	kb := NewKnowledgeBase()
+	before := "pipeline \"x\"\ntrain model=tabpfn target=\"y\"\n"
+	after := "pipeline \"x\"\ntrain model=gbm target=\"y\"\n"
+	kb.LearnFromFix(before, after, Classified{Code: pipescript.ErrModelOOM, Line: 2})
+	path := filepath.Join(t.TempDir(), "kb.json")
+	if err := kb.SaveLearned(path); err != nil {
+		t.Fatal(err)
+	}
+	kb2 := NewKnowledgeBase()
+	if err := kb2.LoadLearned(path); err != nil {
+		t.Fatal(err)
+	}
+	if kb2.LearnedCount() != 1 {
+		t.Fatalf("loaded %d patches", kb2.LearnedCount())
+	}
+	if err := kb2.LoadLearned(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestNilKBTryPatch(t *testing.T) {
+	var kb *KnowledgeBase
+	if _, ok := kb.TryPatch("x", Classified{}); ok {
+		t.Fatal("nil KB must not patch")
+	}
+	if kb.LearnFromFix("a", "b", Classified{}) {
+		t.Fatal("nil KB must not learn")
+	}
+}

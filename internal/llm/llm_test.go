@@ -1,0 +1,324 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"catdb/internal/data"
+	"catdb/internal/pipescript"
+	"catdb/internal/profile"
+	"catdb/internal/prompt"
+)
+
+func newSim(t *testing.T, model string, seed int64) *Sim {
+	t.Helper()
+	s, err := New(model, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewUnknownModel(t *testing.T) {
+	if _, err := New("gpt-7", 1); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	names := ModelNames()
+	if len(names) != 3 {
+		t.Fatalf("models = %v", names)
+	}
+	for _, n := range names {
+		if _, ok := PersonalityFor(n); !ok {
+			t.Errorf("missing personality for %s", n)
+		}
+	}
+}
+
+func samplePromptInput() prompt.Input {
+	return prompt.Input{
+		Dataset: "demo", Task: data.Multiclass, Target: "y", Rows: 400,
+		Cols: []prompt.ColumnMeta{
+			{Name: "num", DataType: data.KindFloat, FeatureType: profile.FeatureNumerical,
+				MissingPct: 4, Stats: data.Stats{Min: 0, Max: 10, Mean: 5, Median: 5, Std: 2}},
+			{Name: "cat", DataType: data.KindString, FeatureType: profile.FeatureCategorical,
+				DistinctCount: 4, DistinctValues: []string{"a", "A", "b", "c"}},
+			{Name: "y", DataType: data.KindString, FeatureType: profile.FeatureCategorical,
+				IsTarget: true, DistinctCount: 3, DistinctValues: []string{"x", "y2", "z"}},
+		},
+	}
+}
+
+func TestGeneratePipelineFollowsRules(t *testing.T) {
+	in := samplePromptInput()
+	ps := prompt.Build(in, prompt.ModelSpec{Name: "gpt-4o", MaxPromptTokens: 16000}, prompt.DefaultConfig())
+	s := newSim(t, "gpt-4o", 1)
+	s.p.ErrProb = 0 // no faults for this test
+	resp, err := s.Complete(ps[0].Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := pipescript.Parse(resp.Text)
+	if err != nil {
+		t.Fatalf("generated program must parse: %v\n%s", err, resp.Text)
+	}
+	for _, want := range []string{"impute", "onehot", "train"} {
+		if !prog.HasStmt(want) {
+			t.Errorf("program missing %s:\n%s", want, resp.Text)
+		}
+	}
+	tr := prog.TrainStmt()
+	if tr.Opt("target", "") != "y" {
+		t.Fatalf("train target = %q", tr.Opt("target", ""))
+	}
+	if resp.Usage.PromptTokens == 0 || resp.Usage.CompletionTokens == 0 {
+		t.Fatal("usage not recorded")
+	}
+	if s.TotalUsage().Calls != 1 {
+		t.Fatal("cumulative usage not recorded")
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	in := samplePromptInput()
+	ps := prompt.Build(in, prompt.ModelSpec{Name: "gpt-4o", MaxPromptTokens: 16000}, prompt.DefaultConfig())
+	a := newSim(t, "llama3.1-70b", 42)
+	b := newSim(t, "llama3.1-70b", 42)
+	ra, _ := a.Complete(ps[0].Text)
+	rb, _ := b.Complete(ps[0].Text)
+	if ra.Text != rb.Text {
+		t.Fatal("same seed must give identical completion")
+	}
+}
+
+func TestFaultInjectionRates(t *testing.T) {
+	in := samplePromptInput()
+	ps := prompt.Build(in, prompt.ModelSpec{Name: "llama", MaxPromptTokens: 8000}, prompt.DefaultConfig())
+	s := newSim(t, "llama3.1-70b", 7)
+	bad := 0
+	n := 200
+	for i := 0; i < n; i++ {
+		resp, _ := s.Complete(ps[0].Text)
+		prog, err := pipescript.Parse(resp.Text)
+		if err != nil {
+			bad++
+			continue
+		}
+		ex := &pipescript.Executor{Target: "y", Task: data.Multiclass, Seed: 1}
+		// A tiny table consistent with the schema.
+		tb := data.NewTable("demo")
+		tb.MustAddColumn(data.NewNumeric("num", []float64{1, 2, 3, 4, 5, 6, 7, 8}))
+		tb.MustAddColumn(data.NewString("cat", []string{"a", "A", "b", "c", "a", "b", "c", "a"}))
+		tb.MustAddColumn(data.NewString("y", []string{"x", "y2", "z", "x", "y2", "z", "x", "y2"}))
+		tr, te := tb.Split(0.7, 1)
+		if _, err := ex.Execute(prog, tr, te); err != nil {
+			bad++
+		}
+	}
+	rate := float64(bad) / float64(n)
+	// Personality error prob is 0.42; allow generous slack (some injected
+	// faults are harmless on this tiny schema).
+	if rate < 0.15 || rate > 0.65 {
+		t.Fatalf("llama observed error rate = %g, want ≈0.42 ± slack", rate)
+	}
+}
+
+func TestErrorFixUnknownColumn(t *testing.T) {
+	in := samplePromptInput()
+	src := "pipeline \"demo\"\nimpute \"nu\" strategy=median\nonehot \"cat\"\ntrain model=random_forest target=\"y\" trees=10\n"
+	ep := prompt.FormatErrorPrompt(in, src, 2, "E_UNKNOWN_COLUMN", `column "nu" does not exist`, in.Cols, prompt.DefaultConfig())
+	s := newSim(t, "gpt-4o", 3)
+	s.p.FixProb = 1
+	resp, err := s.Complete(ep.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Text, `impute "num"`) {
+		t.Fatalf("fix should repair the column name:\n%s", resp.Text)
+	}
+}
+
+func TestErrorFixNaN(t *testing.T) {
+	in := samplePromptInput()
+	src := "pipeline \"demo\"\nonehot \"cat\"\ntrain model=random_forest target=\"y\"\n"
+	ep := prompt.FormatErrorPrompt(in, src, 3, "E_NAN_IN_MATRIX", `input contains NaN: column "num"`, in.Cols, prompt.DefaultConfig())
+	s := newSim(t, "gpt-4o", 3)
+	s.p.FixProb = 1
+	resp, _ := s.Complete(ep.Text)
+	prog, err := pipescript.Parse(resp.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.HasStmt("impute_all") {
+		t.Fatalf("fix should insert impute_all:\n%s", resp.Text)
+	}
+	// impute_all must precede train.
+	var imputeIdx, trainIdx int
+	for i, st := range prog.Stmts {
+		if st.Op == "impute_all" {
+			imputeIdx = i
+		}
+		if st.Op == "train" {
+			trainIdx = i
+		}
+	}
+	if imputeIdx > trainIdx {
+		t.Fatal("impute_all must come before train")
+	}
+}
+
+func TestErrorFixPkgMissing(t *testing.T) {
+	in := samplePromptInput()
+	src := "pipeline \"demo\"\nrequire xgboost\ntrain model=random_forest target=\"y\"\n"
+	ep := prompt.FormatErrorPrompt(in, src, 2, "E_PKG_MISSING", `package "xgboost" is not installed`, nil, prompt.DefaultConfig())
+	s := newSim(t, "gemini-1.5-pro", 3)
+	s.p.FixProb = 1
+	resp, _ := s.Complete(ep.Text)
+	if strings.Contains(resp.Text, "require xgboost") {
+		t.Fatalf("fix should remove the bad require:\n%s", resp.Text)
+	}
+}
+
+func TestErrorFixModelOOM(t *testing.T) {
+	in := samplePromptInput()
+	src := "pipeline \"demo\"\nonehot \"cat\"\nimpute_all\ntrain model=tabpfn target=\"y\"\n"
+	ep := prompt.FormatErrorPrompt(in, src, 4, "E_MODEL_OOM", "model working set exceeds memory budget", in.Cols, prompt.DefaultConfig())
+	s := newSim(t, "gpt-4o", 3)
+	s.p.FixProb = 1
+	resp, _ := s.Complete(ep.Text)
+	if !strings.Contains(resp.Text, "model=random_forest") {
+		t.Fatalf("fix should swap the model:\n%s", resp.Text)
+	}
+}
+
+func TestErrorFixSyntax(t *testing.T) {
+	in := samplePromptInput()
+	src := "pipeline \"demo\"\nHere is the corrected pipeline:\ntrain model=random_forest target=\"y\"\n"
+	ep := prompt.FormatErrorPrompt(in, src, 2, "E_SYNTAX", `unknown statement "Here"`, nil, prompt.DefaultConfig())
+	s := newSim(t, "gpt-4o", 3)
+	s.p.FixProb = 1
+	resp, _ := s.Complete(ep.Text)
+	if _, err := pipescript.Parse(resp.Text); err != nil {
+		t.Fatalf("syntax fix failed: %v\n%s", err, resp.Text)
+	}
+}
+
+func TestErrorFixCanFail(t *testing.T) {
+	in := samplePromptInput()
+	src := "pipeline \"demo\"\ntrain model=random_forest target=\"y\"\n"
+	ep := prompt.FormatErrorPrompt(in, src, 2, "E_NAN_IN_MATRIX", "nan", nil, prompt.DefaultConfig())
+	s := newSim(t, "llama3.1-70b", 5)
+	s.p.FixProb = 0
+	s.p.FixProbNoMeta = 0
+	resp, _ := s.Complete(ep.Text)
+	if strings.Contains(resp.Text, "impute_all") {
+		t.Fatal("with fix prob 0 nothing should change")
+	}
+}
+
+func TestDedupRoundTrip(t *testing.T) {
+	s := newSim(t, "gemini-1.5-pro", 1)
+	values := []string{"Female", "FEMALE", " female", "Male", "male", "alpha-x", "alpha_x"}
+	req := BuildDedupRequest("gender", values)
+	resp, err := s.Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ParseDedupResponse(resp.Text)
+	if len(m) != len(values) {
+		t.Fatalf("mapping size = %d, want %d: %v", len(m), len(values), m)
+	}
+	if m["Female"] != m["FEMALE"] || m["FEMALE"] != m[" female"] {
+		t.Fatalf("female variants must collapse: %v", m)
+	}
+	if m["Male"] == m["Female"] {
+		t.Fatal("distinct categories must stay distinct")
+	}
+	if m["alpha-x"] != m["alpha_x"] {
+		t.Fatal("separator variants must collapse")
+	}
+}
+
+func TestTypeInference(t *testing.T) {
+	s := newSim(t, "gpt-4o", 1)
+	cases := []struct {
+		samples []string
+		want    string
+	}{
+		{[]string{"Java, SQL", "Python, Go", "C++, Java"}, "list"},
+		{[]string{"7050 CA", "TX 7871", "9000 WA"}, "composite"},
+		{[]string{"about two years", "roughly one year", "it is three overall"}, "sentence"},
+		{[]string{"red", "green", "blue"}, "categorical"},
+	}
+	for _, tc := range cases {
+		req := BuildTypeRequest("c", tc.samples)
+		resp, _ := s.Complete(req)
+		if got := ParseTypeResponse(resp.Text); got != tc.want {
+			t.Errorf("samples %v: type = %q, want %q", tc.samples, got, tc.want)
+		}
+	}
+}
+
+func TestChainPromptGeneration(t *testing.T) {
+	in := samplePromptInput()
+	cfg := prompt.DefaultConfig()
+	cfg.Chains = 2
+	ps := prompt.Build(in, prompt.ModelSpec{Name: "gpt-4o", MaxPromptTokens: 16000}, cfg)
+	s := newSim(t, "gpt-4o", 9)
+	s.p.ErrProb = 0
+	// Drive the chain: feed previous code into subsequent prompts like the
+	// core driver does.
+	code := ""
+	for _, p := range ps {
+		text := p.Text
+		if code != "" {
+			text = strings.Replace(text, "<SCHEMA>", "<CODE>\n"+code+"</CODE>\n<SCHEMA>", 1)
+		}
+		resp, err := s.Complete(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code = resp.Text
+	}
+	prog, err := pipescript.Parse(code)
+	if err != nil {
+		t.Fatalf("final chain program must parse: %v\n%s", err, code)
+	}
+	if prog.TrainStmt() == nil {
+		t.Fatalf("chain must end with a trained model:\n%s", code)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	if editDistance("kitten", "sitting") != 3 {
+		t.Fatal("editDistance broken")
+	}
+	if editDistance("", "abc") != 3 || editDistance("abc", "abc") != 0 {
+		t.Fatal("editDistance base cases")
+	}
+}
+
+func TestUsageAccumulation(t *testing.T) {
+	s := newSim(t, "gpt-4o", 1)
+	req := BuildTypeRequest("c", []string{"a", "b"})
+	_, _ = s.Complete(req)
+	_, _ = s.Complete(req)
+	u := s.TotalUsage()
+	if u.Calls != 2 || u.Total() == 0 {
+		t.Fatalf("usage = %+v", u)
+	}
+	s.ResetUsage()
+	if s.TotalUsage().Calls != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestValueLineEscaping(t *testing.T) {
+	for _, v := range []string{" leading", "trailing ", "with\nnewline", `back\slash`} {
+		if got := decodeValueLine(encodeValueLine(v)); got != v {
+			t.Errorf("round trip %q -> %q", v, got)
+		}
+	}
+}

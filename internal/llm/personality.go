@@ -1,0 +1,62 @@
+package llm
+
+// Personality calibrates a simulated model's behaviour to the paper's
+// observations: overall hallucination rate, the distribution of error
+// types among errors (Table 2), the chance that one error-correction
+// round actually fixes the problem (§4.2 reports SE fixed in ~1 iteration
+// and RE within ~4), and stylistic choices for generated pipelines.
+type Personality struct {
+	Name            string
+	MaxPromptTokens int
+
+	// ErrProb is the probability that a freshly generated pipeline carries
+	// at least one injected fault.
+	ErrProb float64
+	// Error-type mixture among faults (sums to 1): knowledge-base
+	// (environment/package), syntax, runtime/semantic — Table 2 shape.
+	KBShare, SEShare, REShare float64
+	// FixProb is the per-attempt probability that an error-correction
+	// prompt removes the fault (lower without relevant metadata).
+	FixProb float64
+	// FixProbNoMeta applies when the error prompt carries no schema.
+	FixProbNoMeta float64
+
+	// Pipeline style.
+	ForestTrees int     // preferred ensemble size
+	GBMRounds   int     // preferred boosting rounds
+	Diligence   float64 // probability of defensive steps without explicit rules
+}
+
+// Personalities of the three models used in the paper's experiments. The
+// error mixtures follow Table 2 (Llama: 2.5/2.9/94.6; Gemini:
+// 21.2/2.1/76.7); GPT-4o logs were not tabulated so it gets an
+// interpolated profile with the lowest overall error rate.
+var personalities = map[string]Personality{
+	"gpt-4o": {
+		Name: "gpt-4o", MaxPromptTokens: 16000,
+		ErrProb: 0.22, KBShare: 0.08, SEShare: 0.03, REShare: 0.89,
+		FixProb: 0.85, FixProbNoMeta: 0.45,
+		ForestTrees: 80, GBMRounds: 80, Diligence: 0.8,
+	},
+	"gemini-1.5-pro": {
+		Name: "gemini-1.5-pro", MaxPromptTokens: 24000,
+		ErrProb: 0.28, KBShare: 0.212, SEShare: 0.021, REShare: 0.767,
+		FixProb: 0.8, FixProbNoMeta: 0.4,
+		ForestTrees: 40, GBMRounds: 60, Diligence: 0.7,
+	},
+	"llama3.1-70b": {
+		Name: "llama3.1-70b", MaxPromptTokens: 8000,
+		ErrProb: 0.42, KBShare: 0.025, SEShare: 0.029, REShare: 0.946,
+		FixProb: 0.55, FixProbNoMeta: 0.3,
+		ForestTrees: 40, GBMRounds: 40, Diligence: 0.5,
+	},
+}
+
+// ModelNames lists the supported simulated models in the paper's order.
+func ModelNames() []string { return []string{"gpt-4o", "gemini-1.5-pro", "llama3.1-70b"} }
+
+// PersonalityFor returns the calibration for a model name.
+func PersonalityFor(name string) (Personality, bool) {
+	p, ok := personalities[name]
+	return p, ok
+}

@@ -1,0 +1,205 @@
+package llm
+
+import (
+	"sort"
+	"strings"
+)
+
+// This file defines the catalog-refinement request/response wire formats
+// of §3.2 — the prompts CatDB sends to the LLM to deduplicate categorical
+// values and to infer feature types from a column name plus ~10 samples —
+// and the simulated model's handlers for them.
+
+// BuildDedupRequest renders the refine-categorical request for a column's
+// distinct values. For columns with many distinct items the caller submits
+// several batches (the paper's batch-wise robustness strategy).
+func BuildDedupRequest(column string, values []string) string {
+	var b strings.Builder
+	b.WriteString("# CatDB catalog-refinement prompt\n")
+	b.WriteString("TASK: refine-categorical\n")
+	b.WriteString("COLUMN: " + column + "\n")
+	b.WriteString("VALUES:\n")
+	for _, v := range values {
+		b.WriteString(encodeValueLine(v) + "\n")
+	}
+	b.WriteString("END\n")
+	return b.String()
+}
+
+// ParseDedupResponse decodes the raw→canonical mapping from a
+// refine-categorical completion.
+func ParseDedupResponse(text string) map[string]string {
+	out := map[string]string{}
+	inMap := false
+	for _, line := range strings.Split(text, "\n") {
+		switch strings.TrimSpace(line) {
+		case "MAP":
+			inMap = true
+			continue
+		case "END":
+			inMap = false
+			continue
+		}
+		if !inMap {
+			continue
+		}
+		i := strings.Index(line, " => ")
+		if i < 0 {
+			continue
+		}
+		raw := decodeValueLine(line[:i])
+		canon := decodeValueLine(line[i+4:])
+		if raw != "" {
+			out[raw] = canon
+		}
+	}
+	return out
+}
+
+// handleDedup groups the submitted values by normal form and maps each raw
+// spelling to the group's canonical representative — the simulated
+// equivalent of the LLM recognizing semantically-equivalent spellings.
+func (s *Sim) handleDedup(req string) string {
+	values := parseValueList(req)
+	groups := map[string][]string{}
+	var order []string
+	for _, v := range values {
+		nf := canonicalForm(v)
+		if _, ok := groups[nf]; !ok {
+			order = append(order, nf)
+		}
+		groups[nf] = append(groups[nf], v)
+	}
+	var b strings.Builder
+	b.WriteString("MAP\n")
+	sort.Strings(order)
+	for _, nf := range order {
+		raws := groups[nf]
+		sort.Strings(raws)
+		for _, raw := range raws {
+			b.WriteString(encodeValueLine(raw) + " => " + encodeValueLine(nf) + "\n")
+		}
+	}
+	b.WriteString("END\n")
+	return b.String()
+}
+
+// canonicalForm is the simulated LLM's notion of the cleaned spelling of a
+// categorical value: trimmed, lower-cased, separator-unified.
+func canonicalForm(s string) string {
+	s = strings.TrimSpace(strings.ToLower(s))
+	s = strings.ReplaceAll(s, "-", "_")
+	for strings.Contains(s, "  ") {
+		s = strings.ReplaceAll(s, "  ", " ")
+	}
+	return s
+}
+
+// BuildTypeRequest renders the infer-feature-type request from a column
+// name and value samples.
+func BuildTypeRequest(column string, samples []string) string {
+	var b strings.Builder
+	b.WriteString("# CatDB catalog-refinement prompt\n")
+	b.WriteString("TASK: infer-feature-type\n")
+	b.WriteString("COLUMN: " + column + "\n")
+	b.WriteString("SAMPLES:\n")
+	for _, v := range samples {
+		b.WriteString(encodeValueLine(v) + "\n")
+	}
+	b.WriteString("END\n")
+	return b.String()
+}
+
+// ParseTypeResponse extracts the inferred feature type name.
+func ParseTypeResponse(text string) string {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "TYPE: ") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "TYPE: "))
+		}
+	}
+	return ""
+}
+
+// handleTypeInference classifies a column from its samples: list columns
+// have comma-separated items, composite columns mix a numeric and an
+// alphabetic token, sentences are multi-word free text, everything else is
+// categorical.
+func (s *Sim) handleTypeInference(req string) string {
+	samples := parseValueList(req)
+	if len(samples) == 0 {
+		return "TYPE: categorical\n"
+	}
+	nComma, nComposite, nMultiWord := 0, 0, 0
+	for _, v := range samples {
+		if strings.Contains(v, ",") {
+			nComma++
+			continue
+		}
+		toks := strings.Fields(v)
+		if len(toks) == 2 && (isDigits(toks[0]) != isDigits(toks[1])) {
+			nComposite++
+			continue
+		}
+		if len(toks) >= 2 {
+			nMultiWord++
+		}
+	}
+	n := len(samples)
+	switch {
+	case nComma*2 > n:
+		return "TYPE: list\n"
+	case nComposite*2 > n:
+		return "TYPE: composite\n"
+	case nMultiWord*2 > n:
+		return "TYPE: sentence\n"
+	default:
+		return "TYPE: categorical\n"
+	}
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// parseValueList extracts the VALUES:/SAMPLES: block of a refinement
+// request.
+func parseValueList(req string) []string {
+	var out []string
+	in := false
+	for _, line := range strings.Split(req, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "VALUES:" || t == "SAMPLES:" {
+			in = true
+			continue
+		}
+		if t == "END" {
+			break
+		}
+		if in && line != "" {
+			out = append(out, decodeValueLine(line))
+		}
+	}
+	return out
+}
+
+// encodeValueLine escapes newlines so one value occupies exactly one line
+// (values with leading/trailing spaces survive round-tripping).
+func encodeValueLine(v string) string {
+	v = strings.ReplaceAll(v, "\\", "\\\\")
+	v = strings.ReplaceAll(v, "\n", "\\n")
+	return "|" + v
+}
+
+func decodeValueLine(l string) string {
+	l = strings.TrimPrefix(l, "|")
+	l = strings.ReplaceAll(l, "\\n", "\n")
+	return strings.ReplaceAll(l, "\\\\", "\\")
+}

@@ -1,0 +1,554 @@
+package llm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"catdb/internal/profile"
+	"catdb/internal/prompt"
+)
+
+// Sim is the deterministic simulated LLM. It understands three request
+// families: pipeline-generation prompts (the <TASK>/<SCHEMA>/<RULES> wire
+// format of internal/prompt), error-correction prompts (<CODE>/<ERROR>),
+// and catalog-refinement requests (see refine.go).
+type Sim struct {
+	usageTracker
+	p     Personality
+	seed  int64
+	mu    sync.Mutex
+	calls int64
+	// Temperature widens stylistic variation; the paper runs temperature 0
+	// and still observes run-to-run variation, which the per-call RNG
+	// stream reproduces.
+	Temperature float64
+}
+
+// New returns a simulated client for one of the supported model names.
+func New(model string, seed int64) (*Sim, error) {
+	p, ok := PersonalityFor(model)
+	if !ok {
+		return nil, &ErrUnknownModel{Name: model}
+	}
+	return &Sim{p: p, seed: seed}, nil
+}
+
+// Name returns the model name.
+func (s *Sim) Name() string { return s.p.Name }
+
+// MaxPromptTokens returns the model's context budget.
+func (s *Sim) MaxPromptTokens() int { return s.p.MaxPromptTokens }
+
+// Personality exposes the calibration (for tests and reporting).
+func (s *Sim) Personality() Personality { return s.p }
+
+func (s *Sim) nextRNG() *rand.Rand {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	return rand.New(rand.NewSource(s.seed*1000003 + s.calls))
+}
+
+// Complete dispatches one prompt to the appropriate handler and accounts
+// token usage.
+func (s *Sim) Complete(text string) (Response, error) {
+	rng := s.nextRNG()
+	var out string
+	switch {
+	case strings.Contains(text, "TASK: refine-categorical"):
+		out = s.handleDedup(text)
+	case strings.Contains(text, "TASK: infer-feature-type"):
+		out = s.handleTypeInference(text)
+	default:
+		parsed := prompt.ParsePrompt(text)
+		if parsed.HasError {
+			out = s.handleErrorFix(parsed, rng)
+		} else {
+			out = s.generatePipeline(parsed, rng)
+		}
+	}
+	u := Usage{PromptTokens: prompt.CountTokens(text), CompletionTokens: prompt.CountTokens(out), Calls: 1}
+	s.record(u)
+	return Response{Text: out, Usage: u}, nil
+}
+
+// generatePipeline emits PipeScript from a parsed prompt. With rules it
+// follows them faithfully (CatDB's dataset-specific instructions); without
+// rules it improvises from whatever metadata is present, with
+// personality-dependent diligence — the metadata-only baseline of Fig. 1.
+func (s *Sim) generatePipeline(p prompt.Parsed, rng *rand.Rand) string {
+	var lines []string
+	name := p.Dataset
+	if name == "" {
+		name = "generated"
+	}
+	isChainStep := p.Kind == prompt.KindPreprocessing || p.Kind == prompt.KindFeatureEng
+	if p.PrevCode != "" {
+		lines = strings.Split(strings.TrimRight(p.PrevCode, "\n"), "\n")
+	} else {
+		lines = []string{fmt.Sprintf("pipeline %q", name)}
+	}
+
+	if len(p.Rules) > 0 {
+		lines = append(lines, s.followRules(p, rng)...)
+	} else if !isChainStep || p.Kind == prompt.KindPreprocessing {
+		lines = append(lines, s.improvise(p, rng)...)
+	}
+
+	// Single-prompt and model-selection prompts must train a model; chain
+	// pre/fe steps must not.
+	if !isChainStep && !hasTrain(lines) {
+		lines = append(lines, s.trainLine("tree_ensemble", p, rng))
+	}
+	if !isChainStep {
+		lines = append(lines, "evaluate metric=auto")
+	}
+
+	src := strings.Join(lines, "\n") + "\n"
+	return s.injectFault(src, p, rng)
+}
+
+// followRules translates rule directives into statements, preserving the
+// preprocessing → feature-engineering → model order.
+func (s *Sim) followRules(p prompt.Parsed, rng *rand.Rand) []string {
+	var pre, fe, model []string
+	for _, r := range p.Rules {
+		switch r.Stage {
+		case "preprocessing":
+			pre = append(pre, r.Directive)
+		case "fe":
+			fe = append(fe, r.Directive)
+		case "model":
+			if strings.HasPrefix(r.Directive, "train family=") {
+				model = append(model, s.trainLine(strings.TrimPrefix(r.Directive, "train family="), p, rng))
+			} else {
+				model = append(model, r.Directive)
+			}
+		}
+	}
+	// Keep scale before train.
+	var scales, trains []string
+	for _, m := range model {
+		if strings.HasPrefix(m, "train ") {
+			trains = append(trains, m)
+		} else {
+			scales = append(scales, m)
+		}
+	}
+	out := append(pre, fe...)
+	out = append(out, scales...)
+	return append(out, trains...)
+}
+
+// improvise builds a pipeline from metadata alone. Quality depends on
+// which profiling items the prompt carried (Table 1's combinations) and on
+// the model's diligence: no dedup of dirty categories, no sentence
+// extraction, no k-hot lists — exactly the gaps the paper's Figure 1
+// metadata-only baseline shows.
+func (s *Sim) improvise(p prompt.Parsed, rng *rand.Rand) []string {
+	var out []string
+	diligent := rng.Float64() < s.p.Diligence
+	sawMissing := false
+	for _, c := range p.Cols {
+		if c.IsTarget {
+			continue
+		}
+		if c.MissingPct > 0 {
+			sawMissing = true
+			strategy := "most_frequent"
+			if c.Feature == profile.FeatureNumerical.String() {
+				strategy = "median"
+			}
+			out = append(out, fmt.Sprintf("impute %q strategy=%s", c.Name, strategy))
+		}
+	}
+	if !sawMissing && diligent {
+		out = append(out, "impute_all strategy=auto")
+	}
+	for _, c := range p.Cols {
+		if c.IsTarget {
+			continue
+		}
+		switch c.Feature {
+		case "categorical", "boolean":
+			if c.Type != "string" {
+				continue
+			}
+			switch {
+			case c.Distinct > 0 && c.Distinct > 64:
+				out = append(out, fmt.Sprintf("hash_encode %q buckets=64", c.Name))
+			default:
+				out = append(out, fmt.Sprintf("onehot %q", c.Name))
+			}
+		case "sentence", "list", "id", "unknown":
+			if c.Type != "string" && c.Feature != "id" {
+				continue
+			}
+			// Without refinement rules the model either drops the messy
+			// column (losing signal) or hash-encodes its raw values
+			// (keeping noise); both are worse than CatDB's treatment.
+			if diligent {
+				out = append(out, fmt.Sprintf("drop %q", c.Name))
+			} else {
+				out = append(out, fmt.Sprintf("hash_encode %q buckets=64", c.Name))
+			}
+		case "constant":
+			out = append(out, fmt.Sprintf("drop %q", c.Name))
+		}
+	}
+	return out
+}
+
+// trainLine renders the train statement for a model family, with the
+// personality's preferred hyper-parameters.
+func (s *Sim) trainLine(family string, p prompt.Parsed, rng *rand.Rand) string {
+	target := p.Target
+	trees := s.p.ForestTrees
+	rounds := s.p.GBMRounds
+	if s.Temperature > 0 && rng.Float64() < s.Temperature {
+		trees += rng.Intn(40)
+	}
+	switch family {
+	case "boosting":
+		return fmt.Sprintf("train model=gbm target=%q rounds=%d", target, rounds)
+	case "boosting_or_linear":
+		if rng.Float64() < 0.5 {
+			return fmt.Sprintf("train model=gbm target=%q rounds=%d", target, rounds)
+		}
+		return fmt.Sprintf("train model=random_forest target=%q trees=%d", target, trees)
+	case "tree_ensemble_shallow":
+		return fmt.Sprintf("train model=random_forest target=%q trees=%d depth=8", target, trees)
+	default:
+		return fmt.Sprintf("train model=random_forest target=%q trees=%d", target, trees)
+	}
+}
+
+func hasTrain(lines []string) bool {
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "train ") {
+			return true
+		}
+	}
+	return false
+}
+
+// injectFault plants at most one hallucination per completion, drawn from
+// the personality's calibrated error mixture.
+func (s *Sim) injectFault(src string, p prompt.Parsed, rng *rand.Rand) string {
+	if rng.Float64() >= s.p.ErrProb {
+		return src
+	}
+	r := rng.Float64()
+	switch {
+	case r < s.p.KBShare:
+		return s.injectKB(src, rng)
+	case r < s.p.KBShare+s.p.SEShare:
+		return s.injectSE(src, rng)
+	default:
+		return s.injectRE(src, p, rng)
+	}
+}
+
+var phantomPackages = []string{"xgboost", "lightgbm", "imblearn", "category_encoders", "autofeat", "featuretools"}
+
+func (s *Sim) injectKB(src string, rng *rand.Rand) string {
+	pkg := phantomPackages[rng.Intn(len(phantomPackages))]
+	lines := strings.SplitAfter(src, "\n")
+	if len(lines) < 2 {
+		return src
+	}
+	return lines[0] + "require " + pkg + "\n" + strings.Join(lines[1:], "")
+}
+
+var proseLines = []string{
+	"Here is the generated pipeline:",
+	"Sure! The following PipeScript implements the requested steps.",
+	"```pipescript",
+}
+
+func (s *Sim) injectSE(src string, rng *rand.Rand) string {
+	lines := strings.Split(strings.TrimRight(src, "\n"), "\n")
+	switch rng.Intn(3) {
+	case 0: // uncommented prose in the output
+		pos := 1 + rng.Intn(len(lines))
+		lines = append(lines[:pos], append([]string{proseLines[rng.Intn(len(proseLines))]}, lines[pos:]...)...)
+	case 1: // unterminated string literal
+		for attempts := 0; attempts < 10; attempts++ {
+			i := rng.Intn(len(lines))
+			if strings.Count(lines[i], `"`) >= 2 {
+				j := strings.LastIndex(lines[i], `"`)
+				lines[i] = lines[i][:j] + lines[i][j+1:]
+				break
+			}
+		}
+	default: // misspelled keyword
+		for i, l := range lines {
+			if strings.HasPrefix(l, "train ") {
+				lines[i] = "trian " + strings.TrimPrefix(l, "train ")
+				break
+			}
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func (s *Sim) injectRE(src string, p prompt.Parsed, rng *rand.Rand) string {
+	lines := strings.Split(strings.TrimRight(src, "\n"), "\n")
+	switch rng.Intn(4) {
+	case 0: // misspell a referenced column
+		for attempts := 0; attempts < 10; attempts++ {
+			i := rng.Intn(len(lines))
+			col := firstQuoted(lines[i])
+			if col != "" && len(col) > 2 && !strings.HasPrefix(lines[i], "pipeline") && !strings.HasPrefix(lines[i], "train") {
+				bad := col[:len(col)-1]
+				lines[i] = strings.Replace(lines[i], `"`+col+`"`, `"`+bad+`"`, 1)
+				break
+			}
+		}
+	case 1: // forget an imputation step
+		for i, l := range lines {
+			if strings.HasPrefix(l, "impute") {
+				lines = append(lines[:i], lines[i+1:]...)
+				break
+			}
+		}
+	case 2: // forget an encoding step
+		for i, l := range lines {
+			if strings.HasPrefix(l, "onehot") || strings.HasPrefix(l, "khot") {
+				lines = append(lines[:i], lines[i+1:]...)
+				break
+			}
+		}
+	default: // hallucinated model name
+		for i, l := range lines {
+			if strings.HasPrefix(l, "train ") {
+				lines[i] = strings.Replace(l, "model=random_forest", "model=xgb_classifier", 1)
+				lines[i] = strings.Replace(lines[i], "model=gbm", "model=xgb_classifier", 1)
+				break
+			}
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// handleErrorFix repairs the pipeline in an error-correction prompt. The
+// repair succeeds with the personality's fix probability — higher when the
+// prompt carries relevant metadata (the paper's observation that RE fixes
+// need catalog details).
+func (s *Sim) handleErrorFix(p prompt.Parsed, rng *rand.Rand) string {
+	src := p.PrevCode
+	fixProb := s.p.FixProb
+	if len(p.Cols) == 0 && strings.HasPrefix(p.ErrorCode, "E_") && isRuntimeCode(p.ErrorCode) {
+		fixProb = s.p.FixProbNoMeta
+	}
+	if rng.Float64() >= fixProb {
+		return src + "\n" // unhelpful resubmission; caller will retry
+	}
+	lines := strings.Split(strings.TrimRight(src, "\n"), "\n")
+	errIdx := p.ErrorLine - 1
+	switch p.ErrorCode {
+	case "E_SYNTAX":
+		if errIdx >= 0 && errIdx < len(lines) {
+			l := lines[errIdx]
+			if strings.Count(l, `"`)%2 == 1 {
+				lines[errIdx] = l + `"`
+			} else {
+				lines = append(lines[:errIdx], lines[errIdx+1:]...)
+			}
+		}
+	case "E_PKG_MISSING":
+		var kept []string
+		for _, l := range lines {
+			if !strings.HasPrefix(strings.TrimSpace(l), "require ") || isAvailable(l) {
+				kept = append(kept, l)
+			}
+		}
+		lines = kept
+	case "E_UNKNOWN_COLUMN":
+		bad := firstQuoted(p.ErrorMsg)
+		best := closestColumn(bad, p.Cols)
+		switch {
+		case best != "" && best != bad && errIdx >= 0 && errIdx < len(lines):
+			lines[errIdx] = strings.Replace(lines[errIdx], `"`+bad+`"`, `"`+best+`"`, 1)
+		case errIdx >= 0 && errIdx < len(lines):
+			// The name matches the schema exactly, so the column was
+			// consumed by an earlier transform (e.g. already one-hot
+			// encoded): the redundant statement is removed.
+			lines = append(lines[:errIdx], lines[errIdx+1:]...)
+		}
+	case "E_NAN_IN_MATRIX":
+		lines = insertBeforeTrain(lines, "impute_all strategy=auto")
+	case "E_STRING_IN_MATRIX":
+		col := firstQuoted(p.ErrorMsg)
+		if col == "" {
+			lines = insertBeforeTrain(lines, "drop_constant")
+		} else if colDistinct(col, p.Cols) > 64 {
+			lines = insertBeforeTrain(lines, fmt.Sprintf("hash_encode %q buckets=64", col))
+		} else {
+			lines = insertBeforeTrain(lines, fmt.Sprintf("onehot %q", col))
+		}
+	case "E_TOO_MANY_FEATURES":
+		if errIdx >= 0 && errIdx < len(lines) {
+			col := firstQuoted(lines[errIdx])
+			if col != "" {
+				lines[errIdx] = fmt.Sprintf("hash_encode %q buckets=64", col)
+			} else {
+				lines = append(lines[:errIdx], lines[errIdx+1:]...)
+			}
+		}
+	case "E_MODEL_OOM", "E_UNKNOWN_MODEL":
+		for i, l := range lines {
+			if strings.HasPrefix(l, "train ") {
+				st := parseTrainTarget(l)
+				lines[i] = fmt.Sprintf("train model=random_forest target=%q trees=%d", st, s.p.ForestTrees)
+			}
+		}
+	case "E_POLICY":
+		// Compliance fix: switch to the first allowed alternative listed
+		// in the error message (or drop the offending require).
+		alt := "random_forest"
+		if i := strings.Index(p.ErrorMsg, "alternatives: "); i >= 0 {
+			rest := strings.TrimSpace(p.ErrorMsg[i+len("alternatives: "):])
+			if j := strings.IndexAny(rest, ", "); j > 0 {
+				alt = rest[:j]
+			} else if rest != "" {
+				alt = rest
+			}
+		}
+		if strings.Contains(p.ErrorMsg, "package") {
+			var kept []string
+			for _, l := range lines {
+				if !strings.HasPrefix(strings.TrimSpace(l), "require ") {
+					kept = append(kept, l)
+				}
+			}
+			lines = kept
+		} else {
+			for i, l := range lines {
+				if strings.HasPrefix(l, "train ") {
+					st := parseTrainTarget(l)
+					lines[i] = fmt.Sprintf("train model=%s target=%q", alt, st)
+				}
+			}
+		}
+	case "E_NO_TRAIN":
+		lines = append(lines, fmt.Sprintf("train model=random_forest target=%q trees=%d", p.Target, s.p.ForestTrees))
+	default:
+		// Type/task/option mismatches: drop the offending statement.
+		if errIdx >= 0 && errIdx < len(lines) && !strings.HasPrefix(lines[errIdx], "pipeline") {
+			lines = append(lines[:errIdx], lines[errIdx+1:]...)
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func isRuntimeCode(code string) bool {
+	switch code {
+	case "E_SYNTAX", "E_PKG_MISSING":
+		return false
+	}
+	return true
+}
+
+func isAvailable(requireLine string) bool {
+	pkg := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(requireLine), "require "))
+	switch pkg {
+	case "tabular", "mlcore", "preprocess", "metrics":
+		return true
+	}
+	return false
+}
+
+func insertBeforeTrain(lines []string, stmt string) []string {
+	for i, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "train ") {
+			out := append([]string{}, lines[:i]...)
+			out = append(out, stmt)
+			return append(out, lines[i:]...)
+		}
+	}
+	return append(lines, stmt)
+}
+
+func parseTrainTarget(line string) string {
+	i := strings.Index(line, `target="`)
+	if i < 0 {
+		return "target"
+	}
+	rest := line[i+len(`target="`):]
+	j := strings.Index(rest, `"`)
+	if j < 0 {
+		return "target"
+	}
+	return rest[:j]
+}
+
+func firstQuoted(s string) string {
+	i := strings.Index(s, `"`)
+	if i < 0 {
+		return ""
+	}
+	j := strings.Index(s[i+1:], `"`)
+	if j < 0 {
+		return ""
+	}
+	return s[i+1 : i+1+j]
+}
+
+func colDistinct(name string, cols []prompt.ParsedCol) int {
+	for _, c := range cols {
+		if c.Name == name {
+			return c.Distinct
+		}
+	}
+	return 0
+}
+
+// closestColumn finds the schema column with the smallest edit distance to
+// the (misspelled) name; "" when nothing is close enough.
+func closestColumn(bad string, cols []prompt.ParsedCol) string {
+	best, bestD := "", 1<<30
+	for _, c := range cols {
+		d := editDistance(bad, c.Name)
+		if d < bestD {
+			best, bestD = c.Name, d
+		}
+	}
+	if bestD > 1+len(bad)/3 {
+		return ""
+	}
+	return best
+}
+
+func editDistance(a, b string) int {
+	la, lb := len(a), len(b)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

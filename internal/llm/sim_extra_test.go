@@ -1,0 +1,157 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"catdb/internal/data"
+	"catdb/internal/pipescript"
+	"catdb/internal/profile"
+	"catdb/internal/prompt"
+)
+
+func TestErrorFixPolicyModel(t *testing.T) {
+	in := samplePromptInput()
+	src := "pipeline \"demo\"\nonehot \"cat\"\nimpute_all\ntrain model=random_forest target=\"y\"\n"
+	ep := prompt.FormatErrorPrompt(in, src, 4, "E_POLICY",
+		`model "random_forest" is disallowed by organizational policy; allowed alternatives: gbm, knn`,
+		in.Cols, prompt.DefaultConfig())
+	s := newSim(t, "gpt-4o", 3)
+	s.p.FixProb = 1
+	resp, _ := s.Complete(ep.Text)
+	if !strings.Contains(resp.Text, "model=gbm") {
+		t.Fatalf("policy fix should pick the first allowed alternative:\n%s", resp.Text)
+	}
+}
+
+func TestErrorFixPolicyPackage(t *testing.T) {
+	in := samplePromptInput()
+	src := "pipeline \"demo\"\nrequire tabular\ntrain model=gbm target=\"y\"\n"
+	ep := prompt.FormatErrorPrompt(in, src, 2, "E_POLICY",
+		`package "tabular" is disallowed by organizational policy`, nil, prompt.DefaultConfig())
+	s := newSim(t, "gpt-4o", 3)
+	s.p.FixProb = 1
+	s.p.FixProbNoMeta = 1
+	resp, _ := s.Complete(ep.Text)
+	if strings.Contains(resp.Text, "require") {
+		t.Fatalf("policy fix should drop the require:\n%s", resp.Text)
+	}
+}
+
+func TestErrorFixTooManyFeatures(t *testing.T) {
+	in := samplePromptInput()
+	src := "pipeline \"demo\"\nonehot \"cat\"\nimpute_all\ntrain model=gbm target=\"y\"\n"
+	ep := prompt.FormatErrorPrompt(in, src, 2, "E_TOO_MANY_FEATURES",
+		`one-hot of "cat" would exceed 4096 features`, in.Cols, prompt.DefaultConfig())
+	s := newSim(t, "gpt-4o", 3)
+	s.p.FixProb = 1
+	resp, _ := s.Complete(ep.Text)
+	if !strings.Contains(resp.Text, `hash_encode "cat"`) {
+		t.Fatalf("explosion fix should switch to hashing:\n%s", resp.Text)
+	}
+}
+
+func TestErrorFixDefaultDeletesLine(t *testing.T) {
+	in := samplePromptInput()
+	src := "pipeline \"demo\"\nrebalance method=adasyn\ntrain model=gbm target=\"y\"\n"
+	ep := prompt.FormatErrorPrompt(in, src, 2, "E_TASK_MISMATCH",
+		"rebalance is only valid for classification tasks", nil, prompt.DefaultConfig())
+	s := newSim(t, "gpt-4o", 3)
+	s.p.FixProb = 1
+	s.p.FixProbNoMeta = 1
+	resp, _ := s.Complete(ep.Text)
+	if strings.Contains(resp.Text, "rebalance") {
+		t.Fatalf("mismatch fix should delete the line:\n%s", resp.Text)
+	}
+}
+
+func TestInjectFaultKinds(t *testing.T) {
+	// Drive each injector directly for coverage and parse-behaviour.
+	s := newSim(t, "llama3.1-70b", 9)
+	in := samplePromptInput()
+	ps := prompt.Build(in, prompt.ModelSpec{MaxPromptTokens: 8000}, prompt.DefaultConfig())
+	parsed := prompt.ParsePrompt(ps[0].Text)
+	src := "pipeline \"demo\"\nimpute \"num\" strategy=median\nonehot \"cat\"\ntrain model=random_forest target=\"y\" trees=10\nevaluate metric=auto\n"
+	rng := s.nextRNG()
+	kb := s.injectKB(src, rng)
+	if !strings.Contains(kb, "require ") {
+		t.Fatalf("KB injection missing:\n%s", kb)
+	}
+	seenBroken := false
+	for i := 0; i < 10; i++ {
+		se := s.injectSE(src, s.nextRNG())
+		if _, err := pipescript.Parse(se); err != nil {
+			seenBroken = true
+		}
+	}
+	if !seenBroken {
+		t.Fatal("SE injection never broke the syntax in 10 tries")
+	}
+	re := s.injectRE(src, parsed, s.nextRNG())
+	if re == src {
+		t.Log("RE injection happened to be a no-op for this draw (acceptable)")
+	}
+}
+
+func TestImproviseBranches(t *testing.T) {
+	// Exercise sentence/list/constant/id handling without rules.
+	in := prompt.Input{
+		Dataset: "b", Task: data.Multiclass, Target: "y", Rows: 100,
+		Cols: []prompt.ColumnMeta{
+			{Name: "s", DataType: data.KindString, FeatureType: profile.FeatureSentence, DistinctCount: 90},
+			{Name: "l", DataType: data.KindString, FeatureType: profile.FeatureList, DistinctCount: 80},
+			{Name: "k", DataType: data.KindString, FeatureType: profile.FeatureConstant, DistinctCount: 1},
+			{Name: "big", DataType: data.KindString, FeatureType: profile.FeatureCategorical, DistinctCount: 200,
+				DistinctValues: nil},
+			{Name: "y", DataType: data.KindString, FeatureType: profile.FeatureCategorical, IsTarget: true,
+				DistinctValues: []string{"a", "b"}},
+		},
+	}
+	cfg := prompt.Config{Combo: prompt.Combo2, Chains: 1, IncludeRules: false}
+	ps := prompt.Build(in, prompt.ModelSpec{MaxPromptTokens: 100000}, cfg)
+	s := newSim(t, "gpt-4o", 4)
+	s.p.ErrProb = 0
+	resp, _ := s.Complete(ps[0].Text)
+	prog, err := pipescript.Parse(resp.Text)
+	if err != nil {
+		t.Fatalf("improvised program must parse: %v\n%s", err, resp.Text)
+	}
+	if !prog.HasStmt("hash_encode") && !prog.HasStmt("drop") {
+		t.Fatalf("messy columns unhandled:\n%s", resp.Text)
+	}
+	if !prog.HasStmt("train") {
+		t.Fatal("no train")
+	}
+}
+
+func TestTemperatureVariesHyperparams(t *testing.T) {
+	in := samplePromptInput()
+	ps := prompt.Build(in, prompt.ModelSpec{MaxPromptTokens: 16000}, prompt.DefaultConfig())
+	a := newSim(t, "gpt-4o", 5)
+	a.p.ErrProb = 0
+	a.Temperature = 1.0
+	seen := map[string]bool{}
+	for i := 0; i < 8; i++ {
+		resp, _ := a.Complete(ps[0].Text)
+		prog, err := pipescript.Parse(resp.Text)
+		if err != nil {
+			continue
+		}
+		if tr := prog.TrainStmt(); tr != nil {
+			seen[tr.Opt("trees", "")] = true
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("temperature should vary hyper-parameters, saw %v", seen)
+	}
+}
+
+func TestClosestColumnThreshold(t *testing.T) {
+	cols := []prompt.ParsedCol{{Name: "revenue"}, {Name: "cost"}}
+	if got := closestColumn("revenu", cols); got != "revenue" {
+		t.Fatalf("close match = %q", got)
+	}
+	if got := closestColumn("zzzzzz", cols); got != "" {
+		t.Fatalf("far match should be empty, got %q", got)
+	}
+}

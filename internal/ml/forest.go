@@ -1,0 +1,176 @@
+package ml
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// ForestConfig tunes a random forest.
+type ForestConfig struct {
+	Trees       int // default 50
+	MaxDepth    int // default 12
+	MinLeaf     int // default 3
+	FeatureFrac float64
+	Seed        int64
+}
+
+func (c ForestConfig) withDefaults() ForestConfig {
+	if c.Trees <= 0 {
+		c.Trees = 50
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 3
+	}
+	if c.FeatureFrac <= 0 {
+		c.FeatureFrac = 0.6
+	}
+	return c
+}
+
+// Forest is a bagged random forest for classification and regression.
+type Forest struct {
+	Config  ForestConfig
+	trees   []*Tree
+	classes int
+}
+
+// NewForest returns a forest with the given configuration.
+func NewForest(cfg ForestConfig) *Forest { return &Forest{Config: cfg.withDefaults()} }
+
+// Fit trains a regression forest.
+func (f *Forest) Fit(X [][]float64, y []float64) error {
+	if err := checkXY(X, len(y)); err != nil {
+		return err
+	}
+	f.classes = 0
+	return f.fitBagged(X, func(t *Tree, rows []int) error {
+		bx, by := bagRegression(X, y, rows)
+		return t.Fit(bx, by)
+	}, len(y))
+}
+
+// FitClass trains a classification forest.
+func (f *Forest) FitClass(X [][]float64, y []int, classes int) error {
+	if err := checkXY(X, len(y)); err != nil {
+		return err
+	}
+	if classes < 2 {
+		return errClasses(classes)
+	}
+	f.classes = classes
+	return f.fitBagged(X, func(t *Tree, rows []int) error {
+		bx, by := bagClass(X, y, rows)
+		return t.FitClass(bx, by, classes)
+	}, len(y))
+}
+
+func (f *Forest) fitBagged(X [][]float64, fitOne func(*Tree, []int) error, n int) error {
+	cfg := f.Config
+	f.trees = make([]*Tree, cfg.Trees)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Trees {
+		workers = cfg.Trees
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Trees)
+	sem := make(chan struct{}, workers)
+	for i := 0; i < cfg.Trees; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+			rows := make([]int, n)
+			for r := range rows {
+				rows[r] = rng.Intn(n)
+			}
+			t := NewTree(TreeConfig{
+				MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf,
+				FeatureFrac: cfg.FeatureFrac, Seed: cfg.Seed + int64(i),
+			})
+			errs[i] = fitOne(t, rows)
+			f.trees[i] = t
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func bagRegression(X [][]float64, y []float64, rows []int) ([][]float64, []float64) {
+	bx := make([][]float64, len(rows))
+	by := make([]float64, len(rows))
+	for i, r := range rows {
+		bx[i], by[i] = X[r], y[r]
+	}
+	return bx, by
+}
+
+func bagClass(X [][]float64, y []int, rows []int) ([][]float64, []int) {
+	bx := make([][]float64, len(rows))
+	by := make([]int, len(rows))
+	for i, r := range rows {
+		bx[i], by[i] = X[r], y[r]
+	}
+	return bx, by
+}
+
+// Predict averages tree outputs (regression) or majority-votes via
+// averaged probabilities (classification, returned as class indices).
+func (f *Forest) Predict(X [][]float64) []float64 {
+	if f.classes > 0 {
+		p := f.Proba(X)
+		out := make([]float64, len(X))
+		for i := range p {
+			out[i] = float64(argmax(p[i]))
+		}
+		return out
+	}
+	out := make([]float64, len(X))
+	for _, t := range f.trees {
+		for i, v := range t.Predict(X) {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(f.trees))
+	}
+	return out
+}
+
+// PredictClass returns integer class predictions.
+func (f *Forest) PredictClass(X [][]float64) []int {
+	return predictFromProba(f.Proba(X))
+}
+
+// Proba averages the trees' class distributions.
+func (f *Forest) Proba(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i := range out {
+		out[i] = make([]float64, f.classes)
+	}
+	for _, t := range f.trees {
+		tp := t.Proba(X)
+		for i := range out {
+			for j := range out[i] {
+				out[i][j] += tp[i][j]
+			}
+		}
+	}
+	nt := float64(len(f.trees))
+	for i := range out {
+		for j := range out[i] {
+			out[i][j] /= nt
+		}
+	}
+	return out
+}

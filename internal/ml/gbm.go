@@ -1,0 +1,197 @@
+package ml
+
+import (
+	"math"
+)
+
+// GBMConfig tunes gradient-boosted trees.
+type GBMConfig struct {
+	Rounds       int     // default 60
+	LearningRate float64 // default 0.1
+	MaxDepth     int     // default 4
+	MinLeaf      int     // default 5
+	Seed         int64
+}
+
+func (c GBMConfig) withDefaults() GBMConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 60
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 4
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 5
+	}
+	return c
+}
+
+// GBM is a gradient-boosting machine: least-squares boosting for regression
+// and one-vs-rest logistic boosting for classification.
+type GBM struct {
+	Config  GBMConfig
+	base    float64
+	trees   []*Tree   // regression
+	ovr     [][]*Tree // classification: per class, per round
+	bias    []float64 // per-class initial log-odds
+	classes int
+}
+
+// NewGBM returns a GBM with the given configuration.
+func NewGBM(cfg GBMConfig) *GBM { return &GBM{Config: cfg.withDefaults()} }
+
+// Fit trains least-squares gradient boosting for regression.
+func (g *GBM) Fit(X [][]float64, y []float64) error {
+	if err := checkXY(X, len(y)); err != nil {
+		return err
+	}
+	g.classes = 0
+	var sum float64
+	for _, v := range y {
+		sum += v
+	}
+	g.base = sum / float64(len(y))
+	resid := make([]float64, len(y))
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = g.base
+	}
+	g.trees = nil
+	for r := 0; r < g.Config.Rounds; r++ {
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
+		t := NewTree(TreeConfig{MaxDepth: g.Config.MaxDepth, MinLeaf: g.Config.MinLeaf, Seed: g.Config.Seed + int64(r)})
+		if err := t.Fit(X, resid); err != nil {
+			return err
+		}
+		up := t.Predict(X)
+		for i := range pred {
+			pred[i] += g.Config.LearningRate * up[i]
+		}
+		g.trees = append(g.trees, t)
+	}
+	return nil
+}
+
+// Predict returns regression predictions or argmax classes for
+// classification GBMs.
+func (g *GBM) Predict(X [][]float64) []float64 {
+	if g.classes > 0 {
+		p := g.Proba(X)
+		out := make([]float64, len(X))
+		for i := range p {
+			out[i] = float64(argmax(p[i]))
+		}
+		return out
+	}
+	out := make([]float64, len(X))
+	for i := range out {
+		out[i] = g.base
+	}
+	for _, t := range g.trees {
+		for i, v := range t.Predict(X) {
+			out[i] += g.Config.LearningRate * v
+		}
+	}
+	return out
+}
+
+// FitClass trains one-vs-rest logistic gradient boosting.
+func (g *GBM) FitClass(X [][]float64, y []int, classes int) error {
+	if err := checkXY(X, len(y)); err != nil {
+		return err
+	}
+	if classes < 2 {
+		return errClasses(classes)
+	}
+	g.classes = classes
+	n := len(y)
+	g.ovr = make([][]*Tree, classes)
+	g.bias = make([]float64, classes)
+	for c := 0; c < classes; c++ {
+		pos := 0
+		target := make([]float64, n)
+		for i, lbl := range y {
+			if lbl == c {
+				target[i] = 1
+				pos++
+			}
+		}
+		p0 := float64(pos) / float64(n)
+		p0 = math.Min(math.Max(p0, 1e-4), 1-1e-4)
+		g.bias[c] = math.Log(p0 / (1 - p0))
+		score := make([]float64, n)
+		for i := range score {
+			score[i] = g.bias[c]
+		}
+		grad := make([]float64, n)
+		for r := 0; r < g.Config.Rounds; r++ {
+			for i := range grad {
+				grad[i] = target[i] - sigmoid(score[i])
+			}
+			t := NewTree(TreeConfig{MaxDepth: g.Config.MaxDepth, MinLeaf: g.Config.MinLeaf, Seed: g.Config.Seed + int64(c*1000+r)})
+			if err := t.Fit(X, grad); err != nil {
+				return err
+			}
+			up := t.Predict(X)
+			for i := range score {
+				score[i] += g.Config.LearningRate * up[i]
+			}
+			g.ovr[c] = append(g.ovr[c], t)
+		}
+	}
+	return nil
+}
+
+// PredictClass returns integer class predictions.
+func (g *GBM) PredictClass(X [][]float64) []int {
+	return predictFromProba(g.Proba(X))
+}
+
+// Proba returns normalized one-vs-rest probabilities.
+func (g *GBM) Proba(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	scores := make([][]float64, g.classes)
+	for c := 0; c < g.classes; c++ {
+		s := make([]float64, len(X))
+		for i := range s {
+			s[i] = g.bias[c]
+		}
+		for _, t := range g.ovr[c] {
+			for i, v := range t.Predict(X) {
+				s[i] += g.Config.LearningRate * v
+			}
+		}
+		scores[c] = s
+	}
+	for i := range out {
+		row := make([]float64, g.classes)
+		var sum float64
+		for c := 0; c < g.classes; c++ {
+			row[c] = sigmoid(scores[c][i])
+			sum += row[c]
+		}
+		if sum == 0 {
+			sum = 1
+		}
+		for c := range row {
+			row[c] /= sum
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func sigmoid(x float64) float64 {
+	if x < -40 {
+		return 0
+	}
+	if x > 40 {
+		return 1
+	}
+	return 1 / (1 + math.Exp(-x))
+}

@@ -1,0 +1,117 @@
+package ml
+
+import (
+	"math"
+)
+
+// TabPFNSim mimics the behavioural profile of TabPFN (Hollmann et al.,
+// ICLR'23) as used by CAAFE: excellent accuracy on *small* tabular
+// classification problems with zero hyper-parameter tuning, but a hard
+// capacity ceiling — the real model is a fixed transformer limited to about
+// 1000 training rows / 100 features and runs out of memory beyond that.
+// The simulation is a distance-weighted kernel classifier over standardized
+// features, which shares those properties: strong small-sample behaviour
+// and quadratic blow-up that we convert into an explicit ErrOutOfMemory.
+type TabPFNSim struct {
+	// MaxRows and MaxFeatures are the capacity ceiling; defaults 1200/100.
+	MaxRows     int
+	MaxFeatures int
+	x           [][]float64
+	y           []int
+	classes     int
+	sc          *scaler
+	bandwidth   float64
+}
+
+// NewTabPFNSim returns a TabPFN-like classifier with default limits.
+func NewTabPFNSim() *TabPFNSim { return &TabPFNSim{MaxRows: 1200, MaxFeatures: 100} }
+
+// FitClass stores the training set; it fails with ErrOutOfMemory when the
+// data exceeds the model's capacity, reproducing the paper's CAAFE-TabPFN
+// failures on large/wide datasets (Tables 5 and 7).
+func (t *TabPFNSim) FitClass(X [][]float64, y []int, classes int) error {
+	if err := checkXY(X, len(y)); err != nil {
+		return err
+	}
+	if classes < 2 {
+		return errClasses(classes)
+	}
+	maxRows, maxFeat := t.MaxRows, t.MaxFeatures
+	if maxRows <= 0 {
+		maxRows = 1200
+	}
+	if maxFeat <= 0 {
+		maxFeat = 100
+	}
+	if len(X) > maxRows || len(X[0]) > maxFeat {
+		return ErrOutOfMemory
+	}
+	t.classes = classes
+	t.sc = fitScaler(X)
+	t.x = make([][]float64, len(X))
+	for i, row := range X {
+		t.x[i] = t.sc.apply(row)
+	}
+	t.y = append([]int(nil), y...)
+	// Median-heuristic bandwidth over a subsample.
+	var dists []float64
+	step := len(t.x)/64 + 1
+	for i := 0; i < len(t.x); i += step {
+		for j := i + step; j < len(t.x); j += step {
+			dists = append(dists, l2(t.x[i], t.x[j]))
+		}
+	}
+	t.bandwidth = 1
+	if len(dists) > 0 {
+		var sum float64
+		for _, d := range dists {
+			sum += d
+		}
+		t.bandwidth = sum / float64(len(dists))
+		if t.bandwidth < 1e-6 {
+			t.bandwidth = 1e-6
+		}
+	}
+	return nil
+}
+
+func l2(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		diff := a[i] - b[i]
+		d += diff * diff
+	}
+	return math.Sqrt(d)
+}
+
+// PredictClass returns kernel-vote class indices.
+func (t *TabPFNSim) PredictClass(X [][]float64) []int {
+	return predictFromProba(t.Proba(X))
+}
+
+// Proba returns Gaussian-kernel-weighted class distributions.
+func (t *TabPFNSim) Proba(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		rs := t.sc.apply(row)
+		p := make([]float64, t.classes)
+		var sum float64
+		for j, tr := range t.x {
+			d := l2(rs, tr) / t.bandwidth
+			w := math.Exp(-d * d)
+			p[t.y[j]] += w
+			sum += w
+		}
+		if sum == 0 {
+			for c := range p {
+				p[c] = 1 / float64(t.classes)
+			}
+		} else {
+			for c := range p {
+				p[c] /= sum
+			}
+		}
+		out[i] = p
+	}
+	return out
+}

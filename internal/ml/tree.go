@@ -1,0 +1,372 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TreeConfig tunes CART construction.
+type TreeConfig struct {
+	MaxDepth      int // default 10
+	MinLeaf       int // default 5
+	MaxThresholds int // candidate split thresholds per feature; default 32
+	// FeatureFrac is the fraction of features examined per split (random
+	// forests use < 1). 0 means all features.
+	FeatureFrac float64
+	Seed        int64
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 10
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 5
+	}
+	if c.MaxThresholds <= 0 {
+		c.MaxThresholds = 32
+	}
+	return c
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	// leaf payload
+	isLeaf bool
+	value  []float64 // class distribution (classification) or 1-elem mean (regression)
+}
+
+// Tree is a CART decision tree usable for classification and regression.
+type Tree struct {
+	Config  TreeConfig
+	root    *treeNode
+	classes int // 0 for regression
+}
+
+// NewTree returns a tree with the given configuration.
+func NewTree(cfg TreeConfig) *Tree { return &Tree{Config: cfg.withDefaults()} }
+
+// Fit trains a regression tree.
+func (t *Tree) Fit(X [][]float64, y []float64) error {
+	if err := checkXY(X, len(y)); err != nil {
+		return err
+	}
+	t.classes = 0
+	rng := rand.New(rand.NewSource(t.Config.Seed))
+	idx := allRows(len(y))
+	t.root = t.build(X, y, nil, idx, 0, rng)
+	return nil
+}
+
+// FitClass trains a classification tree over integer labels in [0,classes).
+func (t *Tree) FitClass(X [][]float64, y []int, classes int) error {
+	if err := checkXY(X, len(y)); err != nil {
+		return err
+	}
+	if classes < 2 {
+		return errClasses(classes)
+	}
+	t.classes = classes
+	yf := make([]float64, len(y))
+	for i, v := range y {
+		yf[i] = float64(v)
+	}
+	rng := rand.New(rand.NewSource(t.Config.Seed))
+	idx := allRows(len(y))
+	t.root = t.build(X, yf, nil, idx, 0, rng)
+	return nil
+}
+
+func errClasses(c int) error { return fmt.Errorf("ml: need at least 2 classes, got %d", c) }
+
+// Predict returns per-row predictions: the mean for regression, the argmax
+// class index (as float64) for classification.
+func (t *Tree) Predict(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		v := t.leafValue(row)
+		if t.classes > 0 {
+			out[i] = float64(argmax(v))
+		} else {
+			out[i] = v[0]
+		}
+	}
+	return out
+}
+
+// Proba returns normalized class distributions (classification trees only).
+func (t *Tree) Proba(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		v := t.leafValue(row)
+		p := make([]float64, len(v))
+		var sum float64
+		for _, x := range v {
+			sum += x
+		}
+		if sum == 0 {
+			sum = 1
+		}
+		for j, x := range v {
+			p[j] = x / sum
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func (t *Tree) leafValue(row []float64) []float64 {
+	n := t.root
+	for n != nil && !n.isLeaf {
+		if n.feature < len(row) && row[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if n == nil {
+		if t.classes > 0 {
+			return make([]float64, t.classes)
+		}
+		return []float64{0}
+	}
+	return n.value
+}
+
+func allRows(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// build grows a node over rows idx; sampleWeights may be nil.
+func (t *Tree) build(X [][]float64, y []float64, w []float64, idx []int, depth int, rng *rand.Rand) *treeNode {
+	if len(idx) == 0 {
+		return nil
+	}
+	leaf := t.makeLeaf(y, w, idx)
+	if depth >= t.Config.MaxDepth || len(idx) < 2*t.Config.MinLeaf || t.pure(y, idx) {
+		return leaf
+	}
+	feat, thr, ok := t.bestSplit(X, y, idx, rng)
+	if !ok {
+		return leaf
+	}
+	var li, ri []int
+	for _, r := range idx {
+		if X[r][feat] <= thr {
+			li = append(li, r)
+		} else {
+			ri = append(ri, r)
+		}
+	}
+	if len(li) < t.Config.MinLeaf || len(ri) < t.Config.MinLeaf {
+		return leaf
+	}
+	n := &treeNode{feature: feat, threshold: thr}
+	n.left = t.build(X, y, w, li, depth+1, rng)
+	n.right = t.build(X, y, w, ri, depth+1, rng)
+	if n.left == nil || n.right == nil {
+		return leaf
+	}
+	return n
+}
+
+func (t *Tree) pure(y []float64, idx []int) bool {
+	first := y[idx[0]]
+	for _, r := range idx[1:] {
+		if y[r] != first {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tree) makeLeaf(y []float64, w []float64, idx []int) *treeNode {
+	if t.classes > 0 {
+		dist := make([]float64, t.classes)
+		for _, r := range idx {
+			c := int(y[r])
+			if c >= 0 && c < t.classes {
+				dist[c]++
+			}
+		}
+		return &treeNode{isLeaf: true, value: dist}
+	}
+	var sum float64
+	for _, r := range idx {
+		sum += y[r]
+	}
+	return &treeNode{isLeaf: true, value: []float64{sum / float64(len(idx))}}
+}
+
+// bestSplit scans (a sample of) features for the impurity-minimizing
+// split using a sort-and-sweep: rows are ordered by feature value once and
+// prefix statistics give each candidate boundary's gain in O(1).
+func (t *Tree) bestSplit(X [][]float64, y []float64, idx []int, rng *rand.Rand) (feat int, thr float64, ok bool) {
+	nf := len(X[0])
+	feats := rng.Perm(nf)
+	if t.Config.FeatureFrac > 0 && t.Config.FeatureFrac < 1 {
+		k := int(float64(nf)*t.Config.FeatureFrac + 0.999)
+		if k < 1 {
+			k = 1
+		}
+		feats = feats[:k]
+	}
+	n := len(idx)
+	bestGain := 0.0
+	parentImp := t.impurity(y, idx)
+	type vy struct{ v, y float64 }
+	arr := make([]vy, n)
+	// Classification sweep state.
+	var leftCounts, rightCounts []float64
+	if t.classes > 0 {
+		leftCounts = make([]float64, t.classes)
+		rightCounts = make([]float64, t.classes)
+	}
+	for _, f := range feats {
+		for i, r := range idx {
+			arr[i] = vy{X[r][f], y[r]}
+		}
+		sort.Slice(arr, func(a, b int) bool { return arr[a].v < arr[b].v })
+		if arr[0].v == arr[n-1].v {
+			continue // constant feature in this node
+		}
+		// Candidate boundaries: positions where the value changes,
+		// subsampled to MaxThresholds.
+		stride := 1
+		if n > t.Config.MaxThresholds*2 {
+			stride = n / t.Config.MaxThresholds
+		}
+		if t.classes > 0 {
+			for c := range leftCounts {
+				leftCounts[c] = 0
+			}
+			for c := range rightCounts {
+				rightCounts[c] = 0
+			}
+			for i := 0; i < n; i++ {
+				c := int(arr[i].y)
+				if c >= 0 && c < t.classes {
+					rightCounts[c]++
+				}
+			}
+			nextEval := t.Config.MinLeaf
+			for p := 1; p < n; p++ {
+				c := int(arr[p-1].y)
+				if c >= 0 && c < t.classes {
+					leftCounts[c]++
+					rightCounts[c]--
+				}
+				if p < nextEval || p < t.Config.MinLeaf || n-p < t.Config.MinLeaf {
+					continue
+				}
+				if arr[p].v == arr[p-1].v {
+					continue
+				}
+				nextEval = p + stride
+				gL := giniFromCounts(leftCounts, float64(p))
+				gR := giniFromCounts(rightCounts, float64(n-p))
+				gain := parentImp - (float64(p)*gL+float64(n-p)*gR)/float64(n)
+				if gain > bestGain+1e-12 {
+					bestGain, feat, ok = gain, f, true
+					thr = (arr[p-1].v + arr[p].v) / 2
+				}
+			}
+			continue
+		}
+		// Regression sweep: prefix sums for variance.
+		var sumL, sqL float64
+		var sumR, sqR float64
+		for i := 0; i < n; i++ {
+			sumR += arr[i].y
+			sqR += arr[i].y * arr[i].y
+		}
+		nextEval := t.Config.MinLeaf
+		for p := 1; p < n; p++ {
+			v := arr[p-1].y
+			sumL += v
+			sqL += v * v
+			sumR -= v
+			sqR -= v * v
+			if p < nextEval || p < t.Config.MinLeaf || n-p < t.Config.MinLeaf {
+				continue
+			}
+			if arr[p].v == arr[p-1].v {
+				continue
+			}
+			nextEval = p + stride
+			vL := varFromSums(sumL, sqL, float64(p))
+			vR := varFromSums(sumR, sqR, float64(n-p))
+			gain := parentImp - (float64(p)*vL+float64(n-p)*vR)/float64(n)
+			if gain > bestGain+1e-12 {
+				bestGain, feat, ok = gain, f, true
+				thr = (arr[p-1].v + arr[p].v) / 2
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+func giniFromCounts(counts []float64, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := c / n
+		g -= p * p
+	}
+	return g
+}
+
+func varFromSums(sum, sq, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	mean := sum / n
+	v := sq/n - mean*mean
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// impurity is Gini for classification, variance for regression.
+func (t *Tree) impurity(y []float64, idx []int) float64 {
+	if t.classes > 0 {
+		counts := make([]float64, t.classes)
+		for _, r := range idx {
+			c := int(y[r])
+			if c >= 0 && c < t.classes {
+				counts[c]++
+			}
+		}
+		n := float64(len(idx))
+		g := 1.0
+		for _, c := range counts {
+			p := c / n
+			g -= p * p
+		}
+		return g
+	}
+	var sum, sq float64
+	for _, r := range idx {
+		sum += y[r]
+		sq += y[r] * y[r]
+	}
+	n := float64(len(idx))
+	mean := sum / n
+	v := sq/n - mean*mean
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,231 @@
+package pipescript
+
+import (
+	"testing"
+
+	"catdb/internal/data"
+)
+
+func analysisCols() []ColumnInfo {
+	return []ColumnInfo{
+		{Name: "num", HasMissing: true},
+		{Name: "cat", IsString: true},
+		{Name: "addr", IsString: true},
+		{Name: "y", IsString: true, IsTarget: true},
+	}
+}
+
+func analyze(t *testing.T, src string, task data.Task) []Issue {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(p, analysisCols(), task)
+}
+
+func hasIssue(issues []Issue, code IssueCode) bool {
+	for _, is := range issues {
+		if is.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAnalyzeCleanPipeline(t *testing.T) {
+	src := `pipeline "ok"
+impute "num" strategy=median
+onehot "cat"
+onehot "addr"
+train model=random_forest target="y"
+`
+	if issues := analyze(t, src, data.Multiclass); len(issues) != 0 {
+		t.Fatalf("clean pipeline flagged: %+v", issues)
+	}
+}
+
+func TestAnalyzeMissingSteps(t *testing.T) {
+	src := `pipeline "bad"
+onehot "cat"
+train model=random_forest target="y"
+`
+	issues := analyze(t, src, data.Multiclass)
+	if !hasIssue(issues, IssueMissingEncode) {
+		t.Fatalf("addr un-encoded not flagged: %+v", issues)
+	}
+	if !hasIssue(issues, IssueMissingImpute) {
+		t.Fatalf("num un-imputed not flagged: %+v", issues)
+	}
+}
+
+func TestAnalyzeUnknownColumnAndModel(t *testing.T) {
+	src := `pipeline "bad"
+impute "ghost" strategy=median
+impute_all
+onehot "cat"
+onehot "addr"
+train model=xgb_classifier target="y"
+`
+	issues := analyze(t, src, data.Multiclass)
+	if !hasIssue(issues, IssueUnknownColumn) || !hasIssue(issues, IssueUnknownModel) {
+		t.Fatalf("issues: %+v", issues)
+	}
+}
+
+func TestAnalyzeTargetDropAndNoTrain(t *testing.T) {
+	issues := analyze(t, "pipeline \"x\"\ndrop \"y\"\n", data.Multiclass)
+	if !hasIssue(issues, IssueTargetDropped) || !hasIssue(issues, IssueNoTrain) {
+		t.Fatalf("issues: %+v", issues)
+	}
+}
+
+func TestAnalyzeTaskMismatchAndPackage(t *testing.T) {
+	src := `pipeline "x"
+require xgboost
+rebalance method=adasyn
+impute_all
+onehot "cat"
+onehot "addr"
+train model=knn target="y"
+`
+	issues := analyze(t, src, data.Regression)
+	if !hasIssue(issues, IssueBadPackage) || !hasIssue(issues, IssueTaskMismatch) {
+		t.Fatalf("issues: %+v", issues)
+	}
+}
+
+func TestAnalyzeSplitComposite(t *testing.T) {
+	src := `pipeline "x"
+split_composite "addr" into=state,zip
+impute_all
+onehot "cat"
+onehot "state"
+onehot "zip"
+train model=knn target="y"
+`
+	if issues := analyze(t, src, data.Multiclass); len(issues) != 0 {
+		t.Fatalf("split lifecycle broken: %+v", issues)
+	}
+}
+
+func TestAnalyzeDoubleEncode(t *testing.T) {
+	src := `pipeline "x"
+impute_all
+onehot "cat"
+ordinal "cat"
+onehot "addr"
+train model=knn target="y"
+`
+	issues := analyze(t, src, data.Multiclass)
+	// "cat" no longer exists after onehot replaces it, so the second
+	// encode is an unknown-column OR double-encode depending on tracking;
+	// either way it must be flagged.
+	if !hasIssue(issues, IssueDoubleEncode) && !hasIssue(issues, IssueUnknownColumn) {
+		t.Fatalf("double encode not flagged: %+v", issues)
+	}
+}
+
+func TestRepairProducesRunnablePipeline(t *testing.T) {
+	// A badly broken pipeline: no imputation, un-encoded strings, unknown
+	// model, phantom package.
+	src := `pipeline "broken"
+require xgboost
+train model=xgb_classifier target="y"
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := analysisCols()
+	issues := Analyze(p, cols, data.Multiclass)
+	if len(issues) == 0 {
+		t.Fatal("expected issues")
+	}
+	fixed := Repair(src, issues, cols, "y")
+	prog, err := Parse(fixed)
+	if err != nil {
+		t.Fatalf("repaired source must parse: %v\n%s", err, fixed)
+	}
+	// Verify on actual data.
+	tb := data.NewTable("t")
+	n := 60
+	num := make([]float64, n)
+	cat := make([]string, n)
+	addr := make([]string, n)
+	y := make([]string, n)
+	for i := 0; i < n; i++ {
+		num[i] = float64(i % 7)
+		cat[i] = []string{"a", "b"}[i%2]
+		addr[i] = []string{"x", "z"}[i%2]
+		y[i] = []string{"p", "q"}[i%2]
+	}
+	nc := data.NewNumeric("num", num)
+	nc.SetMissing(3)
+	tb.MustAddColumn(nc)
+	tb.MustAddColumn(data.NewString("cat", cat))
+	tb.MustAddColumn(data.NewString("addr", addr))
+	tb.MustAddColumn(data.NewString("y", y))
+	tr, te := tb.Split(0.7, 1)
+	ex := &Executor{Target: "y", Task: data.Binary, Seed: 1}
+	if _, err := ex.Execute(prog, tr, te); err != nil {
+		t.Fatalf("repaired pipeline must run: %v\n%s", err, fixed)
+	}
+}
+
+func TestRepairAppendsTrain(t *testing.T) {
+	src := "pipeline \"x\"\nimpute_all\n"
+	p, _ := Parse(src)
+	issues := Analyze(p, analysisCols(), data.Multiclass)
+	fixed := Repair(src, issues, analysisCols(), "y")
+	prog, err := Parse(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.TrainStmt() == nil {
+		t.Fatalf("repair must append train:\n%s", fixed)
+	}
+}
+
+func TestAnalyzePredictsRuntimeErrors(t *testing.T) {
+	// Property-style check: for a set of broken pipelines, every runtime
+	// error raised by Execute is predicted by Analyze.
+	cases := []string{
+		"pipeline \"a\"\ntrain model=random_forest target=\"y\"\n",                        // string cols
+		"pipeline \"b\"\nonehot \"cat\"\nonehot \"addr\"\ntrain model=knn target=\"y\"\n", // missing num
+		"pipeline \"c\"\nimpute_all\nonehot \"cat\"\nonehot \"addr\"\ntrain model=fancy target=\"y\"\n",
+	}
+	tb := data.NewTable("t")
+	n := 40
+	num := make([]float64, n)
+	cat := make([]string, n)
+	addr := make([]string, n)
+	y := make([]string, n)
+	for i := 0; i < n; i++ {
+		num[i] = float64(i)
+		cat[i] = "c"
+		addr[i] = "a"
+		y[i] = []string{"p", "q"}[i%2]
+	}
+	nc := data.NewNumeric("num", num)
+	nc.SetMissing(1)
+	tb.MustAddColumn(nc)
+	tb.MustAddColumn(data.NewString("cat", cat))
+	tb.MustAddColumn(data.NewString("addr", addr))
+	tb.MustAddColumn(data.NewString("y", y))
+	tr, te := tb.Split(0.7, 1)
+	for _, src := range cases {
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		issues := Analyze(p, analysisCols(), data.Binary)
+		ex := &Executor{Target: "y", Task: data.Binary, Seed: 1}
+		if _, err := ex.Execute(p, tr, te); err == nil {
+			continue // analysis may be conservative; only check failures
+		}
+		if len(issues) == 0 {
+			t.Fatalf("runtime failure not predicted for:\n%s", src)
+		}
+	}
+}

@@ -1,0 +1,784 @@
+package pipescript
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+
+	"catdb/internal/data"
+	"catdb/internal/embed"
+	"catdb/internal/ml"
+)
+
+// Result is the outcome of executing a pipeline on train/test data.
+type Result struct {
+	Program   *Program
+	ModelName string
+	Metric    string  // "auc" for classification, "r2" for regression
+	TrainAcc  float64 // classification: exact-match accuracy in [0,100]
+	TestAcc   float64
+	TrainAUC  float64 // classification: macro AUC in [0,100]
+	TestAUC   float64
+	TrainR2   float64 // regression: R² in [0,100] (clamped at 0)
+	TestR2    float64
+	TestRMSE  float64
+	Features  int // feature count at train time
+	TrainRows int
+}
+
+// Primary returns the headline score: AUC for classification, R² for
+// regression (both on the test split, scaled to [0,100]).
+func (r *Result) Primary() float64 {
+	if r.Metric == "r2" {
+		return r.TestR2
+	}
+	return r.TestAUC
+}
+
+// Executor runs parsed PipeScript programs against a dataset split.
+type Executor struct {
+	Target string
+	Task   data.Task
+	Seed   int64
+	// MaxOneHot caps categories per one-hot statement (default 64).
+	MaxOneHot int
+	// AllowNoTrain permits programs without a train statement (used to
+	// validate CatDB Chain's intermediate preprocessing/fe pipelines).
+	AllowNoTrain bool
+	// Policy, when set, enforces organizational library constraints
+	// (disallowed models/packages raise E_POLICY).
+	Policy *Policy
+}
+
+// Execute validates and runs the program on copies of train/test. The
+// returned error, if any, is a *RuntimeError (semantic failures) — syntax
+// failures are reported by Parse.
+func (e *Executor) Execute(p *Program, train, test *data.Table) (*Result, error) {
+	tr := train.Clone()
+	te := test.Clone()
+	maxOH := e.MaxOneHot
+	if maxOH <= 0 {
+		maxOH = 64
+	}
+	res := &Result{Program: p}
+
+	trained := false
+	for _, st := range p.Stmts {
+		if err := e.execStmt(st, tr, te, maxOH, res, &trained); err != nil {
+			return nil, err
+		}
+	}
+	if !trained {
+		if e.AllowNoTrain {
+			return res, nil
+		}
+		return nil, rtErr(lastLine(p), ErrNoTrainStmt, "pipeline finished without training a model")
+	}
+	return res, nil
+}
+
+func lastLine(p *Program) int {
+	if len(p.Stmts) == 0 {
+		return 1
+	}
+	return p.Stmts[len(p.Stmts)-1].Line
+}
+
+func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result, trained *bool) error {
+	if err := e.policyCheck(st); err != nil {
+		return err
+	}
+	requireCol := func(name string) (*data.Column, error) {
+		if c := tr.Col(name); c != nil {
+			return c, nil
+		}
+		return nil, rtErr(st.Line, ErrUnknownColumn, "column %q does not exist (have %d columns)", name, tr.NumCols())
+	}
+	switch st.Op {
+	case "pipeline", "evaluate":
+		return nil
+
+	case "require":
+		pkg := st.Arg(0)
+		if !AvailablePackages[pkg] {
+			return rtErr(st.Line, ErrPkgMissing, "package %q is not installed in the execution environment", pkg)
+		}
+		return nil
+
+	case "impute":
+		c, err := requireCol(st.Arg(0))
+		if err != nil {
+			return err
+		}
+		num, str, ierr := imputeValue(c, st.Opt("strategy", "most_frequent"))
+		if ierr != nil {
+			return rtErr(st.Line, ErrTypeMismatch, "%v", ierr)
+		}
+		applyImpute(c, num, str)
+		if tc := te.Col(c.Name); tc != nil {
+			applyImpute(tc, num, str)
+		}
+		return nil
+
+	case "impute_all":
+		strategy := st.Opt("strategy", "auto")
+		for _, c := range tr.Cols {
+			if c.Name == e.Target || c.MissingCount() == 0 {
+				continue
+			}
+			s := strategy
+			if s == "auto" {
+				if c.Kind.IsNumeric() {
+					s = "median"
+				} else {
+					s = "most_frequent"
+				}
+			}
+			num, str, ierr := imputeValue(c, s)
+			if ierr != nil {
+				return rtErr(st.Line, ErrTypeMismatch, "%v", ierr)
+			}
+			applyImpute(c, num, str)
+			if tc := te.Col(c.Name); tc != nil {
+				applyImpute(tc, num, str)
+			}
+		}
+		return nil
+
+	case "clip_outliers", "remove_outliers":
+		factor, err := strconv.ParseFloat(st.Opt("factor", "1.5"), 64)
+		if err != nil {
+			return rtErr(st.Line, ErrBadOption, "bad factor %q", st.Opt("factor", ""))
+		}
+		var cols []*data.Column
+		if st.Arg(0) == "all" {
+			for _, c := range tr.Cols {
+				if c.Kind.IsNumeric() && c.Name != e.Target {
+					cols = append(cols, c)
+				}
+			}
+		} else {
+			c, cerr := requireCol(st.Arg(0))
+			if cerr != nil {
+				return cerr
+			}
+			if !c.Kind.IsNumeric() {
+				return rtErr(st.Line, ErrTypeMismatch, "outlier handling needs a numeric column, %q is %s", c.Name, c.Kind)
+			}
+			cols = append(cols, c)
+		}
+		if st.Op == "clip_outliers" {
+			for _, c := range cols {
+				lo, hi := iqrBounds(c, factor)
+				clipColumn(c, lo, hi)
+				if tc := te.Col(c.Name); tc != nil && c.Name != e.Target {
+					clipColumn(tc, lo, hi)
+				}
+			}
+			return nil
+		}
+		// remove_outliers: drop offending train rows (test rows are clipped
+		// so evaluation set size is preserved, as cleaning tools do).
+		keep := make([]bool, tr.NumRows())
+		for i := range keep {
+			keep[i] = true
+		}
+		for _, c := range cols {
+			lo, hi := iqrBounds(c, factor)
+			for i := 0; i < c.Len(); i++ {
+				if !c.IsMissing(i) && (c.Nums[i] < lo || c.Nums[i] > hi) {
+					keep[i] = false
+				}
+			}
+			// Evaluation rows are clipped (never dropped) so the test set
+			// size is preserved — except the target, which is ground truth.
+			if tc := te.Col(c.Name); tc != nil && c.Name != e.Target {
+				clipColumn(tc, lo, hi)
+			}
+		}
+		var rows []int
+		for i, k := range keep {
+			if k {
+				rows = append(rows, i)
+			}
+		}
+		if len(rows) == 0 {
+			return rtErr(st.Line, ErrEmptyData, "outlier removal dropped every row")
+		}
+		*tr = *tr.SelectRows(rows)
+		return nil
+
+	case "scale":
+		method := st.Opt("method", "standard")
+		var cols []*data.Column
+		if st.Arg(0) == "all_numeric" {
+			for _, c := range tr.Cols {
+				if c.Kind.IsNumeric() && c.Name != e.Target {
+					cols = append(cols, c)
+				}
+			}
+		} else {
+			c, cerr := requireCol(st.Arg(0))
+			if cerr != nil {
+				return cerr
+			}
+			if !c.Kind.IsNumeric() {
+				return rtErr(st.Line, ErrTypeMismatch, "cannot scale non-numeric column %q", c.Name)
+			}
+			cols = append(cols, c)
+		}
+		for _, c := range cols {
+			sp, serr := fitScale(c, method)
+			if serr != nil {
+				return rtErr(st.Line, ErrBadOption, "%v", serr)
+			}
+			sp.apply(c)
+			if tc := te.Col(c.Name); tc != nil {
+				sp.apply(tc)
+			}
+		}
+		return nil
+
+	case "onehot":
+		c, err := requireCol(st.Arg(0))
+		if err != nil {
+			return err
+		}
+		maxCats := maxOH
+		if v := st.Opt("max_categories", ""); v != "" {
+			mc, perr := strconv.Atoi(v)
+			if perr != nil || mc <= 0 {
+				return rtErr(st.Line, ErrBadOption, "bad max_categories %q", v)
+			}
+			maxCats = mc
+		}
+		cats := topCategories(c, maxCats)
+		if tr.NumCols()+len(cats) > maxEncodedFeatures {
+			return rtErr(st.Line, ErrTooManyFeatures, "one-hot of %q would exceed %d features", c.Name, maxEncodedFeatures)
+		}
+		if err := oneHot(tr, c.Name, cats); err != nil {
+			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
+		}
+		if te.Col(c.Name) != nil {
+			if err := oneHot(te, c.Name, cats); err != nil {
+				return rtErr(st.Line, ErrUnknownColumn, "%v", err)
+			}
+		}
+		return nil
+
+	case "khot":
+		c, err := requireCol(st.Arg(0))
+		if err != nil {
+			return err
+		}
+		if c.Kind != data.KindString {
+			return rtErr(st.Line, ErrTypeMismatch, "khot needs a string list column, %q is %s", c.Name, c.Kind)
+		}
+		items := listItems(c, 256)
+		if tr.NumCols()+len(items) > maxEncodedFeatures {
+			return rtErr(st.Line, ErrTooManyFeatures, "k-hot of %q would exceed %d features", c.Name, maxEncodedFeatures)
+		}
+		if err := kHot(tr, c.Name, items); err != nil {
+			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
+		}
+		if te.Col(c.Name) != nil {
+			if err := kHot(te, c.Name, items); err != nil {
+				return rtErr(st.Line, ErrUnknownColumn, "%v", err)
+			}
+		}
+		return nil
+
+	case "hash_encode":
+		c, err := requireCol(st.Arg(0))
+		if err != nil {
+			return err
+		}
+		buckets, perr := strconv.Atoi(st.Opt("buckets", "64"))
+		if perr != nil || buckets <= 0 {
+			return rtErr(st.Line, ErrBadOption, "bad buckets %q", st.Opt("buckets", ""))
+		}
+		if err := hashEncode(tr, c.Name, buckets); err != nil {
+			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
+		}
+		if te.Col(c.Name) != nil {
+			if err := hashEncode(te, c.Name, buckets); err != nil {
+				return rtErr(st.Line, ErrUnknownColumn, "%v", err)
+			}
+		}
+		return nil
+
+	case "ordinal":
+		c, err := requireCol(st.Arg(0))
+		if err != nil {
+			return err
+		}
+		mapping := map[string]int{}
+		for i, cat := range topCategories(c, 1<<20) {
+			mapping[cat] = i
+		}
+		if err := ordinalEncode(tr, c.Name, mapping); err != nil {
+			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
+		}
+		if te.Col(c.Name) != nil {
+			if err := ordinalEncode(te, c.Name, mapping); err != nil {
+				return rtErr(st.Line, ErrUnknownColumn, "%v", err)
+			}
+		}
+		return nil
+
+	case "drop":
+		if _, err := requireCol(st.Arg(0)); err != nil {
+			return err
+		}
+		if st.Arg(0) == e.Target {
+			return rtErr(st.Line, ErrTargetMissing, "cannot drop the target column %q", e.Target)
+		}
+		tr.DropColumn(st.Arg(0))
+		te.DropColumn(st.Arg(0))
+		return nil
+
+	case "drop_constant":
+		for _, name := range constantCols(tr, e.Target) {
+			tr.DropColumn(name)
+			te.DropColumn(name)
+		}
+		return nil
+
+	case "drop_sparse":
+		thr, perr := strconv.ParseFloat(st.Opt("threshold", "0.02"), 64)
+		if perr != nil {
+			return rtErr(st.Line, ErrBadOption, "bad threshold %q", st.Opt("threshold", ""))
+		}
+		var doomed []string
+		for _, c := range tr.Cols {
+			if c.Name != e.Target && 1-c.MissingRatio() < thr {
+				doomed = append(doomed, c.Name)
+			}
+		}
+		for _, name := range doomed {
+			tr.DropColumn(name)
+			te.DropColumn(name)
+		}
+		return nil
+
+	case "split_composite":
+		c, err := requireCol(st.Arg(0))
+		if err != nil {
+			return err
+		}
+		names := splitNames(st, c.Name)
+		if err := splitComposite(tr, c.Name, names[0], names[1]); err != nil {
+			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
+		}
+		if te.Col(c.Name) != nil {
+			if err := splitComposite(te, c.Name, names[0], names[1]); err != nil {
+				return rtErr(st.Line, ErrUnknownColumn, "%v", err)
+			}
+		}
+		return nil
+
+	case "extract_token":
+		c, err := requireCol(st.Arg(0))
+		if err != nil {
+			return err
+		}
+		if c.Kind != data.KindString {
+			return rtErr(st.Line, ErrTypeMismatch, "extract_token needs a string column, %q is %s", c.Name, c.Kind)
+		}
+		extractToken(c)
+		if tc := te.Col(c.Name); tc != nil {
+			extractToken(tc)
+		}
+		return nil
+
+	case "dedup_values":
+		c, err := requireCol(st.Arg(0))
+		if err != nil {
+			return err
+		}
+		if c.Kind != data.KindString {
+			return rtErr(st.Line, ErrTypeMismatch, "dedup_values needs a string column, %q is %s", c.Name, c.Kind)
+		}
+		mapping := DedupMapping(c)
+		byNormal := map[string]string{}
+		for raw, canon := range mapping {
+			byNormal[NormalizeValue(raw)] = canon
+		}
+		applyMapping(c, mapping, byNormal)
+		if tc := te.Col(c.Name); tc != nil {
+			applyMapping(tc, mapping, byNormal)
+		}
+		return nil
+
+	case "rebalance":
+		if e.Task == data.Regression {
+			return rtErr(st.Line, ErrTaskMismatch, "rebalance is only valid for classification tasks")
+		}
+		if err := rebalanceADASYN(tr, e.Target, e.Seed); err != nil {
+			return rtErr(st.Line, ErrTargetMissing, "%v", err)
+		}
+		return nil
+
+	case "augment":
+		if e.Task != data.Regression {
+			return rtErr(st.Line, ErrTaskMismatch, "augment is only valid for regression tasks")
+		}
+		factor, perr := strconv.ParseFloat(st.Opt("factor", "0.15"), 64)
+		if perr != nil {
+			return rtErr(st.Line, ErrBadOption, "bad factor %q", st.Opt("factor", ""))
+		}
+		if err := augmentRegression(tr, e.Target, factor, e.Seed); err != nil {
+			return rtErr(st.Line, ErrTypeMismatch, "%v", err)
+		}
+		return nil
+
+	case "select_topk":
+		k, perr := strconv.Atoi(st.Opt("k", "0"))
+		if perr != nil || k <= 0 {
+			return rtErr(st.Line, ErrBadOption, "select_topk needs k>0")
+		}
+		e.selectTopK(tr, te, k)
+		return nil
+
+	case "train":
+		if err := e.train(st, tr, te, res); err != nil {
+			return err
+		}
+		*trained = true
+		return nil
+
+	default:
+		if handled, err := e.execExtra(st, tr, te); handled {
+			return err
+		}
+		// Parse guarantees known ops; this is unreachable by construction.
+		return rtErr(st.Line, ErrBadOption, "unhandled statement %q", st.Op)
+	}
+}
+
+func constantCols(t *data.Table, target string) []string {
+	var out []string
+	for _, c := range t.Cols {
+		if c.Name != target && c.IsConstant() {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+func splitNames(st Stmt, col string) [2]string {
+	names := [2]string{col + "_part", col + "_code"}
+	if v := st.Opt("into", ""); v != "" {
+		parts := splitComma(v)
+		if len(parts) >= 1 && parts[0] != "" {
+			names[0] = parts[0]
+		}
+		if len(parts) >= 2 && parts[1] != "" {
+			names[1] = parts[1]
+		}
+	}
+	return names
+}
+
+func splitComma(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	out = append(out, cur)
+	return out
+}
+
+// selectTopK keeps the k features most associated with the target.
+func (e *Executor) selectTopK(tr, te *data.Table, k int) {
+	target := tr.Col(e.Target)
+	type scored struct {
+		name  string
+		score float64
+	}
+	var sc []scored
+	for _, c := range tr.Cols {
+		if c.Name == e.Target {
+			continue
+		}
+		var s float64
+		if target != nil {
+			if c.Kind.IsNumeric() && target.Kind.IsNumeric() {
+				s = abs(embed.Correlation(c, target))
+			} else {
+				s = embed.CramersV(c, target)
+			}
+		}
+		sc = append(sc, scored{c.Name, s})
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].score != sc[j].score {
+			return sc[i].score > sc[j].score
+		}
+		return sc[i].name < sc[j].name
+	})
+	if k >= len(sc) {
+		return
+	}
+	for _, s := range sc[k:] {
+		tr.DropColumn(s.name)
+		te.DropColumn(s.name)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// train builds feature matrices, fits the requested model, and fills in
+// the result metrics.
+func (e *Executor) train(st Stmt, tr, te *data.Table, res *Result) error {
+	target := st.Opt("target", e.Target)
+	tcol := tr.Col(target)
+	if tcol == nil {
+		return rtErr(st.Line, ErrTargetMissing, "target column %q not found", target)
+	}
+	// Matrix validation: every remaining feature must be numeric and
+	// complete — the same contract scikit-learn enforces.
+	for _, c := range tr.Cols {
+		if c.Name == target {
+			continue
+		}
+		if !c.Kind.IsNumeric() {
+			return rtErr(st.Line, ErrStringInMatrix, "could not convert string column %q to float (did the pipeline forget to encode it?)", c.Name)
+		}
+		if c.MissingCount() > 0 {
+			return rtErr(st.Line, ErrNaNInMatrix, "input contains NaN: column %q has %d missing values", c.Name, c.MissingCount())
+		}
+	}
+	Xtr, featNames := matrix(tr, target)
+	Xte, _ := matrixAligned(te, featNames)
+	if len(Xtr) == 0 || len(featNames) == 0 {
+		return rtErr(st.Line, ErrEmptyData, "no usable feature columns at train time")
+	}
+	res.Features = len(featNames)
+	res.TrainRows = len(Xtr)
+	modelName := st.Opt("model", "random_forest")
+	res.ModelName = modelName
+
+	if e.Task.IsClassification() {
+		res.Metric = "auc"
+		labels := tcol
+		classIdx := map[string]int{}
+		for _, v := range labels.Distinct() {
+			classIdx[v] = len(classIdx)
+		}
+		classes := len(classIdx)
+		if classes < 2 {
+			return rtErr(st.Line, ErrEmptyData, "target %q has a single class in train data", target)
+		}
+		ytr := make([]int, labels.Len())
+		for i := range ytr {
+			ytr[i] = classIdx[labels.ValueString(i)]
+		}
+		clf, err := e.buildClassifier(st, modelName)
+		if err != nil {
+			return err
+		}
+		if err := clf.FitClass(Xtr, ytr, classes); err != nil {
+			if errors.Is(err, ml.ErrOutOfMemory) {
+				return rtErr(st.Line, ErrModelOOM, "model %q: %v", modelName, err)
+			}
+			return rtErr(st.Line, ErrBadOption, "model %q fit failed: %v", modelName, err)
+		}
+		// Reverse class mapping for string-accuracy scoring.
+		classOf := make([]string, classes)
+		for v, i := range classIdx {
+			classOf[i] = v
+		}
+		scoreSplit := func(X [][]float64, truthCol *data.Column) (acc, auc float64) {
+			if len(X) == 0 || truthCol == nil {
+				return 0, 0
+			}
+			proba := clf.Proba(X)
+			pred := make([]int, len(proba))
+			for i := range proba {
+				pred[i] = argmax(proba[i])
+			}
+			truthStr := make([]string, truthCol.Len())
+			predStr := make([]string, len(pred))
+			truthIdx := make([]int, truthCol.Len())
+			for i := range truthStr {
+				truthStr[i] = truthCol.ValueString(i)
+				if idx, ok := classIdx[truthStr[i]]; ok {
+					truthIdx[i] = idx
+				} else {
+					truthIdx[i] = -1 // unseen surface form: always wrong
+				}
+				predStr[i] = classOf[pred[i]]
+			}
+			return ml.AccuracyStrings(predStr, truthStr) * 100,
+				ml.MacroAUC(proba, truthIdx, classes) * 100
+		}
+		res.TrainAcc, res.TrainAUC = scoreSplit(Xtr, labels)
+		res.TestAcc, res.TestAUC = scoreSplit(Xte, te.Col(target))
+		return nil
+	}
+
+	// Regression.
+	res.Metric = "r2"
+	if !tcol.Kind.IsNumeric() {
+		return rtErr(st.Line, ErrTypeMismatch, "regression target %q is not numeric", target)
+	}
+	ytr := append([]float64(nil), tcol.Nums...)
+	reg, err := e.buildRegressor(st, modelName)
+	if err != nil {
+		return err
+	}
+	if err := reg.Fit(Xtr, ytr); err != nil {
+		if errors.Is(err, ml.ErrOutOfMemory) {
+			return rtErr(st.Line, ErrModelOOM, "model %q: %v", modelName, err)
+		}
+		return rtErr(st.Line, ErrBadOption, "model %q fit failed: %v", modelName, err)
+	}
+	clampR2 := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		return v * 100
+	}
+	res.TrainR2 = clampR2(ml.R2(reg.Predict(Xtr), ytr))
+	if teT := te.Col(target); teT != nil && len(Xte) > 0 {
+		yte := append([]float64(nil), teT.Nums...)
+		pred := reg.Predict(Xte)
+		res.TestR2 = clampR2(ml.R2(pred, yte))
+		res.TestRMSE = ml.RMSE(pred, yte)
+	}
+	return nil
+}
+
+func argmax(v []float64) int {
+	best, bi := v[0], 0
+	for i, x := range v[1:] {
+		if x > best {
+			best, bi = x, i+1
+		}
+	}
+	return bi
+}
+
+// matrix extracts the numeric feature matrix and column order.
+func matrix(t *data.Table, target string) ([][]float64, []string) {
+	var names []string
+	var cols []*data.Column
+	for _, c := range t.Cols {
+		if c.Name == target || !c.Kind.IsNumeric() {
+			continue
+		}
+		names = append(names, c.Name)
+		cols = append(cols, c)
+	}
+	X := make([][]float64, t.NumRows())
+	for i := range X {
+		row := make([]float64, len(cols))
+		for j, c := range cols {
+			row[j] = c.Nums[i]
+		}
+		X[i] = row
+	}
+	return X, names
+}
+
+// matrixAligned extracts features in the given column order (absent
+// columns yield zeros), so test matrices line up with train matrices.
+func matrixAligned(t *data.Table, names []string) ([][]float64, []string) {
+	cols := make([]*data.Column, len(names))
+	for j, n := range names {
+		cols[j] = t.Col(n)
+	}
+	X := make([][]float64, t.NumRows())
+	for i := range X {
+		row := make([]float64, len(names))
+		for j, c := range cols {
+			if c != nil && c.Kind.IsNumeric() && i < len(c.Nums) {
+				row[j] = c.Nums[i]
+			}
+		}
+		X[i] = row
+	}
+	return X, names
+}
+
+// classifierIface and regressorIface unify the ml model zoo.
+type classifierIface interface {
+	FitClass(X [][]float64, y []int, classes int) error
+	Proba(X [][]float64) [][]float64
+}
+
+type regressorIface interface {
+	Fit(X [][]float64, y []float64) error
+	Predict(X [][]float64) []float64
+}
+
+func (e *Executor) buildClassifier(st Stmt, name string) (classifierIface, error) {
+	trees := atoiOpt(st, "trees", 50)
+	depth := atoiOpt(st, "depth", 0)
+	switch name {
+	case "random_forest":
+		return ml.NewForest(ml.ForestConfig{Trees: trees, MaxDepth: depth, Seed: e.Seed}), nil
+	case "decision_tree":
+		return ml.NewTree(ml.TreeConfig{MaxDepth: depth, Seed: e.Seed}), nil
+	case "gbm", "gradient_boosting":
+		return ml.NewGBM(ml.GBMConfig{Rounds: atoiOpt(st, "rounds", 40), MaxDepth: depth, Seed: e.Seed}), nil
+	case "logistic_regression":
+		return ml.NewLogistic(ml.LinearConfig{Epochs: atoiOpt(st, "epochs", 20), Seed: e.Seed}), nil
+	case "knn":
+		return ml.NewKNN(ml.KNNConfig{K: atoiOpt(st, "k", 7), MaxTrain: 4000}), nil
+	case "naive_bayes":
+		return ml.NewNaiveBayes(), nil
+	case "tabpfn":
+		return ml.NewTabPFNSim(), nil
+	case "extra_trees":
+		return ml.NewExtraTrees(ml.ForestConfig{Trees: trees, MaxDepth: depth, Seed: e.Seed}), nil
+	case "svm":
+		return ml.NewSVM(ml.LinearConfig{Epochs: atoiOpt(st, "epochs", 10), Seed: e.Seed}), nil
+	default:
+		return nil, rtErr(st.Line, ErrUnknownModel, "unknown classification model %q", name)
+	}
+}
+
+func (e *Executor) buildRegressor(st Stmt, name string) (regressorIface, error) {
+	trees := atoiOpt(st, "trees", 50)
+	depth := atoiOpt(st, "depth", 0)
+	switch name {
+	case "random_forest":
+		return ml.NewForest(ml.ForestConfig{Trees: trees, MaxDepth: depth, Seed: e.Seed}), nil
+	case "decision_tree":
+		return ml.NewTree(ml.TreeConfig{MaxDepth: depth, Seed: e.Seed}), nil
+	case "gbm", "gradient_boosting":
+		return ml.NewGBM(ml.GBMConfig{Rounds: atoiOpt(st, "rounds", 40), MaxDepth: depth, Seed: e.Seed}), nil
+	case "linear_regression":
+		return ml.NewLinear(ml.LinearConfig{Epochs: atoiOpt(st, "epochs", 150)}), nil
+	case "ridge":
+		return ml.NewLinear(ml.LinearConfig{Epochs: atoiOpt(st, "epochs", 150), L2: 0.01}), nil
+	case "knn":
+		return ml.NewKNN(ml.KNNConfig{K: atoiOpt(st, "k", 7), MaxTrain: 4000}), nil
+	case "extra_trees":
+		return ml.NewExtraTrees(ml.ForestConfig{Trees: trees, MaxDepth: depth, Seed: e.Seed}), nil
+	default:
+		return nil, rtErr(st.Line, ErrUnknownModel, "unknown regression model %q", name)
+	}
+}
+
+func atoiOpt(st Stmt, key string, def int) int {
+	if v, ok := st.KV[key]; ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}

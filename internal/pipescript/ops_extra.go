@@ -1,0 +1,256 @@
+package pipescript
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"catdb/internal/data"
+)
+
+// This file adds the extended pipeline primitives beyond the paper's core
+// set: numeric binning, log transforms, interaction features, row
+// deduplication, winsorizing, and target encoding. The simulated LLM uses
+// a subset of them; they are also available to hand-written pipelines via
+// the public ExecutePipeline API.
+
+func init() {
+	// Register the extended statements with the parser.
+	knownOps["bin_numeric"] = 1   // bin_numeric <col> bins=N
+	knownOps["log_transform"] = 1 // log_transform <col>
+	knownOps["interaction"] = 2   // interaction <colA> <colB> op=product|ratio
+	knownOps["drop_duplicates"] = 0
+	knownOps["winsorize"] = 1     // winsorize <col> lower=0.01 upper=0.99
+	knownOps["target_encode"] = 1 // target_encode <col>
+}
+
+// execExtra handles the extended statements; it returns (handled, error).
+func (e *Executor) execExtra(st Stmt, tr, te *data.Table) (bool, error) {
+	requireCol := func(name string) (*data.Column, error) {
+		if c := tr.Col(name); c != nil {
+			return c, nil
+		}
+		return nil, rtErr(st.Line, ErrUnknownColumn, "column %q does not exist", name)
+	}
+	switch st.Op {
+	case "bin_numeric":
+		c, err := requireCol(st.Arg(0))
+		if err != nil {
+			return true, err
+		}
+		if !c.Kind.IsNumeric() {
+			return true, rtErr(st.Line, ErrTypeMismatch, "bin_numeric needs a numeric column, %q is %s", c.Name, c.Kind)
+		}
+		bins, perr := strconv.Atoi(st.Opt("bins", "8"))
+		if perr != nil || bins < 2 {
+			return true, rtErr(st.Line, ErrBadOption, "bad bins %q", st.Opt("bins", ""))
+		}
+		edges := make([]float64, bins-1)
+		for i := range edges {
+			edges[i] = c.Quantile(float64(i+1) / float64(bins))
+		}
+		binify := func(col *data.Column) {
+			for i := range col.Nums {
+				if col.IsMissing(i) {
+					continue
+				}
+				b := 0
+				for _, edge := range edges {
+					if col.Nums[i] > edge {
+						b++
+					}
+				}
+				col.Nums[i] = float64(b)
+			}
+			col.Kind = data.KindInt
+		}
+		binify(c)
+		if tc := te.Col(c.Name); tc != nil {
+			binify(tc)
+		}
+		return true, nil
+
+	case "log_transform":
+		c, err := requireCol(st.Arg(0))
+		if err != nil {
+			return true, err
+		}
+		if !c.Kind.IsNumeric() {
+			return true, rtErr(st.Line, ErrTypeMismatch, "log_transform needs a numeric column, %q is %s", c.Name, c.Kind)
+		}
+		// Signed log1p keeps negatives meaningful: sign(x)·log(1+|x|).
+		apply := func(col *data.Column) {
+			for i := range col.Nums {
+				if col.IsMissing(i) {
+					continue
+				}
+				v := col.Nums[i]
+				s := 1.0
+				if v < 0 {
+					s, v = -1, -v
+				}
+				col.Nums[i] = s * math.Log1p(v)
+			}
+			col.Kind = data.KindFloat
+		}
+		apply(c)
+		if tc := te.Col(c.Name); tc != nil {
+			apply(tc)
+		}
+		return true, nil
+
+	case "interaction":
+		a, err := requireCol(st.Arg(0))
+		if err != nil {
+			return true, err
+		}
+		b, err := requireCol(st.Arg(1))
+		if err != nil {
+			return true, err
+		}
+		if !a.Kind.IsNumeric() || !b.Kind.IsNumeric() {
+			return true, rtErr(st.Line, ErrTypeMismatch, "interaction needs numeric columns")
+		}
+		op := st.Opt("op", "product")
+		name := fmt.Sprintf("%s_%s_%s", a.Name, op, b.Name)
+		build := func(t *data.Table) error {
+			ca, cb := t.Col(a.Name), t.Col(b.Name)
+			if ca == nil || cb == nil {
+				return nil // the interaction column only exists where both sources do
+			}
+			vals := make([]float64, ca.Len())
+			nc := data.NewNumeric(name, vals)
+			for i := range vals {
+				if ca.IsMissing(i) || cb.IsMissing(i) {
+					nc.SetMissing(i)
+					continue
+				}
+				switch op {
+				case "ratio":
+					den := cb.Nums[i]
+					if den == 0 {
+						den = 1
+					}
+					vals[i] = ca.Nums[i] / den
+				default:
+					vals[i] = ca.Nums[i] * cb.Nums[i]
+				}
+			}
+			return t.AddColumn(nc)
+		}
+		if err := build(tr); err != nil {
+			return true, rtErr(st.Line, ErrBadOption, "%v", err)
+		}
+		if err := build(te); err != nil {
+			return true, rtErr(st.Line, ErrBadOption, "%v", err)
+		}
+		return true, nil
+
+	case "drop_duplicates":
+		seen := map[string]bool{}
+		var keep []int
+		for i := 0; i < tr.NumRows(); i++ {
+			var key strings.Builder
+			for _, c := range tr.Cols {
+				key.WriteString(c.ValueString(i))
+				key.WriteByte(0x1f)
+			}
+			k := key.String()
+			if !seen[k] {
+				seen[k] = true
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) == 0 {
+			return true, rtErr(st.Line, ErrEmptyData, "deduplication removed every row")
+		}
+		if len(keep) < tr.NumRows() {
+			*tr = *tr.SelectRows(keep)
+		}
+		return true, nil
+
+	case "winsorize":
+		c, err := requireCol(st.Arg(0))
+		if err != nil {
+			return true, err
+		}
+		if !c.Kind.IsNumeric() {
+			return true, rtErr(st.Line, ErrTypeMismatch, "winsorize needs a numeric column, %q is %s", c.Name, c.Kind)
+		}
+		lowQ, err1 := strconv.ParseFloat(st.Opt("lower", "0.01"), 64)
+		hiQ, err2 := strconv.ParseFloat(st.Opt("upper", "0.99"), 64)
+		if err1 != nil || err2 != nil || lowQ < 0 || hiQ > 1 || lowQ >= hiQ {
+			return true, rtErr(st.Line, ErrBadOption, "bad winsorize bounds")
+		}
+		lo, hi := c.Quantile(lowQ), c.Quantile(hiQ)
+		clipColumn(c, lo, hi)
+		if tc := te.Col(c.Name); tc != nil && c.Name != e.Target {
+			clipColumn(tc, lo, hi)
+		}
+		return true, nil
+
+	case "target_encode":
+		c, err := requireCol(st.Arg(0))
+		if err != nil {
+			return true, err
+		}
+		if c.Kind != data.KindString {
+			return true, rtErr(st.Line, ErrTypeMismatch, "target_encode needs a string column, %q is %s", c.Name, c.Kind)
+		}
+		tcol := tr.Col(e.Target)
+		if tcol == nil {
+			return true, rtErr(st.Line, ErrTargetMissing, "target %q not found", e.Target)
+		}
+		if !tcol.Kind.IsNumeric() {
+			return true, rtErr(st.Line, ErrTypeMismatch, "target encoding needs a numeric target (regression)")
+		}
+		// Smoothed mean encoding fitted on train.
+		sums := map[string]float64{}
+		counts := map[string]float64{}
+		var global float64
+		var n float64
+		for i := 0; i < c.Len(); i++ {
+			if c.IsMissing(i) || tcol.IsMissing(i) {
+				continue
+			}
+			v := c.Strs[i]
+			sums[v] += tcol.Nums[i]
+			counts[v]++
+			global += tcol.Nums[i]
+			n++
+		}
+		if n == 0 {
+			return true, rtErr(st.Line, ErrEmptyData, "no data to fit target encoding")
+		}
+		global /= n
+		const smoothing = 10
+		encodeOne := func(t *data.Table) error {
+			col := t.Col(c.Name)
+			if col == nil {
+				return nil
+			}
+			vals := make([]float64, col.Len())
+			nc := data.NewNumeric(c.Name+"__tenc", vals)
+			for i := range vals {
+				if col.IsMissing(i) {
+					vals[i] = global
+					continue
+				}
+				v := col.Strs[i]
+				cnt := counts[v]
+				vals[i] = (sums[v] + smoothing*global) / (cnt + smoothing)
+			}
+			t.DropColumn(c.Name)
+			return t.AddColumn(nc)
+		}
+		if err := encodeOne(tr); err != nil {
+			return true, rtErr(st.Line, ErrBadOption, "%v", err)
+		}
+		if err := encodeOne(te); err != nil {
+			return true, rtErr(st.Line, ErrBadOption, "%v", err)
+		}
+		return true, nil
+	}
+	return false, nil
+}

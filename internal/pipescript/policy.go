@@ -1,0 +1,83 @@
+package pipescript
+
+import (
+	"sort"
+	"strings"
+)
+
+// Policy enforces organizational library constraints on pipeline
+// execution — the allowed/disallowed-library compliance lists that §4.3
+// of the paper names as future work. A disallowed model or package raises
+// ErrPolicy at execution time, which the error-management loop repairs by
+// switching to an allowed alternative.
+type Policy struct {
+	// DisallowedModels lists model names pipelines must not train.
+	DisallowedModels []string
+	// DisallowedPackages lists packages pipelines must not require
+	// (checked before the installed-package check).
+	DisallowedPackages []string
+}
+
+// ErrPolicy is the runtime error code for compliance violations.
+const ErrPolicy = "E_POLICY"
+
+// modelDisallowed reports whether the policy bans the model.
+func (p *Policy) modelDisallowed(model string) bool {
+	if p == nil {
+		return false
+	}
+	for _, m := range p.DisallowedModels {
+		if m == model {
+			return true
+		}
+	}
+	return false
+}
+
+// packageDisallowed reports whether the policy bans the package.
+func (p *Policy) packageDisallowed(pkg string) bool {
+	if p == nil {
+		return false
+	}
+	for _, m := range p.DisallowedPackages {
+		if m == pkg {
+			return true
+		}
+	}
+	return false
+}
+
+// allowedModelAlternatives returns the known model names the policy
+// permits, sorted, for inclusion in error messages so the LLM fixer can
+// pick a compliant replacement.
+func (p *Policy) allowedModelAlternatives() []string {
+	var out []string
+	for m := range knownModels {
+		if !p.modelDisallowed(m) {
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// policyCheck raises ErrPolicy for statements that violate the policy.
+func (e *Executor) policyCheck(st Stmt) error {
+	if e.Policy == nil {
+		return nil
+	}
+	switch st.Op {
+	case "require":
+		if e.Policy.packageDisallowed(st.Arg(0)) {
+			return rtErr(st.Line, ErrPolicy, "package %q is disallowed by organizational policy", st.Arg(0))
+		}
+	case "train":
+		model := st.Opt("model", "random_forest")
+		if e.Policy.modelDisallowed(model) {
+			return rtErr(st.Line, ErrPolicy,
+				"model %q is disallowed by organizational policy; allowed alternatives: %s",
+				model, strings.Join(e.Policy.allowedModelAlternatives(), ", "))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package pipescript
+
+import (
+	"errors"
+	"testing"
+
+	"catdb/internal/data"
+)
+
+func policyTable() (*data.Table, *data.Table) {
+	t := data.NewTable("p")
+	n := 100
+	x := make([]float64, n)
+	y := make([]string, n)
+	for i := 0; i < n; i++ {
+		x[i] = float64(i % 10)
+		y[i] = []string{"a", "b"}[i%2]
+	}
+	t.MustAddColumn(data.NewNumeric("x", x))
+	t.MustAddColumn(data.NewString("y", y))
+	return t.Split(0.7, 1)
+}
+
+func TestPolicyDisallowedModel(t *testing.T) {
+	tr, te := policyTable()
+	p, _ := Parse("pipeline \"x\"\ntrain model=random_forest target=\"y\" trees=5\n")
+	ex := &Executor{Target: "y", Task: data.Binary, Seed: 1,
+		Policy: &Policy{DisallowedModels: []string{"random_forest"}}}
+	_, err := ex.Execute(p, tr, te)
+	var re *RuntimeError
+	if !errors.As(err, &re) || re.Code != ErrPolicy {
+		t.Fatalf("want E_POLICY, got %v", err)
+	}
+	if !contains(re.Msg, "allowed alternatives") {
+		t.Fatalf("message must list alternatives: %s", re.Msg)
+	}
+	// Allowed model passes.
+	p2, _ := Parse("pipeline \"x\"\ntrain model=gbm target=\"y\" rounds=5\n")
+	if _, err := ex.Execute(p2, tr, te); err != nil {
+		t.Fatalf("allowed model must pass: %v", err)
+	}
+}
+
+func TestPolicyDisallowedPackage(t *testing.T) {
+	tr, te := policyTable()
+	p, _ := Parse("pipeline \"x\"\nrequire tabular\ntrain model=gbm target=\"y\" rounds=5\n")
+	ex := &Executor{Target: "y", Task: data.Binary, Seed: 1,
+		Policy: &Policy{DisallowedPackages: []string{"tabular"}}}
+	_, err := ex.Execute(p, tr, te)
+	var re *RuntimeError
+	if !errors.As(err, &re) || re.Code != ErrPolicy {
+		t.Fatalf("want E_POLICY, got %v", err)
+	}
+}
+
+func TestPolicyNilIsNoop(t *testing.T) {
+	tr, te := policyTable()
+	p, _ := Parse("pipeline \"x\"\ntrain model=random_forest target=\"y\" trees=5\n")
+	ex := &Executor{Target: "y", Task: data.Binary, Seed: 1}
+	if _, err := ex.Execute(p, tr, te); err != nil {
+		t.Fatalf("nil policy must not interfere: %v", err)
+	}
+}
+
+func TestPolicyAlternativesExcludeBanned(t *testing.T) {
+	pol := &Policy{DisallowedModels: []string{"random_forest", "gbm"}}
+	for _, alt := range pol.allowedModelAlternatives() {
+		if alt == "random_forest" || alt == "gbm" {
+			t.Fatalf("banned model in alternatives: %s", alt)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,306 @@
+// Package profile implements Algorithm 1 (PROFILING) of the paper: for
+// every column of a dataset it extracts the schema (name, data type), the
+// distinct-value and missing-value percentages, basic statistics, value
+// samples, and — via the cheap column embeddings of internal/embed —
+// approximate inclusion dependencies, similarities, and correlations.
+package profile
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"catdb/internal/data"
+	"catdb/internal/embed"
+)
+
+// FeatureType is the ML-level feature type layered over the physical kind.
+// Profiling assigns a basic guess; internal/catalog refines it with the
+// (simulated) LLM per §3.2.
+type FeatureType int
+
+// Feature types recognised by the catalog.
+const (
+	FeatureUnknown FeatureType = iota
+	FeatureNumerical
+	FeatureCategorical
+	FeatureBoolean
+	FeatureSentence // free text requiring refinement
+	FeatureList     // multi-valued cells ("Python, Java")
+	FeatureConstant
+	FeatureID
+)
+
+// String returns the lower-case feature type name as used in prompts.
+func (f FeatureType) String() string {
+	switch f {
+	case FeatureNumerical:
+		return "numerical"
+	case FeatureCategorical:
+		return "categorical"
+	case FeatureBoolean:
+		return "boolean"
+	case FeatureSentence:
+		return "sentence"
+	case FeatureList:
+		return "list"
+	case FeatureConstant:
+		return "constant"
+	case FeatureID:
+		return "id"
+	default:
+		return "unknown"
+	}
+}
+
+// ColumnProfile is the per-column entry of the data profile (the
+// dictionary P[c] of Algorithm 1).
+type ColumnProfile struct {
+	Name            string
+	DataType        data.Kind
+	FeatureType     FeatureType
+	DistinctPct     float64 // percentage in [0,100]
+	MissingPct      float64 // percentage in [0,100]
+	DistinctCount   int
+	Stats           data.Stats
+	Samples         []string
+	DistinctValues  []string // all values for categorical candidates
+	InclusionDeps   []string // columns whose value set this column is included in
+	SimilarTo       []string // most similar sibling columns (embedding cosine)
+	TargetCorr      float64  // association with the target column
+	IsTarget        bool
+	NonNullFraction float64
+}
+
+// Profile is the full data profile of a (consolidated) table.
+type Profile struct {
+	Dataset string
+	Rows    int
+	Target  string
+	Task    data.Task
+	Columns []*ColumnProfile
+	Elapsed time.Duration // wall time of profiling (Figure 9a)
+}
+
+// Column returns the profile entry for a column name, or nil.
+func (p *Profile) Column(name string) *ColumnProfile {
+	for _, c := range p.Columns {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Options tunes profiling.
+type Options struct {
+	// Samples is τ₁ of Algorithm 1: values stored per non-categorical
+	// column. Default 10 (the paper's LLM-type-inference sample size).
+	Samples int
+	// MaxRowsForPairwise caps the rows used for embedding/pairwise
+	// analysis. Default 2000.
+	MaxRowsForPairwise int
+	// CategoricalMaxDistinct is the distinct-count threshold under which a
+	// string column is treated as a categorical candidate. Default 64.
+	CategoricalMaxDistinct int
+	// Seed drives sample selection.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Samples <= 0 {
+		o.Samples = 10
+	}
+	if o.MaxRowsForPairwise <= 0 {
+		o.MaxRowsForPairwise = 2000
+	}
+	if o.CategoricalMaxDistinct <= 0 {
+		o.CategoricalMaxDistinct = 64
+	}
+	return o
+}
+
+// Table profiles a single table (Algorithm 1) against the given target
+// column and task.
+func Table(t *data.Table, target string, task data.Task, opts Options) (*Profile, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	if t.NumRows() == 0 {
+		return nil, fmt.Errorf("profile: table %q is empty", t.Name)
+	}
+	p := &Profile{Dataset: t.Name, Rows: t.NumRows(), Target: target, Task: task}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Embedding working set: sample rows once for all pairwise analysis.
+	work := t
+	if t.NumRows() > opts.MaxRowsForPairwise {
+		work = t.Sample(opts.MaxRowsForPairwise, rng)
+	}
+	vecs := make([]embed.Vector, len(work.Cols))
+	for i, c := range work.Cols {
+		vecs[i] = embed.Column(c)
+	}
+	targetCol := work.Col(target)
+
+	for ci, c := range t.Cols {
+		cp := &ColumnProfile{
+			Name:            c.Name,
+			DataType:        c.Kind,
+			DistinctPct:     c.DistinctRatio() * 100,
+			MissingPct:      c.MissingRatio() * 100,
+			DistinctCount:   c.DistinctCount(),
+			NonNullFraction: 1 - c.MissingRatio(),
+			IsTarget:        c.Name == target,
+		}
+		cp.FeatureType = guessFeatureType(c, opts)
+		if c.Kind.IsNumeric() {
+			cp.Stats = c.NumericStats()
+		}
+		cp.Samples = sampleValues(c, opts.Samples, rng)
+		if cp.FeatureType == FeatureCategorical || cp.FeatureType == FeatureBoolean {
+			cp.DistinctValues = c.Distinct()
+		}
+		// Pairwise metadata from the working sample (Alg. 1 lines 7-9).
+		wc := work.Cols[ci]
+		for cj, other := range work.Cols {
+			if cj == ci || other.Name == target {
+				continue
+			}
+			if embed.Cosine(vecs[ci], vecs[cj]) > 0.85 {
+				cp.SimilarTo = append(cp.SimilarTo, other.Name)
+			}
+		}
+		if cp.FeatureType == FeatureCategorical {
+			for cj, other := range work.Cols {
+				if cj == ci || !isDiscrete(other, opts) {
+					continue
+				}
+				if embed.InclusionScore(wc, other) >= 0.999 && other.DistinctCount() > wc.DistinctCount() {
+					cp.InclusionDeps = append(cp.InclusionDeps, other.Name)
+				}
+			}
+		}
+		if targetCol != nil && c.Name != target {
+			if wc.Kind.IsNumeric() && targetCol.Kind.IsNumeric() {
+				cp.TargetCorr = embed.Correlation(wc, targetCol)
+			} else {
+				cp.TargetCorr = embed.CramersV(wc, targetCol)
+			}
+		}
+		sort.Strings(cp.SimilarTo)
+		sort.Strings(cp.InclusionDeps)
+		p.Columns = append(p.Columns, cp)
+	}
+	p.Elapsed = time.Since(start)
+	return p, nil
+}
+
+// Dataset consolidates a (possibly multi-table) dataset and profiles the
+// result; this is the entry point CatDB uses.
+func Dataset(ds *data.Dataset, opts Options) (*Profile, error) {
+	t, err := ds.Consolidate()
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	p, err := Table(t, ds.Target, ds.Task, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.Dataset = ds.Name
+	return p, nil
+}
+
+func isDiscrete(c *data.Column, opts Options) bool {
+	return c.DistinctCount() <= opts.CategoricalMaxDistinct*4
+}
+
+// guessFeatureType is the profiler's pre-LLM heuristic (the catalog's LLM
+// pass can overturn it, e.g. sentence → categorical).
+func guessFeatureType(c *data.Column, opts Options) FeatureType {
+	if c.IsConstant() {
+		return FeatureConstant
+	}
+	switch c.Kind {
+	case data.KindBool:
+		return FeatureBoolean
+	case data.KindInt:
+		if c.DistinctRatio() > 0.98 && c.DistinctCount() > 50 {
+			return FeatureID
+		}
+		if c.DistinctCount() <= 12 {
+			return FeatureCategorical
+		}
+		return FeatureNumerical
+	case data.KindFloat:
+		return FeatureNumerical
+	}
+	// String columns.
+	dc := c.DistinctCount()
+	if dc <= opts.CategoricalMaxDistinct {
+		return FeatureCategorical
+	}
+	multiWord, commaSep, n := 0, 0, 0
+	for i := 0; i < c.Len() && n < 200; i++ {
+		if c.IsMissing(i) {
+			continue
+		}
+		n++
+		v := c.Strs[i]
+		if strings.Contains(v, ", ") {
+			commaSep++
+		}
+		if strings.Count(strings.TrimSpace(v), " ") >= 1 {
+			multiWord++
+		}
+	}
+	if n == 0 {
+		return FeatureUnknown
+	}
+	if float64(commaSep)/float64(n) > 0.3 {
+		return FeatureList
+	}
+	if float64(multiWord)/float64(n) > 0.3 {
+		return FeatureSentence
+	}
+	if c.DistinctRatio() > 0.98 {
+		return FeatureID
+	}
+	return FeatureSentence
+}
+
+func sampleValues(c *data.Column, n int, rng *rand.Rand) []string {
+	var present []int
+	for i := 0; i < c.Len(); i++ {
+		if !c.IsMissing(i) {
+			present = append(present, i)
+		}
+	}
+	if len(present) == 0 {
+		return nil
+	}
+	rng.Shuffle(len(present), func(i, j int) { present[i], present[j] = present[j], present[i] })
+	if len(present) > n {
+		present = present[:n]
+	}
+	out := make([]string, len(present))
+	for i, r := range present {
+		out[i] = c.ValueString(r)
+	}
+	return out
+}
+
+// TypeCensus counts feature types across a set of profiles (Figure 9b).
+func TypeCensus(profiles []*Profile) map[FeatureType]int {
+	out := map[FeatureType]int{}
+	for _, p := range profiles {
+		for _, c := range p.Columns {
+			if c.IsTarget {
+				continue
+			}
+			out[c.FeatureType]++
+		}
+	}
+	return out
+}

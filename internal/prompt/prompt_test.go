@@ -1,0 +1,316 @@
+package prompt
+
+import (
+	"strings"
+	"testing"
+
+	"catdb/internal/data"
+	"catdb/internal/profile"
+)
+
+func sampleInput() Input {
+	return Input{
+		Dataset: "Salary", Task: data.Regression, Target: "salary", Rows: 500,
+		Description: "Employee salary records.",
+		Cols: []ColumnMeta{
+			{Name: "experience", DataType: data.KindString, FeatureType: profile.FeatureSentence,
+				DistinctPct: 90, DistinctCount: 450},
+			{Name: "gender", DataType: data.KindString, FeatureType: profile.FeatureCategorical,
+				DistinctCount: 4, DistinctValues: []string{"FEMALE", "Female", " male", "Male"}},
+			{Name: "skills", DataType: data.KindString, FeatureType: profile.FeatureList,
+				DistinctCount: 300},
+			{Name: "zip", DataType: data.KindString, FeatureType: profile.FeatureCategorical,
+				DistinctCount: 120},
+			{Name: "age", DataType: data.KindFloat, FeatureType: profile.FeatureNumerical,
+				MissingPct: 5, Stats: data.Stats{Min: 18, Max: 70, Mean: 40, Median: 39, Std: 10, Q1: 32, Q3: 48},
+				TargetCorr: 0.4},
+			{Name: "bonus", DataType: data.KindFloat, FeatureType: profile.FeatureNumerical,
+				Stats: data.Stats{Min: 0, Max: 1e6, Mean: 100, Median: 80, Std: 500, Q1: 40, Q3: 130}},
+			{Name: "emp_id", DataType: data.KindInt, FeatureType: profile.FeatureID, DistinctPct: 100},
+			{Name: "firmware", DataType: data.KindString, FeatureType: profile.FeatureConstant, DistinctCount: 1},
+			{Name: "mostly_null", DataType: data.KindFloat, FeatureType: profile.FeatureNumerical, MissingPct: 99},
+			{Name: "salary", DataType: data.KindFloat, FeatureType: profile.FeatureNumerical, IsTarget: true,
+				Stats: data.Stats{Min: 50, Max: 500, Mean: 200, Median: 180, Std: 80, Q1: 140, Q3: 250}},
+		},
+	}
+}
+
+func TestBuildRulesCoverage(t *testing.T) {
+	r := BuildRules(sampleInput())
+	all := r.All()
+	var directives []string
+	for _, rule := range all {
+		directives = append(directives, rule.Directive)
+	}
+	joined := strings.Join(directives, "\n")
+	for _, want := range []string{
+		`impute "age" strategy=median`,
+		`remove_outliers "bonus"`,
+		`onehot "gender"`,
+		`hash_encode "zip"`,
+		`khot "skills"`,
+		`extract_token "experience"`,
+		`dedup_values "gender"`,
+		`drop "emp_id"`,
+		`drop "firmware"`,
+		"train family=",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("rules missing %q:\n%s", want, joined)
+		}
+	}
+	if len(r.Model) == 0 {
+		t.Fatal("model rules missing")
+	}
+}
+
+func TestBuildRulesImbalanceAndAugment(t *testing.T) {
+	in := sampleInput()
+	in.Task = data.Multiclass
+	in.TopClassShare = 0.8
+	r := BuildRules(in)
+	if !strings.Contains(strings.Join(dirs(r.Preprocessing), "\n"), "rebalance") {
+		t.Fatal("imbalanced classification must get a rebalance rule")
+	}
+	reg := sampleInput()
+	reg.Rows = 500
+	r2 := BuildRules(reg)
+	if !strings.Contains(strings.Join(dirs(r2.Preprocessing), "\n"), "augment") {
+		t.Fatal("small regression must get an augment rule")
+	}
+}
+
+func dirs(rules []Rule) []string {
+	out := make([]string, len(rules))
+	for i, r := range rules {
+		out[i] = r.Directive
+	}
+	return out
+}
+
+func TestCleanInput(t *testing.T) {
+	in := CleanInput(sampleInput())
+	for _, c := range in.Cols {
+		if c.Name == "mostly_null" {
+			t.Fatal("mostly-null column must be cleaned away")
+		}
+		if c.Name == "firmware" {
+			t.Fatal("constant column must be cleaned away")
+		}
+	}
+	// Target always kept.
+	found := false
+	for _, c := range in.Cols {
+		if c.IsTarget {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("target lost in cleaning")
+	}
+}
+
+func TestSelectTopKPriority(t *testing.T) {
+	in := sampleInput()
+	out := SelectTopK(in, 2)
+	names := map[string]bool{}
+	for _, c := range out.Cols {
+		names[c.Name] = true
+	}
+	if !names["salary"] {
+		t.Fatal("target must survive top-K")
+	}
+	// Categoricals have top priority.
+	if !names["gender"] || !names["zip"] {
+		t.Fatalf("top-2 should be the categorical columns, got %v", names)
+	}
+	if len(out.Cols) != 3 {
+		t.Fatalf("topk size = %d", len(out.Cols))
+	}
+	// k<=0 keeps everything.
+	if got := len(SelectTopK(in, 0).Cols); got != len(in.Cols) {
+		t.Fatalf("k=0 should keep all, got %d", got)
+	}
+}
+
+func TestBuildSinglePrompt(t *testing.T) {
+	in := sampleInput()
+	ps := Build(in, ModelSpec{Name: "sim", MaxPromptTokens: 100000}, DefaultConfig())
+	if len(ps) != 1 || ps[0].Kind != KindPipeline {
+		t.Fatalf("single build: %d prompts", len(ps))
+	}
+	text := ps[0].Text
+	for _, want := range []string{"<TASK>", "<SCHEMA>", "<RULES>", "dataset=Salary", "task=regression", `target="salary"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prompt missing %q", want)
+		}
+	}
+	if ps[0].Tokens != CountTokens(text) {
+		t.Fatal("token count mismatch")
+	}
+	if ps[0].Truncated {
+		t.Fatal("roomy prompt must not truncate")
+	}
+}
+
+func TestBuildChainPrompts(t *testing.T) {
+	in := sampleInput()
+	cfg := DefaultConfig()
+	cfg.Chains = 2
+	ps := Build(in, ModelSpec{Name: "sim", MaxPromptTokens: 100000}, cfg)
+	// 2 chunks × (preprocessing + fe) + 1 model selection = 5.
+	if len(ps) != 5 {
+		t.Fatalf("chain prompts = %d, want 5", len(ps))
+	}
+	if ps[0].Kind != KindPreprocessing || ps[1].Kind != KindFeatureEng {
+		t.Fatalf("chain ordering: %s %s", ps[0].Kind, ps[1].Kind)
+	}
+	if ps[4].Kind != KindModelSelection {
+		t.Fatalf("last prompt = %s", ps[4].Kind)
+	}
+}
+
+func TestTruncationDropsRules(t *testing.T) {
+	in := sampleInput()
+	// Blow up the schema with many columns.
+	for i := 0; i < 300; i++ {
+		in.Cols = append(in.Cols, ColumnMeta{
+			Name:     "extra" + string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('0'+(i/10)%10)),
+			DataType: data.KindFloat, FeatureType: profile.FeatureNumerical,
+			MissingPct: 5, Stats: data.Stats{Min: 0, Max: 1, Mean: 0.5, Median: 0.5, Std: 1},
+		})
+	}
+	ps := Build(in, ModelSpec{Name: "tiny", MaxPromptTokens: 800}, DefaultConfig())
+	if !ps[0].Truncated {
+		t.Fatal("tiny context must force truncation")
+	}
+	if ps[0].Tokens > 800 {
+		t.Fatalf("prompt still over budget: %d", ps[0].Tokens)
+	}
+}
+
+func TestCombosToggleItems(t *testing.T) {
+	in := sampleInput()
+	get := func(c Combo) string {
+		cfg := Config{Combo: c, Chains: 1, IncludeRules: false}
+		return Build(in, ModelSpec{MaxPromptTokens: 100000}, cfg)[0].Text
+	}
+	t1 := get(Combo1)
+	if strings.Contains(t1, "missing_pct=") || strings.Contains(t1, "mean=") || strings.Contains(t1, "values=") {
+		t.Fatal("combo1 must be schema-only")
+	}
+	t3 := get(Combo3)
+	if !strings.Contains(t3, "missing_pct=") {
+		t.Fatal("combo3 must include missing frequency")
+	}
+	t4 := get(Combo4)
+	if !strings.Contains(t4, "mean=") {
+		t.Fatal("combo4 must include stats")
+	}
+	t5 := get(Combo5)
+	if !strings.Contains(t5, "values=") {
+		t.Fatal("combo5 must include categorical values")
+	}
+	t11 := get(Combo11)
+	for _, want := range []string{"missing_pct=", "mean=", "values=", "distinct="} {
+		if !strings.Contains(t11, want) {
+			t.Fatalf("combo11 missing %q", want)
+		}
+	}
+	// No rules section in metadata-only configs.
+	if strings.Contains(t11, "<RULES>") {
+		t.Fatal("IncludeRules=false must omit rules")
+	}
+}
+
+func TestParsePromptRoundTrip(t *testing.T) {
+	in := sampleInput()
+	ps := Build(in, ModelSpec{Name: "sim", MaxPromptTokens: 100000}, DefaultConfig())
+	parsed := ParsePrompt(ps[0].Text)
+	if parsed.Dataset != "Salary" || parsed.Target != "salary" || parsed.Task != data.Regression {
+		t.Fatalf("task round trip: %+v", parsed)
+	}
+	if parsed.Rows != 500 || parsed.Kind != KindPipeline {
+		t.Fatalf("rows/kind: %+v", parsed)
+	}
+	if parsed.Description == "" {
+		t.Fatal("description lost")
+	}
+	var gender *ParsedCol
+	for i := range parsed.Cols {
+		if parsed.Cols[i].Name == "gender" {
+			gender = &parsed.Cols[i]
+		}
+	}
+	if gender == nil || gender.Feature != "categorical" || len(gender.Values) != 4 {
+		t.Fatalf("gender column round trip: %+v", gender)
+	}
+	if len(parsed.Rules) == 0 {
+		t.Fatal("rules lost")
+	}
+	// Rules preserve directives verbatim.
+	found := false
+	for _, r := range parsed.Rules {
+		if r.Directive == `impute "age" strategy=median` && r.Stage == "preprocessing" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("directive round trip failed: %+v", parsed.Rules)
+	}
+}
+
+func TestParseErrorPrompt(t *testing.T) {
+	in := sampleInput()
+	p := FormatErrorPrompt(in, "pipeline \"x\"\ntrain model=knn\n", 2, "E_NAN_IN_MATRIX",
+		`input contains NaN: column "age"`, in.Cols[:2], DefaultConfig())
+	parsed := ParsePrompt(p.Text)
+	if !parsed.HasError || parsed.ErrorCode != "E_NAN_IN_MATRIX" || parsed.ErrorLine != 2 {
+		t.Fatalf("error round trip: %+v", parsed)
+	}
+	if !strings.Contains(parsed.PrevCode, "train model=knn") {
+		t.Fatalf("code section lost: %q", parsed.PrevCode)
+	}
+	if len(parsed.Cols) != 2 {
+		t.Fatalf("relevant schema lost: %d cols", len(parsed.Cols))
+	}
+}
+
+func TestParseKV(t *testing.T) {
+	kv := parseKV(`a=1 b="two words" c=x_y`)
+	if kv["a"] != "1" || kv["b"] != "two words" || kv["c"] != "x_y" {
+		t.Fatalf("parseKV = %v", kv)
+	}
+}
+
+func TestCountTokens(t *testing.T) {
+	if CountTokens("") != 0 {
+		t.Fatal("empty tokens")
+	}
+	if CountTokens("abcd") != 1 || CountTokens("abcde") != 2 {
+		t.Fatal("token rounding")
+	}
+}
+
+func TestInputFromProfile(t *testing.T) {
+	tb := data.NewTable("t")
+	tb.MustAddColumn(data.NewNumeric("x", []float64{1, 2, 3, 4}))
+	tb.MustAddColumn(data.NewString("y", []string{"a", "b", "a", "b"}))
+	prof, err := profile.Table(tb, "y", data.Binary, profile.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := InputFromProfile(prof, 0.5, "desc")
+	if in.Dataset != "t" || len(in.Cols) != 2 || in.TopClassShare != 0.5 {
+		t.Fatalf("input: %+v", in)
+	}
+}
+
+func TestDirectiveColumn(t *testing.T) {
+	if directiveColumn(`impute "age" strategy=median`) != "age" {
+		t.Fatal("directiveColumn quoted extraction")
+	}
+	if directiveColumn("rebalance method=adasyn") != "" {
+		t.Fatal("global directives have no column")
+	}
+}

@@ -1,0 +1,310 @@
+package prompt
+
+import (
+	"fmt"
+	"sort"
+
+	"catdb/internal/data"
+	"catdb/internal/profile"
+)
+
+// Rule is one machine-followable instruction (an R message of Algorithm
+// 2). Stage is one of "preprocessing", "fe", "model"; Directive maps
+// one-to-one onto a PipeScript statement the LLM should emit; Why is the
+// human-readable justification included in the prompt.
+type Rule struct {
+	Stage     string
+	Directive string
+	Why       string
+}
+
+// Rules groups the rule families of Algorithm 2.
+type Rules struct {
+	Preprocessing []Rule
+	FeatureEng    []Rule
+	Model         []Rule
+}
+
+// All returns every rule in stage order.
+func (r Rules) All() []Rule {
+	out := append([]Rule(nil), r.Preprocessing...)
+	out = append(out, r.FeatureEng...)
+	return append(out, r.Model...)
+}
+
+// BuildRules is the rule-definition half of Algorithm 2: it derives
+// data-preparation, feature-dependency/filter, and data-augmentation rules
+// from the projected metadata, plus an open-ended model-selection rule.
+func BuildRules(in Input) Rules {
+	var r Rules
+	var anyMissing bool
+
+	for _, c := range in.Cols {
+		if c.IsTarget {
+			continue
+		}
+		switch c.FeatureType {
+		case profile.FeatureConstant:
+			r.FeatureEng = append(r.FeatureEng, Rule{
+				Stage: "fe", Directive: fmt.Sprintf("drop %q", c.Name),
+				Why: "constant column carries no signal",
+			})
+			continue
+		case profile.FeatureID:
+			r.FeatureEng = append(r.FeatureEng, Rule{
+				Stage: "fe", Directive: fmt.Sprintf("drop %q", c.Name),
+				Why: "identifier column would leak row identity",
+			})
+			continue
+		}
+		// Data preparation: imputation for missing values.
+		if c.MissingPct > 0 {
+			anyMissing = true
+			strategy := "most_frequent"
+			if c.DataType.IsNumeric() && c.FeatureType == profile.FeatureNumerical {
+				strategy = "median"
+			}
+			r.Preprocessing = append(r.Preprocessing, Rule{
+				Stage:     "preprocessing",
+				Directive: fmt.Sprintf("impute %q strategy=%s", c.Name, strategy),
+				Why:       fmt.Sprintf("%.1f%% of values are missing", c.MissingPct),
+			})
+		}
+		// Data preparation: outlier handling for heavy-tailed numericals,
+		// triggered on *robust* spread (IQR): corrupted extreme cells
+		// inflate the standard deviation and would mask a mean/std test.
+		// Rows carrying extreme values are removed from training (and the
+		// bounds clip evaluation data), which repairs corrupted training
+		// sets without blending bad values into the distribution.
+		if c.FeatureType == profile.FeatureNumerical || c.FeatureType == profile.FeatureBoolean {
+			iqr := c.Stats.Q3 - c.Stats.Q1
+			if iqr <= 0 {
+				iqr = c.Stats.Std / 2
+			}
+			if iqr > 0 && (c.Stats.Max > c.Stats.Q3+8*iqr || c.Stats.Min < c.Stats.Q1-8*iqr) {
+				r.Preprocessing = append(r.Preprocessing, Rule{
+					Stage:     "preprocessing",
+					Directive: fmt.Sprintf("remove_outliers %q method=iqr factor=4", c.Name),
+					Why:       "extreme values far outside the bulk of the distribution",
+				})
+			}
+		}
+		// Feature engineering by feature type.
+		switch c.FeatureType {
+		case profile.FeatureCategorical:
+			if c.DistinctCount <= 64 {
+				r.FeatureEng = append(r.FeatureEng, Rule{
+					Stage: "fe", Directive: fmt.Sprintf("onehot %q", c.Name),
+					Why: fmt.Sprintf("categorical with %d distinct values", c.DistinctCount),
+				})
+			} else {
+				r.FeatureEng = append(r.FeatureEng, Rule{
+					Stage: "fe", Directive: fmt.Sprintf("hash_encode %q buckets=64", c.Name),
+					Why: fmt.Sprintf("high-cardinality categorical (%d values)", c.DistinctCount),
+				})
+			}
+		case profile.FeatureList:
+			r.FeatureEng = append(r.FeatureEng, Rule{
+				Stage: "fe", Directive: fmt.Sprintf("khot %q", c.Name),
+				Why: "list-valued cells; encode item membership",
+			})
+		case profile.FeatureSentence:
+			r.FeatureEng = append(r.FeatureEng, Rule{
+				Stage: "fe", Directive: fmt.Sprintf("extract_token %q", c.Name),
+				Why: "free-text column whose content token is categorical",
+			})
+			r.FeatureEng = append(r.FeatureEng, Rule{
+				Stage: "fe", Directive: fmt.Sprintf("dedup_values %q", c.Name),
+				Why: "extracted tokens may have duplicate spellings",
+			})
+			r.FeatureEng = append(r.FeatureEng, Rule{
+				Stage: "fe", Directive: fmt.Sprintf("onehot %q", c.Name),
+				Why: "encode the extracted categories",
+			})
+		}
+		// Feature filter: low-signal, mostly-missing columns.
+		if c.MissingPct > 60 && c.TargetCorr < 0.05 {
+			r.FeatureEng = append(r.FeatureEng, Rule{
+				Stage: "fe", Directive: fmt.Sprintf("drop %q", c.Name),
+				Why: "mostly missing and uncorrelated with the target",
+			})
+		}
+	}
+	// Dirty categorical cleanup: any string feature whose distinct values
+	// normalize onto fewer categories gets a dedup rule.
+	for _, c := range in.Cols {
+		if c.IsTarget || c.FeatureType != profile.FeatureCategorical || c.DataType != data.KindString {
+			continue
+		}
+		if hasMessyVariants(c.DistinctValues) {
+			r.Preprocessing = append(r.Preprocessing, Rule{
+				Stage:     "preprocessing",
+				Directive: fmt.Sprintf("dedup_values %q", c.Name),
+				Why:       "distinct values contain casing/spacing duplicates",
+			})
+		}
+	}
+	// Target cleaning for regression: rows with absurd label values are
+	// removed from training (never from evaluation data).
+	if in.Task == data.Regression {
+		for _, c := range in.Cols {
+			if !c.IsTarget {
+				continue
+			}
+			iqr := c.Stats.Q3 - c.Stats.Q1
+			if iqr > 0 && (c.Stats.Max > c.Stats.Q3+8*iqr || c.Stats.Min < c.Stats.Q1-8*iqr) {
+				r.Preprocessing = append(r.Preprocessing, Rule{
+					Stage:     "preprocessing",
+					Directive: fmt.Sprintf("remove_outliers %q method=iqr factor=4", c.Name),
+					Why:       "target labels contain extreme values; drop those training rows",
+				})
+			}
+		}
+	}
+	// Data augmentation rules (Algorithm 2 lines 10-12).
+	if in.Task.IsClassification() && in.TopClassShare > 0.6 {
+		r.Preprocessing = append(r.Preprocessing, Rule{
+			Stage: "preprocessing", Directive: "rebalance method=adasyn",
+			Why: fmt.Sprintf("labels are imbalanced (top class holds %.0f%%)", in.TopClassShare*100),
+		})
+	}
+	if in.Task == data.Regression && in.Rows < 2000 {
+		r.Preprocessing = append(r.Preprocessing, Rule{
+			Stage: "preprocessing", Directive: "augment factor=0.15",
+			Why: "small regression dataset; densify sparse target regions",
+		})
+	}
+	if anyMissing {
+		r.Preprocessing = append(r.Preprocessing, Rule{
+			Stage: "preprocessing", Directive: "impute_all strategy=auto",
+			Why: "safety net for residual missing cells after joins",
+		})
+	}
+	// Model selection: open-ended family guidance (not a fixed model).
+	features := len(in.Cols) - 1
+	family := "tree_ensemble"
+	switch {
+	case in.Task == data.Regression && features <= 8:
+		family = "boosting_or_linear"
+	case in.Rows > 50000:
+		family = "boosting"
+	case features > 150:
+		family = "tree_ensemble_shallow"
+	}
+	r.Model = append(r.Model, Rule{
+		Stage:     "model",
+		Directive: fmt.Sprintf("train family=%s", family),
+		Why: fmt.Sprintf("%s task with %d rows and %d features",
+			taskName(in.Task), in.Rows, features),
+	})
+	r.Model = append(r.Model, Rule{
+		Stage: "model", Directive: "scale all_numeric method=standard",
+		Why: "standardized features help distance/linear models",
+	})
+	return r
+}
+
+// hasMessyVariants reports whether a distinct-value list contains entries
+// that collapse under normalization (case/space/separator duplicates).
+func hasMessyVariants(values []string) bool {
+	seen := map[string]string{}
+	for _, v := range values {
+		nf := normalizeLite(v)
+		if prev, ok := seen[nf]; ok && prev != v {
+			return true
+		}
+		seen[nf] = v
+	}
+	return false
+}
+
+func normalizeLite(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r-'A'+'a')
+		case r == ' ', r == '\t', r == '-':
+			// skip separators entirely
+		case r == '_':
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// SelectTopK implements the metadata-projection priority of §3.4: keep the
+// target plus the K features ranked by group priority (categorical first,
+// then correlated-with-missing, sentence, numerical, boolean) and target
+// association within groups. K<=0 keeps everything.
+func SelectTopK(in Input, k int) Input {
+	if k <= 0 || k >= len(in.Cols)-1 {
+		return in
+	}
+	groupOf := func(c ColumnMeta) int {
+		switch {
+		case c.FeatureType == profile.FeatureCategorical:
+			return 0
+		case c.MissingPct > 0 && c.TargetCorr > 0.2:
+			return 1
+		case c.FeatureType == profile.FeatureSentence || c.FeatureType == profile.FeatureList:
+			return 2
+		case c.FeatureType == profile.FeatureNumerical:
+			return 3
+		default:
+			return 4
+		}
+	}
+	idx := make([]int, 0, len(in.Cols))
+	var target []int
+	for i, c := range in.Cols {
+		if c.IsTarget {
+			target = append(target, i)
+			continue
+		}
+		idx = append(idx, i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ca, cb := in.Cols[idx[a]], in.Cols[idx[b]]
+		ga, gb := groupOf(ca), groupOf(cb)
+		if ga != gb {
+			return ga < gb
+		}
+		if ca.TargetCorr != cb.TargetCorr {
+			return ca.TargetCorr > cb.TargetCorr
+		}
+		return ca.Name < cb.Name
+	})
+	if len(idx) > k {
+		idx = idx[:k]
+	}
+	idx = append(idx, target...)
+	sort.Ints(idx)
+	out := in
+	out.Cols = make([]ColumnMeta, 0, len(idx))
+	for _, i := range idx {
+		out.Cols = append(out.Cols, in.Cols[i])
+	}
+	return out
+}
+
+// CleanInput is Algorithm 3's CLEANDATACATALOG: it removes empty, constant,
+// and nearly-all-null columns from the projection (never the target).
+// Constant/ID columns remain only as drop rules, not as metadata.
+func CleanInput(in Input) Input {
+	out := in
+	out.Cols = nil
+	for _, c := range in.Cols {
+		if !c.IsTarget {
+			if c.MissingPct >= 98 {
+				continue
+			}
+			if c.FeatureType == profile.FeatureConstant && c.DistinctCount <= 1 {
+				continue
+			}
+		}
+		out.Cols = append(out.Cols, c)
+	}
+	return out
+}
