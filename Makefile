@@ -1,0 +1,25 @@
+# Development targets for the CatDB reproduction.
+
+GO ?= go
+
+.PHONY: build vet test race verify bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The benchmark harness fans experiment cells out across a worker pool;
+# the race detector guards the per-cell isolation invariants (own LLM
+# client, own trace store, read-only shared datasets).
+race:
+	$(GO) test -race ./internal/bench/... ./internal/core/...
+
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

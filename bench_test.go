@@ -214,6 +214,43 @@ func BenchmarkFigure14Robustness(b *testing.B) {
 	}
 }
 
+// --- parallel harness ---
+
+// harnessWorkload is the fixed experiment batch the worker-scaling
+// benchmarks run: three runners with many independent cells each.
+func harnessWorkload(b *testing.B, workers int) {
+	b.Helper()
+	cfg := benchCfg(b)
+	cfg.Workers = workers
+	if _, err := bench.RunFig10MetadataImpact(cfg); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := bench.RunTable2ErrorTraces(cfg); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := bench.RunAblation(cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkHarnessWorkers1 is the serial baseline of the experiment
+// harness (Workers=1 reproduces the old one-cell-at-a-time loops).
+func BenchmarkHarnessWorkers1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harnessWorkload(b, 1)
+	}
+}
+
+// BenchmarkHarnessWorkersMax runs the same workload with the default
+// GOMAXPROCS-sized worker pool. Compare against BenchmarkHarnessWorkers1
+// for the parallel speedup (≥2x on multi-core machines; on a single-core
+// runner the two are equivalent by construction).
+func BenchmarkHarnessWorkersMax(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harnessWorkload(b, 0) // 0 = GOMAXPROCS default
+	}
+}
+
 // --- substrate micro-benchmarks ---
 
 // BenchmarkProfileDataset measures Algorithm 1 on a mid-size dataset.

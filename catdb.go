@@ -26,6 +26,7 @@ import (
 	"catdb/internal/data"
 	"catdb/internal/llm"
 	"catdb/internal/pipescript"
+	"catdb/internal/pool"
 	"catdb/internal/profile"
 )
 
@@ -135,6 +136,50 @@ func PipGen(ds *Dataset, client LLM, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("catdb: nil LLM client")
 	}
 	return core.NewRunner(client).Run(ds, opts)
+}
+
+// PipGenJob is one pipeline-generation request in a ParallelPipGen batch.
+type PipGenJob struct {
+	Dataset *Dataset
+	Model   string // LLM model name (see ModelNames)
+	Seed    int64  // base seed; the job's client seed is derived from it
+	Options Options
+}
+
+// PipGenOutcome pairs one job's generated pipeline with its error; exactly
+// one of Result and Err is non-nil.
+type PipGenOutcome struct {
+	Result *Result
+	Err    error
+}
+
+// ParallelPipGen runs a batch of PipGen jobs on a bounded worker pool and
+// returns the outcomes in job order. Each job gets its own LLM client whose
+// seed is derived deterministically from the job's base seed, position,
+// dataset name, and model, so outcomes are identical at any worker count
+// (workers <= 0 defaults to GOMAXPROCS; workers == 1 runs serially).
+func ParallelPipGen(jobs []PipGenJob, workers int) []PipGenOutcome {
+	outs := make([]PipGenOutcome, len(jobs))
+	pool.Each(workers, len(jobs), func(i int) error {
+		j := jobs[i]
+		if j.Dataset == nil {
+			outs[i].Err = fmt.Errorf("catdb: job %d: nil dataset", i)
+			return nil
+		}
+		client, err := llm.New(j.Model, pool.DeriveSeed(j.Seed, i, j.Dataset.Name, j.Model))
+		if err != nil {
+			outs[i].Err = err
+			return nil
+		}
+		res, err := core.NewRunner(client).Run(j.Dataset, j.Options)
+		if err != nil {
+			outs[i].Err = err
+			return nil
+		}
+		outs[i].Result = res
+		return nil
+	})
+	return outs
 }
 
 // ExecutePipeline parses and runs a PipeScript pipeline against an

@@ -36,6 +36,51 @@ func TestPublicQuickstart(t *testing.T) {
 	}
 }
 
+func TestParallelPipGenDeterministicAcrossWorkerCounts(t *testing.T) {
+	wifi, err := LoadDataset("Wifi", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmc, err := LoadDataset("CMC", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []PipGenJob{
+		{Dataset: wifi, Model: "gemini-1.5-pro", Seed: 1, Options: Options{Seed: 1}},
+		{Dataset: cmc, Model: "gpt-4o", Seed: 1, Options: Options{Seed: 1}},
+		{Dataset: wifi, Model: "llama3.1-70b", Seed: 2, Options: Options{Seed: 2}},
+		{Dataset: nil, Model: "gpt-4o", Seed: 3}, // must error, not panic
+	}
+	serial := ParallelPipGen(jobs, 1)
+	parallel := ParallelPipGen(jobs, 8)
+	if len(serial) != len(jobs) || len(parallel) != len(jobs) {
+		t.Fatalf("outcome counts: %d and %d, want %d", len(serial), len(parallel), len(jobs))
+	}
+	for i := range jobs[:3] {
+		s, p := serial[i], parallel[i]
+		if s.Err != nil || p.Err != nil {
+			t.Fatalf("job %d: unexpected errors %v / %v", i, s.Err, p.Err)
+		}
+		if s.Result.Pipeline != p.Result.Pipeline {
+			t.Fatalf("job %d: pipeline differs between worker counts", i)
+		}
+		if s.Result.Pipeline == "" || s.Result.Exec == nil {
+			t.Fatalf("job %d: missing pipeline or metrics", i)
+		}
+	}
+	if serial[3].Err == nil || parallel[3].Err == nil {
+		t.Fatal("nil-dataset job must report an error")
+	}
+	if serial[3].Result != nil {
+		t.Fatal("failed job must not carry a result")
+	}
+	// Distinct jobs over the same dataset get distinct derived clients.
+	if serial[0].Result.Model == serial[2].Result.Model &&
+		serial[0].Result.Pipeline == serial[2].Result.Pipeline {
+		t.Log("note: different models produced identical pipelines (allowed but unexpected)")
+	}
+}
+
 func TestPublicCSVRoundTrip(t *testing.T) {
 	csv := "x,y,label\n1,2,a\n3,4,b\n5,6,a\n7,8,b\n2,3,a\n6,7,b\n"
 	ds, err := ReadCSV(strings.NewReader(csv), "toy", "label", Binary)

@@ -32,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	iters := flag.Int("iterations", 10, "iterations for fig11/fig12/table2")
 	fast := flag.Bool("fast", false, "trimmed datasets and iterations")
+	workers := flag.Int("workers", 0, "concurrent experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	outPath := flag.String("out", "", "also write the report to this file")
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 		file = f
 		out = io.MultiWriter(os.Stdout, f)
 	}
-	cfg := bench.Config{Scale: *scale, Seed: *seed, Iterations: *iters, Fast: *fast, Out: out}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Iterations: *iters, Fast: *fast, Workers: *workers, Out: out}
 
 	experiments := []experiment{
 		{"fig9", func(c bench.Config) error { _, err := bench.RunFig9Profiling(c); return err }},

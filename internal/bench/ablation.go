@@ -6,6 +6,7 @@ import (
 	"catdb/internal/core"
 	"catdb/internal/data"
 	"catdb/internal/llm"
+	"catdb/internal/pool"
 )
 
 // AblationRow is one (dataset, variant) aggregate over repeated runs.
@@ -63,43 +64,81 @@ func RunAblation(cfg Config) (*AblationResult, error) {
 	if cfg.Fast {
 		datasets = datasets[:1]
 	}
+	// One cell per (dataset, variant, iteration); per-run outcomes are
+	// folded into the per-variant aggregates in iteration order.
+	type cell struct {
+		ds      *data.Dataset
+		variant int
+		iter    int
+	}
+	type runOut struct {
+		failed      bool
+		score       float64
+		attempts    int
+		errTokens   int
+		kbFixes     int
+		handcrafted bool
+	}
+	var cells []cell
 	for _, name := range datasets {
 		ds, err := data.Load(name, cfg.Scale)
 		if err != nil {
 			return nil, err
 		}
-		for _, v := range ablationVariants {
-			row := AblationRow{Dataset: name, Variant: v.name}
-			var scoreSum float64
+		for vi := range ablationVariants {
 			for i := 0; i < cfg.Iterations; i++ {
-				seed := cfg.Seed + int64(i)*53
-				client, cerr := llm.New("llama3.1-70b", seed)
-				if cerr != nil {
-					return nil, cerr
-				}
-				r := core.NewRunner(client)
-				if v.noKB {
-					r.KB = nil
-				}
-				out, rerr := r.Run(ds, v.opts(seed))
-				row.Runs++
-				if rerr != nil {
-					row.Fails++
-					continue
-				}
-				scoreSum += out.Exec.Primary()
-				row.Attempts += out.Cost.Attempts
-				row.ErrTokens += out.Cost.ErrorTokens()
-				row.KBFixes += out.Cost.KBFixes
-				if out.Handcrafted {
-					row.Handcrafted++
-				}
+				cells = append(cells, cell{ds: ds, variant: vi, iter: i})
 			}
-			if ok := row.Runs - row.Fails; ok > 0 {
-				row.MeanScore = scoreSum / float64(ok)
-			}
-			res.Rows = append(res.Rows, row)
 		}
+	}
+	outs, err := pool.Map(cfg.Workers, len(cells), func(k int) (runOut, error) {
+		c := cells[k]
+		v := ablationVariants[c.variant]
+		seed := cfg.Seed + int64(c.iter)*53
+		client, cerr := llm.New("llama3.1-70b", seed)
+		if cerr != nil {
+			return runOut{}, cerr
+		}
+		r := core.NewRunner(client)
+		if v.noKB {
+			r.KB = nil
+		}
+		out, rerr := r.Run(c.ds, v.opts(seed))
+		if rerr != nil {
+			return runOut{failed: true}, nil
+		}
+		return runOut{
+			score: out.Exec.Primary(), attempts: out.Cost.Attempts,
+			errTokens: out.Cost.ErrorTokens(), kbFixes: out.Cost.KBFixes,
+			handcrafted: out.Handcrafted,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < len(cells); k += cfg.Iterations {
+		c := cells[k]
+		row := AblationRow{Dataset: c.ds.Name, Variant: ablationVariants[c.variant].name}
+		var scoreSum float64
+		for i := 0; i < cfg.Iterations; i++ {
+			o := outs[k+i]
+			row.Runs++
+			if o.failed {
+				row.Fails++
+				continue
+			}
+			scoreSum += o.score
+			row.Attempts += o.attempts
+			row.ErrTokens += o.errTokens
+			row.KBFixes += o.kbFixes
+			if o.handcrafted {
+				row.Handcrafted++
+			}
+		}
+		if ok := row.Runs - row.Fails; ok > 0 {
+			row.MeanScore = scoreSum / float64(ok)
+		}
+		res.Rows = append(res.Rows, row)
 	}
 
 	t := &table{header: []string{"Dataset", "Variant", "Score", "Attempts", "ErrTokens", "KBFixes", "Handcrafted", "Fails"}}

@@ -12,6 +12,9 @@ import (
 	"io"
 	"strings"
 	"time"
+	"unicode/utf8"
+
+	"catdb/internal/pool"
 )
 
 // Config tunes an experiment run.
@@ -26,6 +29,13 @@ type Config struct {
 	Iterations int
 	// Fast trims dataset lists and iteration counts for CI runs.
 	Fast bool
+	// Workers bounds how many experiment cells run concurrently (default
+	// GOMAXPROCS). Every runner fans its independent (dataset, model,
+	// iteration) cells over a shared worker pool and reassembles results
+	// in the paper's row order; each cell derives its own LLM client and
+	// RNG from the cell identity, so output is bit-for-bit identical at
+	// any worker count. Workers=1 reproduces the serial harness.
+	Workers int
 	// Out receives the rendered tables (defaults to io.Discard).
 	Out io.Writer
 }
@@ -39,6 +49,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Fast && c.Iterations > 3 {
 		c.Iterations = 3
+	}
+	if c.Workers <= 0 {
+		c.Workers = pool.DefaultWorkers()
 	}
 	if c.Out == nil {
 		c.Out = io.Discard
@@ -58,12 +71,12 @@ func (t *table) render(w io.Writer, title string) {
 	fmt.Fprintf(w, "\n== %s ==\n", title)
 	widths := make([]int, len(t.header))
 	for i, h := range t.header {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if w := utf8.RuneCountInString(c); i < len(widths) && w > widths[i] {
+				widths[i] = w
 			}
 		}
 	}
@@ -89,11 +102,14 @@ func (t *table) render(w io.Writer, title string) {
 	}
 }
 
+// pad right-pads to w columns measured in runes, not bytes, so non-ASCII
+// cells (dataset names, τ₂ variant labels) don't misalign the table.
 func pad(s string, w int) string {
-	if len(s) >= w {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
 		return s
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s + strings.Repeat(" ", w-n)
 }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

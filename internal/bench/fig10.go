@@ -6,6 +6,7 @@ import (
 	"catdb/internal/core"
 	"catdb/internal/data"
 	"catdb/internal/llm"
+	"catdb/internal/pool"
 	"catdb/internal/prompt"
 )
 
@@ -36,6 +37,25 @@ func RunFig10MetadataImpact(cfg Config) (*Fig10Result, error) {
 	}
 	model := "gemini-1.5-pro"
 
+	// One closure per (dataset, configuration) cell, built in the paper's
+	// row order; the pool preserves that order on reassembly. runCell is
+	// the shared body: each cell derives its own client from the cell
+	// identity so scores are independent of scheduling.
+	runCell := func(ds *data.Dataset, config, model string, clientSeed int64, opts core.Options) (Fig10Row, error) {
+		client, err := llm.New(model, clientSeed)
+		if err != nil {
+			return Fig10Row{}, err
+		}
+		out, rerr := core.NewRunner(client).Run(ds, opts)
+		row := Fig10Row{Dataset: ds.Name, Config: config}
+		if rerr != nil {
+			row.Failed = true
+		} else {
+			row.Score = out.Exec.Primary()
+		}
+		return row, nil
+	}
+	var cells []func() (Fig10Row, error)
 	for _, name := range datasets {
 		ds, err := data.Load(name, cfg.Scale)
 		if err != nil {
@@ -46,40 +66,22 @@ func RunFig10MetadataImpact(cfg Config) (*Fig10Result, error) {
 			if cfg.Fast && combo > prompt.Combo4 && combo != prompt.Combo11 {
 				continue
 			}
-			client, err := llm.New(model, cfg.Seed+int64(combo))
-			if err != nil {
-				return nil, err
-			}
-			r := core.NewRunner(client)
-			out, err := r.Run(ds, core.Options{
-				Seed: cfg.Seed, Combo: combo, MetadataOnly: true, NoRefine: true,
+			combo := combo
+			cells = append(cells, func() (Fig10Row, error) {
+				return runCell(ds, fmt.Sprintf("#%d", combo), model, cfg.Seed+int64(combo),
+					core.Options{Seed: cfg.Seed, Combo: combo, MetadataOnly: true, NoRefine: true})
 			})
-			row := Fig10Row{Dataset: name, Config: fmt.Sprintf("#%d", combo)}
-			if err != nil {
-				row.Failed = true
-			} else {
-				row.Score = out.Exec.Primary()
-			}
-			res.Rows = append(res.Rows, row)
 		}
 		// CatDB and CatDB Chain.
 		for _, variant := range []struct {
 			label  string
 			chains int
 		}{{"CatDB", 1}, {"CatDB Chain", 3}} {
-			client, err := llm.New(model, cfg.Seed+100+int64(variant.chains))
-			if err != nil {
-				return nil, err
-			}
-			r := core.NewRunner(client)
-			out, err := r.Run(ds, core.Options{Seed: cfg.Seed, Chains: variant.chains})
-			row := Fig10Row{Dataset: name, Config: variant.label}
-			if err != nil {
-				row.Failed = true
-			} else {
-				row.Score = out.Exec.Primary()
-			}
-			res.Rows = append(res.Rows, row)
+			variant := variant
+			cells = append(cells, func() (Fig10Row, error) {
+				return runCell(ds, variant.label, model, cfg.Seed+100+int64(variant.chains),
+					core.Options{Seed: cfg.Seed, Chains: variant.chains})
+			})
 		}
 	}
 
@@ -96,22 +98,22 @@ func RunFig10MetadataImpact(cfg Config) (*Fig10Result, error) {
 				label  string
 				chains int
 			}{{"single", 1}, {"chain", 4}} {
-				client, err := llm.New("llama3.1-70b", cfg.Seed+int64(k))
-				if err != nil {
-					return nil, err
-				}
-				r := core.NewRunner(client)
-				out, rerr := r.Run(wide, core.Options{Seed: cfg.Seed, TopK: k, Chains: variant.chains, NoRefine: true})
-				row := Fig10Row{Dataset: "KDD98", Config: fmt.Sprintf("TopK=%d/%s", k, variant.label)}
-				if rerr != nil {
-					row.Failed = true
-				} else {
-					row.Score = out.Exec.Primary()
-				}
-				res.Rows = append(res.Rows, row)
+				k, variant := k, variant
+				cells = append(cells, func() (Fig10Row, error) {
+					row, err := runCell(wide, fmt.Sprintf("TopK=%d/%s", k, variant.label),
+						"llama3.1-70b", cfg.Seed+int64(k),
+						core.Options{Seed: cfg.Seed, TopK: k, Chains: variant.chains, NoRefine: true})
+					row.Dataset = "KDD98"
+					return row, err
+				})
 			}
 		}
 	}
+	rows, err := pool.Map(cfg.Workers, len(cells), func(i int) (Fig10Row, error) { return cells[i]() })
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
 
 	t := &table{header: []string{"Dataset", "Config", "Score(AUC/R2)"}}
 	for _, r := range res.Rows {

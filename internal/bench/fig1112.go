@@ -8,6 +8,7 @@ import (
 	"catdb/internal/core"
 	"catdb/internal/data"
 	"catdb/internal/llm"
+	"catdb/internal/pool"
 )
 
 // iterDatasets are the three datasets of the 10-iteration study (§5.4).
@@ -87,6 +88,19 @@ func RunFig11TenIterations(cfg Config) (*Fig11Result, error) {
 		res.Cells = append(res.Cells, c)
 		return c
 	}
+	// Each worker cell computes one (dataset, model, iteration, system)
+	// outcome and returns it as a contribution; contributions are folded
+	// into the Fig11Cell aggregates strictly in the serial loop order, so
+	// AUC lists and token sums are identical at any worker count.
+	type contrib struct {
+		system string
+		failed bool
+		auc    float64
+		tokens, errTokens int
+		genSec, execSec   float64
+	}
+	type job func() contrib
+	var jobs []job
 	for _, name := range datasets {
 		ds, err := data.Load(name, cfg.Scale)
 		if err != nil {
@@ -98,6 +112,7 @@ func RunFig11TenIterations(cfg Config) (*Fig11Result, error) {
 		}
 		tr, te := tb.StratifiedSplit(ds.Target, 0.7, cfg.Seed)
 		for _, model := range models {
+			model := model
 			for iter := 0; iter < cfg.Iterations; iter++ {
 				seed := cfg.Seed + int64(iter)*101
 
@@ -106,64 +121,98 @@ func RunFig11TenIterations(cfg Config) (*Fig11Result, error) {
 					label  string
 					chains int
 				}{{"CatDB", 1}, {"CatDB Chain", 2}} {
-					client, cerr := llm.New(model, seed+int64(v.chains))
-					if cerr != nil {
-						return nil, cerr
-					}
-					r := core.NewRunner(client)
-					c := cell(name, model, v.label)
-					out, rerr := r.Run(ds, core.Options{Seed: seed, Chains: v.chains})
-					if rerr != nil {
-						c.Fails++
-						continue
-					}
-					c.AUCs = append(c.AUCs, out.Exec.TestAUC)
-					c.TotalTokens += out.Cost.Total()
-					c.ErrTokens += out.Cost.ErrorTokens()
-					c.TotalGenSeconds += (out.ProfileTime + out.RefineTime + out.GenTime).Seconds()
-					c.TotalExecSeconds += out.ExecTime.Seconds()
+					v := v
+					jobs = append(jobs, func() contrib {
+						c := contrib{system: v.label}
+						client, cerr := llm.New(model, seed+int64(v.chains))
+						if cerr != nil {
+							c.failed = true
+							return c
+						}
+						out, rerr := core.NewRunner(client).Run(ds, core.Options{Seed: seed, Chains: v.chains})
+						if rerr != nil {
+							c.failed = true
+							return c
+						}
+						c.auc = out.Exec.TestAUC
+						c.tokens = out.Cost.Total()
+						c.errTokens = out.Cost.ErrorTokens()
+						c.genSec = (out.ProfileTime + out.RefineTime + out.GenTime).Seconds()
+						c.execSec = out.ExecTime.Seconds()
+						return c
+					})
 				}
 
 				// CAAFE (LLM-independent backend; run once per model for
 				// token parity with the paper's setup).
 				for _, backend := range []baselines.CAAFEBackend{baselines.CAAFETabPFN, baselines.CAAFEForest} {
-					c := cell(name, model, "CAAFE "+string(backend))
-					o := baselines.RunCAAFE(tr, te, ds.Target, ds.Task, baselines.CAAFEOptions{
-						Backend: backend, Seed: seed, Rounds: 2, MaxPairs: 40,
+					backend := backend
+					jobs = append(jobs, func() contrib {
+						c := contrib{system: "CAAFE " + string(backend)}
+						o := baselines.RunCAAFE(tr, te, ds.Target, ds.Task, baselines.CAAFEOptions{
+							Backend: backend, Seed: seed, Rounds: 2, MaxPairs: 40,
+						})
+						if o.Failed {
+							c.failed = true
+							return c
+						}
+						c.auc = o.TestAUC
+						c.tokens = o.Tokens
+						c.genSec = o.GenTime.Seconds()
+						c.execSec = o.ExecTime.Seconds()
+						return c
 					})
-					if o.Failed {
-						c.Fails++
-						continue
-					}
-					c.AUCs = append(c.AUCs, o.TestAUC)
-					c.TotalTokens += o.Tokens
-					c.TotalGenSeconds += o.GenTime.Seconds()
-					c.TotalExecSeconds += o.ExecTime.Seconds()
 				}
 
 				// AIDE and AutoGen.
-				clientA, _ := llm.New(model, seed+31)
-				oA := baselines.RunAIDE(ds, clientA, baselines.LLMBaselineOptions{Seed: seed})
-				cA := cell(name, model, "AIDE")
-				if oA.Failed {
-					cA.Fails++
-				} else {
-					cA.AUCs = append(cA.AUCs, oA.TestAUC)
-					cA.TotalTokens += oA.Tokens
-					cA.TotalExecSeconds += oA.ExecTime.Seconds()
-				}
-				clientG, _ := llm.New(model, seed+37)
-				oG := baselines.RunAutoGen(ds, clientG, baselines.LLMBaselineOptions{Seed: seed})
-				cG := cell(name, model, "AutoGen")
-				if oG.Failed {
-					cG.Fails++
-				} else {
-					cG.AUCs = append(cG.AUCs, oG.TestAUC)
-					cG.TotalTokens += oG.Tokens
-					cG.TotalExecSeconds += oG.ExecTime.Seconds()
-				}
+				jobs = append(jobs, func() contrib {
+					c := contrib{system: "AIDE"}
+					clientA, _ := llm.New(model, seed+31)
+					o := baselines.RunAIDE(ds, clientA, baselines.LLMBaselineOptions{Seed: seed})
+					if o.Failed {
+						c.failed = true
+						return c
+					}
+					c.auc, c.tokens, c.execSec = o.TestAUC, o.Tokens, o.ExecTime.Seconds()
+					return c
+				})
+				jobs = append(jobs, func() contrib {
+					c := contrib{system: "AutoGen"}
+					clientG, _ := llm.New(model, seed+37)
+					o := baselines.RunAutoGen(ds, clientG, baselines.LLMBaselineOptions{Seed: seed})
+					if o.Failed {
+						c.failed = true
+						return c
+					}
+					c.auc, c.tokens, c.execSec = o.TestAUC, o.Tokens, o.ExecTime.Seconds()
+					return c
+				})
 			}
 		}
+	}
+	// jobs[k] belongs to dataset jobOwner[k]: reconstruct the (dataset,
+	// model) of each job from its position so the merge can address the
+	// right aggregate without threading labels through every closure.
+	jobsPerIter := 6 // CatDB, Chain, CAAFE x2, AIDE, AutoGen
+	jobsPerModel := cfg.Iterations * jobsPerIter
+	jobsPerDataset := len(models) * jobsPerModel
+	contribs, err := pool.Map(cfg.Workers, len(jobs), func(k int) (contrib, error) { return jobs[k](), nil })
+	if err != nil {
+		return nil, err
+	}
+	for k, c := range contribs {
+		name := datasets[k/jobsPerDataset]
+		model := models[(k%jobsPerDataset)/jobsPerModel]
+		agg := cell(name, model, c.system)
+		if c.failed {
+			agg.Fails++
+			continue
+		}
+		agg.AUCs = append(agg.AUCs, c.auc)
+		agg.TotalTokens += c.tokens
+		agg.ErrTokens += c.errTokens
+		agg.TotalGenSeconds += c.genSec
+		agg.TotalExecSeconds += c.execSec
 	}
 
 	t := &table{header: []string{"Dataset", "Model", "System", "AUC mean", "AUC min", "AUC max", "Fails", "Tokens", "ErrTokens", "Gen[s]", "Exec[s]"}}

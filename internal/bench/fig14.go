@@ -8,6 +8,7 @@ import (
 	"catdb/internal/core"
 	"catdb/internal/data"
 	"catdb/internal/llm"
+	"catdb/internal/pool"
 )
 
 // Fig14Row is one (dataset, corruption, ratio, system) measurement.
@@ -56,6 +57,17 @@ func RunFig14Robustness(cfg Config) (*Fig14Result, error) {
 		tools = tools[:1]
 	}
 
+	// One cell per (dataset, corruption, ratio): the cell clones the base
+	// dataset before injecting corruption, so concurrent cells never see
+	// each other's mutations; each returns its CatDB row plus the AutoML
+	// rows in the serial order.
+	type cellID struct {
+		base       *data.Dataset
+		name       string
+		corruption string
+		ratio      float64
+	}
+	var cells []cellID
 	for _, name := range datasets {
 		base, err := data.Load(name, cfg.Scale)
 		if err != nil {
@@ -63,59 +75,71 @@ func RunFig14Robustness(cfg Config) (*Fig14Result, error) {
 		}
 		for _, corruption := range corruptions {
 			for _, ratio := range ratios {
-				ds := base.Clone()
-				// Corruption targets the *training* data; test sets stay
-				// clean, as in the paper's setup.
-				inject := func(t *data.Table) {
-					switch corruption {
-					case "outliers":
-						data.InjectOutliers(t, ds.Target, ratio, cfg.Seed)
-						data.InjectTargetOutliers(t, ds.Target, ratio, cfg.Seed+1)
-					case "missing":
-						data.InjectMissing(t, ds.Target, ratio, cfg.Seed)
-					default:
-						data.InjectMixed(t, ds.Target, ratio, cfg.Seed)
-						data.InjectTargetOutliers(t, ds.Target, ratio/2, cfg.Seed+1)
-					}
-				}
-
-				// CatDB: the train split is corrupted after splitting.
-				client, cerr := llm.New("gemini-1.5-pro", cfg.Seed+int64(ratio*1000))
-				if cerr != nil {
-					return nil, cerr
-				}
-				r := core.NewRunner(client)
-				out, rerr := r.Run(ds, core.Options{Seed: cfg.Seed, TrainMutator: inject})
-				row := Fig14Row{Dataset: name, Corruption: corruption, Ratio: ratio, System: "CatDB"}
-				if rerr != nil {
-					row.Failed = true
-				} else {
-					row.Score = out.Exec.Primary()
-				}
-				res.Rows = append(res.Rows, row)
-
-				// AutoML tools without cleaning: same corrupted train split.
-				tb, err := ds.Consolidate()
-				if err != nil {
-					return nil, err
-				}
-				var tr, te *data.Table
-				if ds.Task.IsClassification() {
-					tr, te = tb.StratifiedSplit(ds.Target, 0.7, cfg.Seed)
-				} else {
-					tr, te = tb.Split(0.7, cfg.Seed)
-				}
-				inject(tr)
-				for _, tool := range tools {
-					o := baselines.RunAutoML(tool, tr, te, ds.Target, ds.Task,
-						baselines.AutoMLOptions{Seed: cfg.Seed, TimeBudget: 15 * time.Second})
-					res.Rows = append(res.Rows, Fig14Row{
-						Dataset: name, Corruption: corruption, Ratio: ratio,
-						System: string(tool), Score: o.Primary(), Failed: o.Failed,
-					})
-				}
+				cells = append(cells, cellID{base: base, name: name, corruption: corruption, ratio: ratio})
 			}
 		}
+	}
+	rowGroups, err := pool.Map(cfg.Workers, len(cells), func(k int) ([]Fig14Row, error) {
+		name, corruption, ratio := cells[k].name, cells[k].corruption, cells[k].ratio
+		var rows []Fig14Row
+		ds := cells[k].base.Clone()
+		// Corruption targets the *training* data; test sets stay clean,
+		// as in the paper's setup.
+		inject := func(t *data.Table) {
+			switch corruption {
+			case "outliers":
+				data.InjectOutliers(t, ds.Target, ratio, cfg.Seed)
+				data.InjectTargetOutliers(t, ds.Target, ratio, cfg.Seed+1)
+			case "missing":
+				data.InjectMissing(t, ds.Target, ratio, cfg.Seed)
+			default:
+				data.InjectMixed(t, ds.Target, ratio, cfg.Seed)
+				data.InjectTargetOutliers(t, ds.Target, ratio/2, cfg.Seed+1)
+			}
+		}
+
+		// CatDB: the train split is corrupted after splitting.
+		client, cerr := llm.New("gemini-1.5-pro", cfg.Seed+int64(ratio*1000))
+		if cerr != nil {
+			return nil, cerr
+		}
+		r := core.NewRunner(client)
+		out, rerr := r.Run(ds, core.Options{Seed: cfg.Seed, TrainMutator: inject})
+		row := Fig14Row{Dataset: name, Corruption: corruption, Ratio: ratio, System: "CatDB"}
+		if rerr != nil {
+			row.Failed = true
+		} else {
+			row.Score = out.Exec.Primary()
+		}
+		rows = append(rows, row)
+
+		// AutoML tools without cleaning: same corrupted train split.
+		tb, err := ds.Consolidate()
+		if err != nil {
+			return nil, err
+		}
+		var tr, te *data.Table
+		if ds.Task.IsClassification() {
+			tr, te = tb.StratifiedSplit(ds.Target, 0.7, cfg.Seed)
+		} else {
+			tr, te = tb.Split(0.7, cfg.Seed)
+		}
+		inject(tr)
+		for _, tool := range tools {
+			o := baselines.RunAutoML(tool, tr, te, ds.Target, ds.Task,
+				baselines.AutoMLOptions{Seed: cfg.Seed, TimeBudget: pickDur(cfg.Fast, 5*time.Second, 15*time.Second)})
+			rows = append(rows, Fig14Row{
+				Dataset: name, Corruption: corruption, Ratio: ratio,
+				System: string(tool), Score: o.Primary(), Failed: o.Failed,
+			})
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowGroups {
+		res.Rows = append(res.Rows, rows...)
 	}
 
 	t := &table{header: []string{"Dataset", "Corruption", "Ratio", "System", "Score"}}

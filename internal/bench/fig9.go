@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"catdb/internal/data"
+	"catdb/internal/pool"
 	"catdb/internal/profile"
 )
 
@@ -29,19 +30,24 @@ type Fig9Result struct {
 func RunFig9Profiling(cfg Config) (*Fig9Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Fig9Result{Census: map[profile.FeatureType]int{}}
-	var profiles []*profile.Profile
-	for _, name := range data.Names() {
-		ds, err := data.Load(name, cfg.Scale)
+	names := data.Names()
+	profiles, err := pool.Map(cfg.Workers, len(names), func(i int) (*profile.Profile, error) {
+		ds, err := data.Load(names[i], cfg.Scale)
 		if err != nil {
 			return nil, err
 		}
 		p, err := profile.Dataset(ds, profile.Options{Seed: cfg.Seed})
 		if err != nil {
-			return nil, fmt.Errorf("bench: profiling %s: %w", name, err)
+			return nil, fmt.Errorf("bench: profiling %s: %w", names[i], err)
 		}
-		profiles = append(profiles, p)
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range profiles {
 		res.Rows = append(res.Rows, Fig9Row{
-			Dataset: name, Rows: p.Rows, Cols: len(p.Columns), Elapsed: p.Elapsed,
+			Dataset: names[i], Rows: p.Rows, Cols: len(p.Columns), Elapsed: p.Elapsed,
 		})
 	}
 	for ft, n := range profile.TypeCensus(profiles) {

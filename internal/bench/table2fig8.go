@@ -8,6 +8,7 @@ import (
 	"catdb/internal/data"
 	"catdb/internal/errkb"
 	"catdb/internal/llm"
+	"catdb/internal/pool"
 )
 
 // Table2Result holds the error-trace dataset statistics (Table 2) and the
@@ -32,6 +33,16 @@ func RunTable2ErrorTraces(cfg Config) (*Table2Result, error) {
 		datasets = datasets[:2]
 		runs = 3
 	}
+	// One cell per (model, dataset, iteration); every cell gets its own
+	// client, runner, and trace store (the shared TraceStore would make
+	// trace order scheduling-dependent), and the per-cell stores are
+	// merged back in the serial loop order.
+	type cell struct {
+		model, dataset string
+		ds             *data.Dataset
+		iter           int
+	}
+	var cells []cell
 	for _, model := range models {
 		for _, name := range datasets {
 			ds, err := data.Load(name, cfg.Scale)
@@ -39,19 +50,30 @@ func RunTable2ErrorTraces(cfg Config) (*Table2Result, error) {
 				return nil, err
 			}
 			for i := 0; i < runs; i++ {
-				client, cerr := llm.New(model, cfg.Seed+int64(i)*977)
-				if cerr != nil {
-					return nil, cerr
-				}
-				r := core.NewRunner(client)
-				r.Traces = store
-				// NoRefine keeps the runs cheap; refinement does not
-				// change the generation-error profile.
-				if _, err := r.Run(ds, core.Options{Seed: cfg.Seed + int64(i), NoRefine: true}); err != nil {
-					return nil, err
-				}
+				cells = append(cells, cell{model: model, dataset: name, ds: ds, iter: i})
 			}
 		}
+	}
+	stores, err := pool.Map(cfg.Workers, len(cells), func(k int) (*errkb.TraceStore, error) {
+		c := cells[k]
+		client, cerr := llm.New(c.model, cfg.Seed+int64(c.iter)*977)
+		if cerr != nil {
+			return nil, cerr
+		}
+		r := core.NewRunner(client)
+		r.Traces = errkb.NewTraceStore()
+		// NoRefine keeps the runs cheap; refinement does not change the
+		// generation-error profile.
+		if _, err := r.Run(c.ds, core.Options{Seed: cfg.Seed + int64(c.iter), NoRefine: true}); err != nil {
+			return nil, err
+		}
+		return r.Traces, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range stores {
+		store.Traces = append(store.Traces, s.Traces...)
 	}
 	res := &Table2Result{
 		Store:         store,

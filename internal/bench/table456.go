@@ -9,6 +9,7 @@ import (
 	"catdb/internal/core"
 	"catdb/internal/data"
 	"catdb/internal/llm"
+	"catdb/internal/pool"
 )
 
 // cleaningDatasets are the six datasets of the §5.3 catalog-refinement
@@ -39,7 +40,9 @@ func RunTable4Refinement(cfg Config) (*Table4Result, error) {
 	if cfg.Fast {
 		datasets = datasets[:3]
 	}
-	for _, name := range datasets {
+	// One cell per dataset; refinement rows come back in dataset order.
+	rowGroups, err := pool.Map(cfg.Workers, len(datasets), func(i int) ([]Table4Row, error) {
+		name := datasets[i]
 		ds, err := data.Load(name, cfg.Scale)
 		if err != nil {
 			return nil, err
@@ -52,12 +55,20 @@ func RunTable4Refinement(cfg Config) (*Table4Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: refine %s: %w", name, err)
 		}
+		var rows []Table4Row
 		for _, up := range ref.Updates {
-			res.Rows = append(res.Rows, Table4Row{
+			rows = append(rows, Table4Row{
 				Dataset: name, Column: up.Column, Kind: up.Kind,
 				OriginalDistinct: up.OriginalDistinct, RefinedDistinct: up.RefinedDistinct,
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowGroups {
+		res.Rows = append(res.Rows, rows...)
 	}
 	t := &table{header: []string{"Dataset", "Column", "Refinement", "Original", "CatDB"}}
 	for _, r := range res.Rows {
@@ -106,7 +117,13 @@ func RunTable5Cleaning(cfg Config) (*Table5Result, error) {
 	if cfg.Fast {
 		datasets = []string{"EU-IT", "Wifi", "Etailing"}
 	}
+	// One closure per (dataset, system) cell, built in the paper's row
+	// order. The dataset and its split are loaded once per dataset and
+	// shared read-only across the dataset's cells (every system clones
+	// before mutating).
+	var cells []func() (Table5Row, error)
 	for _, name := range datasets {
+		name := name
 		ds, err := data.Load(name, cfg.Scale)
 		if err != nil {
 			return nil, err
@@ -127,37 +144,47 @@ func RunTable5Cleaning(cfg Config) (*Table5Result, error) {
 			label    string
 			noRefine bool
 		}{{"CatDB Original", true}, {"CatDB Refined", false}} {
-			client, err := llm.New("gemini-1.5-pro", cfg.Seed+7)
-			if err != nil {
-				return nil, err
-			}
-			r := core.NewRunner(client)
-			start := time.Now()
-			out, rerr := r.Run(ds, core.Options{Seed: cfg.Seed, NoRefine: variant.noRefine})
-			row := Table5Row{Dataset: name, System: variant.label, Runtime: time.Since(start)}
-			if rerr != nil {
-				row.Failed, row.Reason = true, rerr.Error()
-			} else {
-				row.TrainAcc = trainScore(out)
-				row.TestAcc = testScore(out)
-				row.Runtime = out.ExecTime // Table 6 reports pipeline execution time
-			}
-			res.Rows = append(res.Rows, row)
+			variant := variant
+			cells = append(cells, func() (Table5Row, error) {
+				client, err := llm.New("gemini-1.5-pro", cfg.Seed+7)
+				if err != nil {
+					return Table5Row{}, err
+				}
+				r := core.NewRunner(client)
+				start := time.Now()
+				out, rerr := r.Run(ds, core.Options{Seed: cfg.Seed, NoRefine: variant.noRefine})
+				row := Table5Row{Dataset: name, System: variant.label, Runtime: time.Since(start)}
+				if rerr != nil {
+					row.Failed, row.Reason = true, rerr.Error()
+				} else {
+					row.TrainAcc = trainScore(out)
+					row.TestAcc = testScore(out)
+					row.Runtime = out.ExecTime // Table 6 reports pipeline execution time
+				}
+				return row, nil
+			})
 		}
 
 		// CAAFE (both backends).
 		for _, backend := range []baselines.CAAFEBackend{baselines.CAAFETabPFN, baselines.CAAFEForest} {
-			o := baselines.RunCAAFE(tr, te, ds.Target, ds.Task, baselines.CAAFEOptions{
-				Backend: backend, Seed: cfg.Seed, Rounds: pickInt(cfg.Fast, 2, 4),
+			backend := backend
+			cells = append(cells, func() (Table5Row, error) {
+				o := baselines.RunCAAFE(tr, te, ds.Target, ds.Task, baselines.CAAFEOptions{
+					Backend: backend, Seed: cfg.Seed, Rounds: pickInt(cfg.Fast, 2, 4),
+				})
+				return toTable5Row(name, o), nil
 			})
-			res.Rows = append(res.Rows, toTable5Row(name, o))
 		}
 
 		// AIDE and AutoGen.
-		client, _ := llm.New("gemini-1.5-pro", cfg.Seed+13)
-		res.Rows = append(res.Rows, toTable5Row(name, baselines.RunAIDE(ds, client, baselines.LLMBaselineOptions{Seed: cfg.Seed})))
-		client2, _ := llm.New("gemini-1.5-pro", cfg.Seed+17)
-		res.Rows = append(res.Rows, toTable5Row(name, baselines.RunAutoGen(ds, client2, baselines.LLMBaselineOptions{Seed: cfg.Seed})))
+		cells = append(cells, func() (Table5Row, error) {
+			client, _ := llm.New("gemini-1.5-pro", cfg.Seed+13)
+			return toTable5Row(name, baselines.RunAIDE(ds, client, baselines.LLMBaselineOptions{Seed: cfg.Seed})), nil
+		})
+		cells = append(cells, func() (Table5Row, error) {
+			client, _ := llm.New("gemini-1.5-pro", cfg.Seed+17)
+			return toTable5Row(name, baselines.RunAutoGen(ds, client, baselines.LLMBaselineOptions{Seed: cfg.Seed})), nil
+		})
 
 		// Cleaning + AutoML workflows.
 		tools := []baselines.AutoMLTool{baselines.H2O, baselines.FLAML, baselines.AutoGluon}
@@ -165,13 +192,21 @@ func RunTable5Cleaning(cfg Config) (*Table5Result, error) {
 			tools = tools[:1]
 		}
 		for _, tool := range tools {
-			o, steps := baselines.RunCleaningWorkflow(baselines.CleanL2C, tool, tr, te, ds.Target, ds.Task,
-				baselines.AutoMLOptions{Seed: cfg.Seed, TimeBudget: 20 * time.Second})
-			row := toTable5Row(name, o)
-			row.Steps = steps
-			res.Rows = append(res.Rows, row)
+			tool := tool
+			cells = append(cells, func() (Table5Row, error) {
+				o, steps := baselines.RunCleaningWorkflow(baselines.CleanL2C, tool, tr, te, ds.Target, ds.Task,
+					baselines.AutoMLOptions{Seed: cfg.Seed, TimeBudget: pickDur(cfg.Fast, 5*time.Second, 20*time.Second)})
+				row := toTable5Row(name, o)
+				row.Steps = steps
+				return row, nil
+			})
 		}
 	}
+	rows, err := pool.Map(cfg.Workers, len(cells), func(i int) (Table5Row, error) { return cells[i]() })
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
 
 	t := &table{header: []string{"Dataset", "System", "Train", "Test", "Runtime[s]"}}
 	for _, r := range res.Rows {
@@ -211,6 +246,13 @@ func testScore(out *core.Result) float64 {
 }
 
 func pickInt(cond bool, a, b int) int {
+	if cond {
+		return a
+	}
+	return b
+}
+
+func pickDur(cond bool, a, b time.Duration) time.Duration {
 	if cond {
 		return a
 	}

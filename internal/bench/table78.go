@@ -8,6 +8,7 @@ import (
 	"catdb/internal/core"
 	"catdb/internal/data"
 	"catdb/internal/llm"
+	"catdb/internal/pool"
 )
 
 // table78Datasets are the eight datasets of the single-iteration study
@@ -59,7 +60,16 @@ func RunTable7SingleIteration(cfg Config) (*Table7Result, error) {
 		datasets = []string{"CMC", "Bike-Sharing"}
 		models = models[:1]
 	}
-	for _, name := range datasets {
+	// Two phases: the LLM-driven systems are independent cells, but the
+	// AutoML tools need the measured CatDB runtime of their dataset as a
+	// time budget, so they only fan out after every LLM cell of that
+	// dataset has finished.
+	type prep struct {
+		ds     *data.Dataset
+		tr, te *data.Table
+	}
+	preps := make([]prep, len(datasets))
+	for i, name := range datasets {
 		ds, err := data.Load(name, cfg.Scale)
 		if err != nil {
 			return nil, err
@@ -74,64 +84,111 @@ func RunTable7SingleIteration(cfg Config) (*Table7Result, error) {
 		} else {
 			tr, te = tb.Split(0.7, cfg.Seed)
 		}
-		var catdbRuntime time.Duration
+		preps[i] = prep{ds: ds, tr: tr, te: te}
+	}
 
+	// Phase 1: LLM systems, one cell per (dataset, model, system), in the
+	// paper's row order.
+	var llmCells []func() (Table7Row, error)
+	for di := range preps {
+		p := preps[di]
+		name := datasets[di]
 		for _, model := range models {
-			// CatDB single and chain.
+			model := model
 			for _, v := range []struct {
 				label  string
 				chains int
 			}{{"CatDB", 1}, {"CatDB Chain", 3}} {
-				client, cerr := llm.New(model, cfg.Seed+int64(len(model))+int64(v.chains))
-				if cerr != nil {
-					return nil, cerr
-				}
-				r := core.NewRunner(client)
-				out, rerr := r.Run(ds, core.Options{Seed: cfg.Seed, Chains: v.chains})
-				row := Table7Row{Dataset: name, Model: model, System: v.label}
-				if rerr != nil {
-					row.Failed, row.Reason = true, rerr.Error()
-				} else {
-					row.Score = out.Exec.Primary()
-					row.Tokens = out.Cost.Total()
-					row.ErrTok = out.Cost.ErrorTokens()
-					row.Total = out.TotalTime()
-					if v.chains == 1 && out.TotalTime() > catdbRuntime {
-						catdbRuntime = out.TotalTime()
+				v := v
+				llmCells = append(llmCells, func() (Table7Row, error) {
+					client, cerr := llm.New(model, cfg.Seed+int64(len(model))+int64(v.chains))
+					if cerr != nil {
+						return Table7Row{}, cerr
 					}
-				}
-				res.Rows = append(res.Rows, row)
-			}
-
-			// CAAFE, AIDE, AutoGen.
-			for _, backend := range []baselines.CAAFEBackend{baselines.CAAFETabPFN, baselines.CAAFEForest} {
-				o := baselines.RunCAAFE(tr, te, ds.Target, ds.Task, baselines.CAAFEOptions{
-					Backend: backend, Seed: cfg.Seed, Rounds: 2, MaxPairs: 40,
+					out, rerr := core.NewRunner(client).Run(p.ds, core.Options{Seed: cfg.Seed, Chains: v.chains})
+					row := Table7Row{Dataset: name, Model: model, System: v.label}
+					if rerr != nil {
+						row.Failed, row.Reason = true, rerr.Error()
+					} else {
+						row.Score = out.Exec.Primary()
+						row.Tokens = out.Cost.Total()
+						row.ErrTok = out.Cost.ErrorTokens()
+						row.Total = out.TotalTime()
+					}
+					return row, nil
 				})
-				res.Rows = append(res.Rows, outcomeToT7(name, model, o))
 			}
-			clientA, _ := llm.New(model, cfg.Seed+41)
-			res.Rows = append(res.Rows, outcomeToT7(name, model,
-				baselines.RunAIDE(ds, clientA, baselines.LLMBaselineOptions{Seed: cfg.Seed})))
-			clientG, _ := llm.New(model, cfg.Seed+43)
-			res.Rows = append(res.Rows, outcomeToT7(name, model,
-				baselines.RunAutoGen(ds, clientG, baselines.LLMBaselineOptions{Seed: cfg.Seed})))
+			for _, backend := range []baselines.CAAFEBackend{baselines.CAAFETabPFN, baselines.CAAFEForest} {
+				backend := backend
+				llmCells = append(llmCells, func() (Table7Row, error) {
+					o := baselines.RunCAAFE(p.tr, p.te, p.ds.Target, p.ds.Task, baselines.CAAFEOptions{
+						Backend: backend, Seed: cfg.Seed, Rounds: 2, MaxPairs: 40,
+					})
+					return outcomeToT7(name, model, o), nil
+				})
+			}
+			llmCells = append(llmCells, func() (Table7Row, error) {
+				clientA, _ := llm.New(model, cfg.Seed+41)
+				return outcomeToT7(name, model,
+					baselines.RunAIDE(p.ds, clientA, baselines.LLMBaselineOptions{Seed: cfg.Seed})), nil
+			})
+			llmCells = append(llmCells, func() (Table7Row, error) {
+				clientG, _ := llm.New(model, cfg.Seed+43)
+				return outcomeToT7(name, model,
+					baselines.RunAutoGen(p.ds, clientG, baselines.LLMBaselineOptions{Seed: cfg.Seed})), nil
+			})
 		}
+	}
+	llmRows, err := pool.Map(cfg.Workers, len(llmCells), func(i int) (Table7Row, error) { return llmCells[i]() })
+	if err != nil {
+		return nil, err
+	}
 
-		// AutoML tools (model-independent), budget = measured CatDB time.
-		budget := catdbRuntime
-		if budget < 5*time.Second {
-			budget = 5 * time.Second
+	// Phase 2: AutoML tools (model-independent), budget = measured CatDB
+	// time of the dataset.
+	rowsPerDataset := len(models) * 6 // CatDB, Chain, CAAFE x2, AIDE, AutoGen
+	budgets := make([]time.Duration, len(datasets))
+	for di := range datasets {
+		var catdbRuntime time.Duration
+		for _, row := range llmRows[di*rowsPerDataset : (di+1)*rowsPerDataset] {
+			if row.System == "CatDB" && !row.Failed && row.Total > catdbRuntime {
+				catdbRuntime = row.Total
+			}
 		}
-		for _, tool := range baselines.AutoMLTools() {
-			o := baselines.RunAutoML(tool, tr, te, ds.Target, ds.Task,
-				baselines.AutoMLOptions{Seed: cfg.Seed, TimeBudget: budget})
-			res.Rows = append(res.Rows, outcomeToT7(name, "-", o))
+		if catdbRuntime < 5*time.Second {
+			catdbRuntime = 5 * time.Second
+		}
+		// Fast mode is for CI: cap the wall-clock budget so slow runners
+		// (race detector, loaded machines) don't inflate the AutoML phase.
+		if cfg.Fast && catdbRuntime > 5*time.Second {
+			catdbRuntime = 5 * time.Second
+		}
+		budgets[di] = catdbRuntime
+	}
+	tools := baselines.AutoMLTools()
+	autoPerDataset := len(tools) + 1 // tools + cleaning workflow
+	autoRows, err := pool.Map(cfg.Workers, len(datasets)*autoPerDataset, func(k int) (Table7Row, error) {
+		di, ti := k/autoPerDataset, k%autoPerDataset
+		p := preps[di]
+		opts := baselines.AutoMLOptions{Seed: cfg.Seed, TimeBudget: budgets[di]}
+		if ti < len(tools) {
+			o := baselines.RunAutoML(tools[ti], p.tr, p.te, p.ds.Target, p.ds.Task, opts)
+			return outcomeToT7(datasets[di], "-", o), nil
 		}
 		// Cleaning + AutoML workflow (FLAML as representative).
-		wo, _ := baselines.RunCleaningWorkflow(baselines.CleanL2C, baselines.FLAML, tr, te,
-			ds.Target, ds.Task, baselines.AutoMLOptions{Seed: cfg.Seed, TimeBudget: budget})
-		res.Rows = append(res.Rows, outcomeToT7(name, "-", wo))
+		wo, _ := baselines.RunCleaningWorkflow(baselines.CleanL2C, baselines.FLAML, p.tr, p.te,
+			p.ds.Target, p.ds.Task, opts)
+		return outcomeToT7(datasets[di], "-", wo), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Reassemble in the serial order: per dataset, the LLM rows then the
+	// AutoML rows.
+	for di := range datasets {
+		res.Rows = append(res.Rows, llmRows[di*rowsPerDataset:(di+1)*rowsPerDataset]...)
+		res.Rows = append(res.Rows, autoRows[di*autoPerDataset:(di+1)*autoPerDataset]...)
 	}
 
 	t := &table{header: []string{"Dataset", "LLM", "System", "AUC/R2", "Tokens", "ErrTokens", "Total[s]"}}

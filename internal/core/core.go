@@ -186,7 +186,7 @@ func (r *Runner) Run(ds *data.Dataset, opts Options) (*Result, error) {
 	}
 	res.ProfileTime = time.Since(pstart)
 
-	in := prompt.InputFromProfile(prof, topClassShare(train, ds.Target), descriptionOf(ds, r.Description))
+	in := prompt.InputFromProfile(prof, topClassShare(train, ds.Target, ds.Task), descriptionOf(ds, r.Description))
 	cfg := prompt.Config{
 		Combo: opts.Combo, TopK: opts.TopK, Chains: opts.Chains,
 		IncludeRules: !opts.MetadataOnly, IncludeDescription: true,
@@ -259,10 +259,16 @@ func descriptionOf(ds *data.Dataset, override string) string {
 }
 
 // topClassShare computes the largest class share of a classification
-// target (0 for regression/absent targets).
-func topClassShare(t *data.Table, target string) float64 {
+// target (0 for regression/absent targets). The task decides whether the
+// target is categorical: int-coded 0/1 labels are numeric-kind columns but
+// still class labels, and skipping them would hide class imbalance from
+// the prompt rules.
+func topClassShare(t *data.Table, target string, task data.Task) float64 {
+	if !task.IsClassification() {
+		return 0
+	}
 	c := t.Col(target)
-	if c == nil || c.Kind.IsNumeric() {
+	if c == nil {
 		return 0
 	}
 	counts := map[string]int{}
@@ -364,7 +370,10 @@ func (r *Runner) debugLoop(source string, in prompt.Input, cfg prompt.Config, op
 		fixedBy := ""
 		preFixSource = source
 		if r.KB != nil {
-			if patched, ok := r.KB.TryPatch(source, cls); ok {
+			// A patch that leaves the source unchanged cannot fix the error;
+			// counting it as a fix would burn a τ₂ attempt re-running the
+			// identical pipeline. Fall through to the LLM repair instead.
+			if patched, ok := r.KB.TryPatch(source, cls); ok && patched != source {
 				source = patched
 				res.Cost.KBFixes++
 				fixedBy = "kb"
@@ -454,15 +463,22 @@ func relevantColumns(in prompt.Input, cls errkb.Classified) []prompt.ColumnMeta 
 	return out
 }
 
+// firstQuoted extracts the first quoted token from an error message. Error
+// sources are inconsistent about quote style, so double quotes, backticks,
+// and single quotes are all accepted (the earliest opening quote wins, and
+// the token must be closed by the same character).
 func firstQuoted(s string) string {
-	start := -1
+	start, quote := -1, byte(0)
 	for i := 0; i < len(s); i++ {
-		if s[i] == '"' {
-			if start < 0 {
-				start = i + 1
-			} else {
-				return s[start:i]
+		c := s[i]
+		if start < 0 {
+			if c == '"' || c == '`' || c == '\'' {
+				start, quote = i+1, c
 			}
+			continue
+		}
+		if c == quote {
+			return s[start:i]
 		}
 	}
 	return ""

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -187,11 +190,98 @@ func TestHandcraftPipelineIsValid(t *testing.T) {
 func TestTopClassShare(t *testing.T) {
 	tb := data.NewTable("t")
 	tb.MustAddColumn(data.NewString("y", []string{"a", "a", "a", "b"}))
-	if got := topClassShare(tb, "y"); got != 0.75 {
+	if got := topClassShare(tb, "y", data.Binary); got != 0.75 {
 		t.Fatalf("share = %g", got)
 	}
-	if topClassShare(tb, "missing") != 0 {
+	if topClassShare(tb, "missing", data.Binary) != 0 {
 		t.Fatal("missing target share must be 0")
+	}
+}
+
+func TestTopClassShareNumericLabels(t *testing.T) {
+	// Int-coded 0/1 labels are numeric-kind columns but still classes; the
+	// imbalance rule must see their share (regression targets stay at 0).
+	tb := data.NewTable("t")
+	tb.MustAddColumn(data.NewInt("y", []float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 1}))
+	if got := topClassShare(tb, "y", data.Binary); got != 0.9 {
+		t.Fatalf("numeric-label share = %g, want 0.9", got)
+	}
+	if got := topClassShare(tb, "y", data.Regression); got != 0 {
+		t.Fatalf("regression share = %g, want 0", got)
+	}
+}
+
+func TestFirstQuotedQuoteStyles(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`column "price" not found`, "price"},
+		{"column `price` not found", "price"},
+		{"column 'price' not found", "price"},
+		{"first `a` then 'b'", "a"},
+		{"unterminated `price", ""},
+		{"no quotes at all", ""},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := firstQuoted(c.in); got != c.want {
+			t.Errorf("firstQuoted(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDebugLoopNoOpKBPatchFallsThroughToLLM(t *testing.T) {
+	// A learned patch that "repairs" NaN errors by swapping in the model
+	// already in use leaves the source unchanged. Counting that as a KB fix
+	// re-runs the identical failing pipeline every attempt, so the τ₂
+	// budget is exhausted and the handcrafted fallback fires; the loop must
+	// instead treat the no-op as not-fixed and consult the LLM.
+	tb := data.NewTable("noop")
+	xs := make([]float64, 40)
+	ys := make([]string, 40)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = fmt.Sprint(i % 2)
+	}
+	tb.MustAddColumn(data.NewInt("x", xs))
+	tb.MustAddColumn(data.NewString("y", ys))
+	tr, te := tb.StratifiedSplit("y", 0.7, 1)
+	if data.InjectMissing(tr, "y", 0.3, 1) == 0 {
+		t.Fatal("no missing values injected")
+	}
+	ds := &data.Dataset{Name: "noop", Tables: []*data.Table{tb}, Primary: "noop", Target: "y", Task: data.Binary}
+	prof, err := profile.Table(tr, "y", data.Binary, profile.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := prompt.InputFromProfile(prof, 0.5, "")
+
+	r := runner(t, "gemini-1.5-pro", 3)
+	path := filepath.Join(t.TempDir(), "kb.json")
+	noop := `[{"code":"E_NAN_IN_MATRIX","stmt_op":"train","action":"replace-model","payload":"random_forest"}]`
+	if err := os.WriteFile(path, []byte(noop), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.KB.LoadLearned(path); err != nil {
+		t.Fatal(err)
+	}
+
+	src := "pipeline \"noop\"\ntrain model=random_forest target=\"y\"\n"
+	ex := &pipescript.Executor{Target: "y", Task: data.Binary, Seed: 1}
+	res := &Result{}
+	out, err := r.debugLoop(src, in, prompt.DefaultConfig(), Options{Seed: 1, MaxAttempts: 15}, ex, tr, te, ds, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Handcrafted {
+		t.Fatal("no-op KB patch must not exhaust the τ₂ budget")
+	}
+	if res.Cost.KBFixes != 0 {
+		t.Fatalf("no-op patch counted as %d KB fixes", res.Cost.KBFixes)
+	}
+	if res.Cost.LLMFixes == 0 {
+		t.Fatal("the LLM repair should have been consulted")
+	}
+	if !strings.Contains(out, "impute_all") {
+		t.Fatalf("LLM repair missing from fixed pipeline:\n%s", out)
 	}
 }
 

@@ -142,7 +142,9 @@ func (t *Table) Split(trainFrac float64, seed int64) (train, test *Table) {
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(t.NumRows())
 	cut := int(trainFrac * float64(len(perm)))
-	if cut < 1 && len(perm) > 1 {
+	// Training on nothing is never useful: any non-empty table keeps at
+	// least one train row, even a single-row table (test then stays empty).
+	if cut < 1 && len(perm) > 0 {
 		cut = 1
 	}
 	return t.SelectRows(perm[:cut]), t.SelectRows(perm[cut:])
@@ -179,6 +181,12 @@ func (t *Table) StratifiedSplit(target string, trainFrac float64, seed int64) (t
 		}
 		trainRows = append(trainRows, rows[:cut]...)
 		testRows = append(testRows, rows[cut:]...)
+	}
+	// All-singleton classes can leave the train side empty; reclaim one row
+	// so downstream training always has data.
+	if len(trainRows) == 0 && len(testRows) > 0 {
+		trainRows = append(trainRows, testRows[0])
+		testRows = testRows[1:]
 	}
 	rng.Shuffle(len(trainRows), func(i, j int) { trainRows[i], trainRows[j] = trainRows[j], trainRows[i] })
 	rng.Shuffle(len(testRows), func(i, j int) { testRows[i], testRows[j] = testRows[j], testRows[i] })

@@ -1,6 +1,7 @@
 package data
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -90,6 +91,36 @@ func TestSplit(t *testing.T) {
 	for i := 0; i < tr.NumRows(); i++ {
 		if tr.Col("x").Nums[i] != tr2.Col("x").Nums[i] {
 			t.Fatal("Split must be deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestSplitTinyTablesNeverEmptyTrain(t *testing.T) {
+	// 1- and 2-row tables used to send everything to the test side
+	// (int(0.7*1) == 0), leaving downstream training with no data.
+	for rows := 1; rows <= 2; rows++ {
+		tb := NewTable("t")
+		x := make([]float64, rows)
+		y := make([]string, rows)
+		for i := range x {
+			x[i] = float64(i)
+			y[i] = fmt.Sprint(i % 2)
+		}
+		tb.MustAddColumn(NewNumeric("x", x))
+		tb.MustAddColumn(NewString("y", y))
+		tr, te := tb.Split(0.7, 5)
+		if tr.NumRows() == 0 {
+			t.Fatalf("Split(%d rows): empty train", rows)
+		}
+		if tr.NumRows()+te.NumRows() != rows {
+			t.Fatalf("Split(%d rows): rows lost", rows)
+		}
+		str, ste := tb.StratifiedSplit("y", 0.7, 5)
+		if str.NumRows() == 0 {
+			t.Fatalf("StratifiedSplit(%d rows): empty train", rows)
+		}
+		if str.NumRows()+ste.NumRows() != rows {
+			t.Fatalf("StratifiedSplit(%d rows): rows lost", rows)
 		}
 	}
 }

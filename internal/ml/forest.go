@@ -3,7 +3,8 @@ package ml
 import (
 	"math/rand"
 	"runtime"
-	"sync"
+
+	"catdb/internal/pool"
 )
 
 // ForestConfig tunes a random forest.
@@ -75,35 +76,23 @@ func (f *Forest) fitBagged(X [][]float64, fitOne func(*Tree, []int) error, n int
 	if workers > cfg.Trees {
 		workers = cfg.Trees
 	}
-	var wg sync.WaitGroup
-	errs := make([]error, cfg.Trees)
-	sem := make(chan struct{}, workers)
-	for i := 0; i < cfg.Trees; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
-			rows := make([]int, n)
-			for r := range rows {
-				rows[r] = rng.Intn(n)
-			}
-			t := NewTree(TreeConfig{
-				MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf,
-				FeatureFrac: cfg.FeatureFrac, Seed: cfg.Seed + int64(i),
-			})
-			errs[i] = fitOne(t, rows)
-			f.trees[i] = t
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	// Each tree seeds its own RNG from its index, so the forest is
+	// identical at any worker count; pool.Each runs the single-worker case
+	// without spawning goroutines at all.
+	return pool.Each(workers, cfg.Trees, func(i int) error {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		rows := make([]int, n)
+		for r := range rows {
+			rows[r] = rng.Intn(n)
 		}
-	}
-	return nil
+		t := NewTree(TreeConfig{
+			MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf,
+			FeatureFrac: cfg.FeatureFrac, Seed: cfg.Seed + int64(i),
+		})
+		err := fitOne(t, rows)
+		f.trees[i] = t
+		return err
+	})
 }
 
 func bagRegression(X [][]float64, y []float64, rows []int) ([][]float64, []float64) {

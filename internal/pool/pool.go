@@ -1,0 +1,109 @@
+// Package pool provides the bounded worker pool underneath every
+// concurrent code path in the repo: the bench harness fans experiment
+// cells out over it, and the public ParallelPipGen batch API reuses it.
+// The contract that makes concurrency safe to adopt everywhere is
+// determinism: results come back in index order, and the error returned
+// is the one a serial loop over the same cells would have hit first, so a
+// caller cannot observe scheduling order through the API.
+package pool
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the default pool size: one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Map runs fn(0..n-1) on at most workers goroutines (workers <= 0 means
+// DefaultWorkers) and returns the results in index order.
+//
+// Error semantics match a serial loop: when calls fail, Map returns the
+// error of the lowest-indexed failing call and nil results. Indices are
+// dispatched in increasing order and a failure stops new dispatches, so
+// every index below the returned one has completed — the reported error
+// is exactly the one the serial harness would have surfaced.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int
+		errIdx   = -1
+		firstErr error
+	)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= n || errIdx >= 0 {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Each is Map for cell functions with no result value.
+func Each(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// DeriveSeed mixes a base seed with string parts (dataset, model, ...)
+// and an iteration index into a new seed. Runs that derive their RNGs and
+// LLM clients from (seed, dataset, model, iteration) this way are
+// independent of worker scheduling: the cell's identity, not its
+// execution order, determines its randomness.
+func DeriveSeed(base int64, iteration int, parts ...string) int64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return base*1_000_003 + int64(iteration)*9_176_867 + int64(h.Sum64()&0x7fffffff)
+}
