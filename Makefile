@@ -15,11 +15,16 @@ test:
 
 # The benchmark harness fans experiment cells out across a worker pool;
 # the race detector guards the per-cell isolation invariants (own LLM
-# client, own trace store, read-only shared datasets).
+# client, own trace store, read-only shared datasets). internal/profile
+# and internal/data are included for the parallel profiler and the
+# concurrent column-summary / profile-cache paths.
 race:
-	$(GO) test -race ./internal/bench/... ./internal/core/...
+	$(GO) test -race ./internal/bench/... ./internal/core/... ./internal/profile/... ./internal/data/...
 
 verify: build vet test race
 
+# Profiling benchmarks: one cold iteration per benchmark (matching how the
+# committed baseline was captured) merged into BENCH_profile.json; the
+# pre-optimization baseline block in that file is preserved.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run='^$$' -bench=Profile -benchmem -benchtime=1x ./internal/profile/ | $(GO) run ./cmd/benchjson -o BENCH_profile.json

@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// committed JSON record. It merges into an existing file: the "baseline"
+// block (the pre-optimization numbers) is preserved verbatim, the
+// "current" block is replaced with the parsed run, and a per-benchmark
+// speedup table is recomputed for every name present in both blocks.
+//
+//	go test -run='^$' -bench=Profile -benchmem -benchtime=1x ./internal/profile/ \
+//	  | go run ./cmd/benchjson -o BENCH_profile.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// File is the on-disk layout of BENCH_profile.json.
+type File struct {
+	Note     string            `json:"note,omitempty"`
+	Baseline map[string]Entry  `json:"baseline,omitempty"`
+	Current  map[string]Entry  `json:"current"`
+	Speedup  map[string]string `json:"speedup_vs_baseline,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkProfileKDD98-16  1  17379382968 ns/op  5621032880 B/op  74230499 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "BENCH_profile.json", "output JSON file (merged in place)")
+	setBaseline := flag.Bool("set-baseline", false, "record this run as the baseline instead of the current numbers")
+	flag.Parse()
+
+	parsed := map[string]Entry{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // stay pipe-transparent: the raw output remains visible
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		e := Entry{}
+		e.Iterations, _ = strconv.Atoi(m[2])
+		e.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			e.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			e.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		parsed[m[1]] = e
+	}
+	if err := sc.Err(); err != nil {
+		fatal("read stdin: %v", err)
+	}
+	if len(parsed) == 0 {
+		fatal("no benchmark lines found on stdin")
+	}
+
+	var f File
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &f); err != nil {
+			fatal("parse existing %s: %v", *out, err)
+		}
+	}
+	if *setBaseline {
+		f.Baseline = parsed
+	} else {
+		f.Current = parsed
+	}
+	f.Speedup = map[string]string{}
+	for name, cur := range f.Current {
+		if base, ok := f.Baseline[name]; ok && cur.NsPerOp > 0 {
+			f.Speedup[name] = fmt.Sprintf("%.2fx", base.NsPerOp/cur.NsPerOp)
+		}
+	}
+	if len(f.Speedup) == 0 {
+		f.Speedup = nil
+	}
+
+	enc, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fatal("encode: %v", err)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fatal("write %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d entries to %s\n", len(parsed), *out)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -180,6 +180,7 @@ func fill(c *data.Column, num float64, str string) {
 			c.Strs[i] = str
 		}
 	}
+	c.Touch()
 }
 
 func topCats(c *data.Column, max int) []string {

@@ -100,6 +100,7 @@ func applyCleaningOp(t *data.Table, target string, op cleaningOp, seed int64) {
 					c.Nums[i] = hi
 				}
 			}
+			c.Touch()
 		}
 	case OpLOF: // remove rows whose numeric profile is far from median
 		var keep []int
@@ -130,6 +131,7 @@ func applyCleaningOp(t *data.Table, target string, op cleaningOp, seed int64) {
 					c.Nums[i] = mean
 				}
 			}
+			c.Touch()
 		}
 	case OpMEDIAN:
 		for _, c := range t.Cols {
@@ -144,6 +146,7 @@ func applyCleaningOp(t *data.Table, target string, op cleaningOp, seed int64) {
 						c.Nums[i] = med
 					}
 				}
+				c.Touch()
 			}
 		}
 	case OpDROP: // drop rows with any missing cell
@@ -410,6 +413,7 @@ func adasynOversample(t *data.Table, target string, seed int64) {
 				col.AppendFrom(col, src)
 				if std, ok := stds[col.Name]; ok && !col.IsMissing(col.Len()-1) {
 					col.Nums[col.Len()-1] += rng.NormFloat64() * std * 0.05
+					col.Touch()
 				}
 			}
 		}

@@ -100,6 +100,7 @@ func RunAblation(cfg Config) (*AblationResult, error) {
 			return runOut{}, cerr
 		}
 		r := core.NewRunner(client)
+		r.ProfileCache = cfg.ProfileCache
 		if v.noKB {
 			r.KB = nil
 		}

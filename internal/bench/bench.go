@@ -15,6 +15,7 @@ import (
 	"unicode/utf8"
 
 	"catdb/internal/pool"
+	"catdb/internal/profile"
 )
 
 // Config tunes an experiment run.
@@ -36,6 +37,13 @@ type Config struct {
 	// RNG from the cell identity, so output is bit-for-bit identical at
 	// any worker count. Workers=1 reproduces the serial harness.
 	Workers int
+	// ProfileCache shares Algorithm 1 profiling across cells: every cell
+	// that loads the same (dataset, scale) at the same seed and options
+	// reuses one computed profile instead of redoing the pass. Defaults to
+	// a fresh cache per experiment; pass one cache to several experiments
+	// to share across them. Profiles are keyed by table content, so
+	// corrupted/mutated variants never alias (see profile.Cache).
+	ProfileCache *profile.Cache
 	// Out receives the rendered tables (defaults to io.Discard).
 	Out io.Writer
 }
@@ -52,6 +60,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = pool.DefaultWorkers()
+	}
+	if c.ProfileCache == nil {
+		c.ProfileCache = profile.NewCache()
 	}
 	if c.Out == nil {
 		c.Out = io.Discard

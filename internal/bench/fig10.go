@@ -46,7 +46,9 @@ func RunFig10MetadataImpact(cfg Config) (*Fig10Result, error) {
 		if err != nil {
 			return Fig10Row{}, err
 		}
-		out, rerr := core.NewRunner(client).Run(ds, opts)
+		r := core.NewRunner(client)
+		r.ProfileCache = cfg.ProfileCache
+		out, rerr := r.Run(ds, opts)
 		row := Fig10Row{Dataset: ds.Name, Config: config}
 		if rerr != nil {
 			row.Failed = true

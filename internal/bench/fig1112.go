@@ -129,7 +129,9 @@ func RunFig11TenIterations(cfg Config) (*Fig11Result, error) {
 							c.failed = true
 							return c
 						}
-						out, rerr := core.NewRunner(client).Run(ds, core.Options{Seed: seed, Chains: v.chains})
+						r := core.NewRunner(client)
+					r.ProfileCache = cfg.ProfileCache
+					out, rerr := r.Run(ds, core.Options{Seed: seed, Chains: v.chains})
 						if rerr != nil {
 							c.failed = true
 							return c

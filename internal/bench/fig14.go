@@ -104,6 +104,7 @@ func RunFig14Robustness(cfg Config) (*Fig14Result, error) {
 			return nil, cerr
 		}
 		r := core.NewRunner(client)
+		r.ProfileCache = cfg.ProfileCache
 		out, rerr := r.Run(ds, core.Options{Seed: cfg.Seed, TrainMutator: inject})
 		row := Fig14Row{Dataset: name, Corruption: corruption, Ratio: ratio, System: "CatDB"}
 		if rerr != nil {

@@ -36,7 +36,7 @@ func RunFig9Profiling(cfg Config) (*Fig9Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		p, err := profile.Dataset(ds, profile.Options{Seed: cfg.Seed})
+		p, err := cfg.ProfileCache.Dataset(ds, profile.Options{Seed: cfg.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("bench: profiling %s: %w", names[i], err)
 		}

@@ -61,6 +61,7 @@ func RunTable2ErrorTraces(cfg Config) (*Table2Result, error) {
 			return nil, cerr
 		}
 		r := core.NewRunner(client)
+		r.ProfileCache = cfg.ProfileCache
 		r.Traces = errkb.NewTraceStore()
 		// NoRefine keeps the runs cheap; refinement does not change the
 		// generation-error profile.

@@ -151,6 +151,7 @@ func RunTable5Cleaning(cfg Config) (*Table5Result, error) {
 					return Table5Row{}, err
 				}
 				r := core.NewRunner(client)
+				r.ProfileCache = cfg.ProfileCache
 				start := time.Now()
 				out, rerr := r.Run(ds, core.Options{Seed: cfg.Seed, NoRefine: variant.noRefine})
 				row := Table5Row{Dataset: name, System: variant.label, Runtime: time.Since(start)}

@@ -105,7 +105,9 @@ func RunTable7SingleIteration(cfg Config) (*Table7Result, error) {
 					if cerr != nil {
 						return Table7Row{}, cerr
 					}
-					out, rerr := core.NewRunner(client).Run(p.ds, core.Options{Seed: cfg.Seed, Chains: v.chains})
+					r := core.NewRunner(client)
+					r.ProfileCache = cfg.ProfileCache
+					out, rerr := r.Run(p.ds, core.Options{Seed: cfg.Seed, Chains: v.chains})
 					row := Table7Row{Dataset: name, Model: model, System: v.label}
 					if rerr != nil {
 						row.Failed, row.Reason = true, rerr.Error()

@@ -65,6 +65,9 @@ type Options struct {
 	// (they are not categorical candidates).
 	MaxDedupDistinct int
 	Seed             int64
+	// Cache, when set, memoizes the two profiling passes by table content
+	// (nil falls back to direct profiling).
+	Cache *profile.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -99,7 +102,7 @@ func Refine(t *data.Table, target string, task data.Task, client llm.Client, opt
 	out := t.Clone()
 	res := &Result{}
 
-	prof, err := profile.Table(out, target, task, profile.Options{Samples: opts.Samples, Seed: opts.Seed})
+	prof, err := opts.Cache.Table(out, target, task, profile.Options{Samples: opts.Samples, Seed: opts.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("catalog: %w", err)
 	}
@@ -209,7 +212,7 @@ func Refine(t *data.Table, target string, task data.Task, client llm.Client, opt
 		}
 	}
 
-	refProf, err := profile.Table(out, target, task, profile.Options{Samples: opts.Samples, Seed: opts.Seed})
+	refProf, err := opts.Cache.Table(out, target, task, profile.Options{Samples: opts.Samples, Seed: opts.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("catalog: re-profile: %w", err)
 	}

@@ -135,6 +135,11 @@ type Runner struct {
 	Traces *errkb.TraceStore
 	// Description is the optional user-written dataset summary.
 	Description string
+	// ProfileCache, when set, memoizes data profiles by table content so
+	// runs over the same (dataset, scale, seed, options) cell — and the
+	// catalog's refinement profiling — skip redundant Algorithm 1 passes.
+	// Share one cache across runners to share across benchmark cells.
+	ProfileCache *profile.Cache
 }
 
 // NewRunner returns a runner over the given client.
@@ -159,7 +164,7 @@ func (r *Runner) Run(ds *data.Dataset, opts Options) (*Result, error) {
 		table = t
 	} else {
 		start := time.Now()
-		ref, err := catalog.RefineDataset(ds, r.Client, catalog.Options{Seed: opts.Seed})
+		ref, err := catalog.RefineDataset(ds, r.Client, catalog.Options{Seed: opts.Seed, Cache: r.ProfileCache})
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
@@ -180,7 +185,7 @@ func (r *Runner) Run(ds *data.Dataset, opts Options) (*Result, error) {
 
 	// Profile (Algorithm 1).
 	pstart := time.Now()
-	prof, err := profile.Table(train, ds.Target, ds.Task, profile.Options{Seed: opts.Seed})
+	prof, err := r.ProfileCache.Table(train, ds.Target, ds.Task, profile.Options{Seed: opts.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

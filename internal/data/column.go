@@ -8,9 +8,9 @@ package data
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind is the physical storage type of a column.
@@ -48,12 +48,20 @@ func (k Kind) IsNumeric() bool { return k == KindInt || k == KindFloat || k == K
 // Column is a single named column. Numeric kinds (int, float, bool) store
 // values in Nums; string columns store values in Strs. Missing marks cells
 // with no value; the corresponding slot in Nums/Strs is zero-valued.
+//
+// Statistics (Distinct, MissingCount, NumericStats, Quantile, IsConstant)
+// are served from a memoized one-pass Summary guarded by a mutation
+// version counter. The mutating methods below invalidate it; code writing
+// Nums/Strs/Missing directly must call Touch (see summary.go).
 type Column struct {
 	Name    string
 	Kind    Kind
 	Nums    []float64
 	Strs    []string
 	Missing []bool
+
+	version atomic.Uint64                // bumped by Touch on every mutation
+	cache   atomic.Pointer[summaryEntry] // last computed Summary, if current
 }
 
 // NewNumeric returns a float column over vals with no missing cells.
@@ -102,6 +110,7 @@ func (c *Column) SetMissing(i int) {
 	} else {
 		c.Nums[i] = 0
 	}
+	c.Touch()
 }
 
 func (c *Column) ensureMask() {
@@ -113,15 +122,7 @@ func (c *Column) ensureMask() {
 }
 
 // MissingCount returns the number of missing cells.
-func (c *Column) MissingCount() int {
-	n := 0
-	for _, m := range c.Missing {
-		if m {
-			n++
-		}
-	}
-	return n
-}
+func (c *Column) MissingCount() int { return c.Summary().Missing }
 
 // MissingRatio returns the fraction of missing cells in [0,1].
 func (c *Column) MissingRatio() float64 {
@@ -152,25 +153,12 @@ func (c *Column) ValueString(i int) string {
 }
 
 // Distinct returns the distinct non-missing values rendered as strings,
-// sorted ascending for determinism.
-func (c *Column) Distinct() []string {
-	seen := map[string]struct{}{}
-	for i := 0; i < c.Len(); i++ {
-		if c.IsMissing(i) {
-			continue
-		}
-		seen[c.ValueString(i)] = struct{}{}
-	}
-	out := make([]string, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
-	}
-	sort.Strings(out)
-	return out
-}
+// sorted ascending for determinism. The slice is the memoized Summary's —
+// shared across callers and must not be modified.
+func (c *Column) Distinct() []string { return c.Summary().Distinct }
 
 // DistinctCount returns the number of distinct non-missing values.
-func (c *Column) DistinctCount() int { return len(c.Distinct()) }
+func (c *Column) DistinctCount() int { return c.Summary().DistinctCount() }
 
 // DistinctRatio returns distinct/non-missing in [0,1] (1 when all unique).
 func (c *Column) DistinctRatio() float64 {
@@ -193,51 +181,14 @@ type Stats struct {
 	Q3     float64 // third quartile
 }
 
-// NumericStats computes summary statistics over the non-missing cells of a
-// numeric column. It returns a zero Stats for string columns or columns
-// with no present values.
+// NumericStats returns summary statistics over the non-missing cells of a
+// numeric column (memoized; see Summary). It returns a zero Stats for
+// string columns or columns with no present values.
 func (c *Column) NumericStats() Stats {
 	if c.Kind == KindString {
 		return Stats{}
 	}
-	vals := make([]float64, 0, c.Len())
-	for i, v := range c.Nums {
-		if !c.IsMissing(i) {
-			vals = append(vals, v)
-		}
-	}
-	if len(vals) == 0 {
-		return Stats{}
-	}
-	s := Stats{Count: len(vals), Min: math.Inf(1), Max: math.Inf(-1)}
-	sum := 0.0
-	for _, v := range vals {
-		sum += v
-		if v < s.Min {
-			s.Min = v
-		}
-		if v > s.Max {
-			s.Max = v
-		}
-	}
-	s.Mean = sum / float64(len(vals))
-	varsum := 0.0
-	for _, v := range vals {
-		d := v - s.Mean
-		varsum += d * d
-	}
-	s.Std = math.Sqrt(varsum / float64(len(vals)))
-	sorted := append([]float64(nil), vals...)
-	sort.Float64s(sorted)
-	mid := len(sorted) / 2
-	if len(sorted)%2 == 1 {
-		s.Median = sorted[mid]
-	} else {
-		s.Median = (sorted[mid-1] + sorted[mid]) / 2
-	}
-	s.Q1 = quantileSorted(sorted, 0.25)
-	s.Q3 = quantileSorted(sorted, 0.75)
-	return s
+	return c.Summary().Stats
 }
 
 // quantileSorted interpolates the q-quantile of an ascending slice.
@@ -256,35 +207,13 @@ func quantileSorted(sorted []float64, q float64) float64 {
 }
 
 // Quantile returns the q-quantile (0<=q<=1) of the non-missing values using
-// linear interpolation, or NaN for string/empty columns.
+// linear interpolation, or NaN for string/empty columns (memoized; the
+// sorted value slice is built once per mutation generation).
 func (c *Column) Quantile(q float64) float64 {
 	if c.Kind == KindString {
 		return math.NaN()
 	}
-	vals := make([]float64, 0, c.Len())
-	for i, v := range c.Nums {
-		if !c.IsMissing(i) {
-			vals = append(vals, v)
-		}
-	}
-	if len(vals) == 0 {
-		return math.NaN()
-	}
-	sort.Float64s(vals)
-	if q <= 0 {
-		return vals[0]
-	}
-	if q >= 1 {
-		return vals[len(vals)-1]
-	}
-	pos := q * float64(len(vals)-1)
-	lo := int(math.Floor(pos))
-	hi := int(math.Ceil(pos))
-	if lo == hi {
-		return vals[lo]
-	}
-	frac := pos - float64(lo)
-	return vals[lo]*(1-frac) + vals[hi]*frac
+	return c.Summary().Quantile(q)
 }
 
 // Clone returns a deep copy of the column.
@@ -330,6 +259,7 @@ func (c *Column) AppendFrom(src *Column, i int) {
 		c.Nums = append(c.Nums, src.Nums[i])
 	}
 	c.Missing = append(c.Missing, src.IsMissing(i))
+	c.Touch()
 }
 
 // AppendMissing appends a missing cell to c.
@@ -341,27 +271,14 @@ func (c *Column) AppendMissing() {
 		c.Nums = append(c.Nums, 0)
 	}
 	c.Missing = append(c.Missing, true)
+	c.Touch()
 }
 
 // IsConstant reports whether all present values are identical (and at least
 // one value is present).
 func (c *Column) IsConstant() bool {
-	first := ""
-	found := false
-	for i := 0; i < c.Len(); i++ {
-		if c.IsMissing(i) {
-			continue
-		}
-		v := c.ValueString(i)
-		if !found {
-			first, found = v, true
-			continue
-		}
-		if v != first {
-			return false
-		}
-	}
-	return found
+	s := c.Summary()
+	return s.DistinctCount() == 1 && s.Present() > 0
 }
 
 // InferKind guesses the narrowest kind that can represent every non-empty

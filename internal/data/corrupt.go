@@ -30,6 +30,7 @@ func InjectOutliers(t *Table, target string, ratio float64, seed int64) int {
 			c.Nums[i] = st.Mean + sign*span*(10+rng.Float64()*40)
 			n++
 		}
+		c.Touch()
 	}
 	return n
 }
@@ -61,6 +62,7 @@ func InjectTargetOutliers(t *Table, target string, ratio float64, seed int64) in
 		c.Nums[i] = st.Mean + sign*span*(10+rng.Float64()*40)
 		n++
 	}
+	c.Touch()
 	return n
 }
 

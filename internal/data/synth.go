@@ -378,6 +378,7 @@ func Generate(spec Spec, seed int64) (*Dataset, error) {
 					col.SetMissing(i)
 				} else if cs.OutlierRate > 0 && col.Kind.IsNumeric() && rng.Float64() < cs.OutlierRate {
 					col.Nums[i] = col.Nums[i]*50 + 1000
+					col.Touch()
 				}
 			}
 		}

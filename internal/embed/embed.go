@@ -9,6 +9,7 @@ package embed
 
 import (
 	"math"
+	"sort"
 
 	"catdb/internal/data"
 )
@@ -103,20 +104,24 @@ func Cosine(a, b Vector) float64 {
 }
 
 // InclusionScore estimates how strongly the value set of a is included in
-// the value set of b (an approximate inclusion dependency). It combines
-// embedding overlap with a distinct-set containment estimate on samples.
+// the value set of b (an approximate inclusion dependency): the fraction
+// of a's distinct values present in b's. Both distinct sets come from the
+// columns' memoized summaries, so pairwise loops no longer rebuild them
+// per pair.
 func InclusionScore(a, b *data.Column) float64 {
-	da := a.Distinct()
+	return InclusionFromSummaries(a.Summary(), b.Summary())
+}
+
+// InclusionFromSummaries is InclusionScore over precomputed summaries; the
+// profiler's O(m²) inclusion loop uses it directly.
+func InclusionFromSummaries(sa, sb *data.Summary) float64 {
+	da := sa.Distinct
 	if len(da) == 0 {
 		return 0
 	}
-	setB := map[string]struct{}{}
-	for _, v := range b.Distinct() {
-		setB[v] = struct{}{}
-	}
 	hit := 0
 	for _, v := range da {
-		if _, ok := setB[v]; ok {
+		if sb.Contains(v) {
 			hit++
 		}
 	}
@@ -125,12 +130,19 @@ func InclusionScore(a, b *data.Column) float64 {
 
 // Correlation computes Pearson correlation for two numeric columns over
 // rows where both are present; for non-numeric columns it falls back to
-// embedding cosine similarity as the paper's approximate signal.
+// embedding cosine similarity as the paper's approximate signal. Numeric
+// columns of different lengths are compared over their overlapping prefix
+// (rows past the shorter column carry no paired observation) instead of
+// silently degrading to the embedding fallback.
 func Correlation(a, b *data.Column) float64 {
-	if a.Kind.IsNumeric() && b.Kind.IsNumeric() && a.Len() == b.Len() {
+	if a.Kind.IsNumeric() && b.Kind.IsNumeric() {
+		rows := a.Len()
+		if b.Len() < rows {
+			rows = b.Len()
+		}
 		var n float64
 		var sa, sb, saa, sbb, sab float64
-		for i := 0; i < a.Len(); i++ {
+		for i := 0; i < rows; i++ {
 			if a.IsMissing(i) || b.IsMissing(i) {
 				continue
 			}
@@ -198,11 +210,17 @@ func CramersV(a, target *data.Column) float64 {
 		return 0
 	}
 	// Chi-squared over the full contingency grid, including cells with zero
-	// observations (their contribution is the expected count itself).
+	// observations (their contribution is the expected count itself). The
+	// grid is walked in sorted key order: floating-point accumulation then
+	// has a fixed association order, so the statistic is bit-reproducible
+	// run to run (map iteration order is not), which the profiler's
+	// parallel-vs-serial and cache-on/off identity guarantees rely on.
+	rowKeys := sortedKeys(rowTot)
+	colKeys := sortedKeys(colTot)
 	var chi2 float64
-	for rv, rt := range rowTot {
-		for cv, ct := range colTot {
-			exp := rt * ct / total
+	for _, rv := range rowKeys {
+		for _, cv := range colKeys {
+			exp := rowTot[rv] * colTot[cv] / total
 			if exp == 0 {
 				continue
 			}
@@ -218,4 +236,13 @@ func CramersV(a, target *data.Column) float64 {
 		return 0
 	}
 	return math.Sqrt(chi2 / (total * minDim))
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -189,3 +189,38 @@ func TestNumericBucketStability(t *testing.T) {
 		t.Fatal("sign must matter")
 	}
 }
+
+// Regression: numeric columns of unequal length used to fall through to
+// the embedding-cosine path silently; they must get a real Pearson score
+// over the overlapping prefix instead.
+func TestCorrelationLengthMismatch(t *testing.T) {
+	a := data.NewNumeric("a", []float64{1, 2, 3, 4, 5, 6})
+	b := data.NewNumeric("b", []float64{2, 4, 6, 8}) // perfectly linear on the overlap
+	got := Correlation(a, b)
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Correlation over overlapping prefix = %g, want 1", got)
+	}
+	if got2 := Correlation(b, a); math.Abs(got2-got) > 1e-12 {
+		t.Fatalf("length-mismatch correlation must be symmetric: %g vs %g", got2, got)
+	}
+	// Anti-correlated overlap.
+	c := data.NewNumeric("c", []float64{6, 4, 2})
+	if got := Correlation(a, c); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("anti-correlated prefix = %g, want -1", got)
+	}
+}
+
+// The summary-based inclusion fast path must agree with the definition.
+func TestInclusionFromSummaries(t *testing.T) {
+	a := data.NewString("a", []string{"x", "y"})
+	b := data.NewString("b", []string{"x", "y", "z"})
+	if got := InclusionFromSummaries(a.Summary(), b.Summary()); got != 1 {
+		t.Fatalf("full inclusion = %g, want 1", got)
+	}
+	if got := InclusionFromSummaries(b.Summary(), a.Summary()); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("partial inclusion = %g, want 2/3", got)
+	}
+	if got := InclusionScore(a, b); got != 1 {
+		t.Fatalf("InclusionScore = %g, want 1", got)
+	}
+}

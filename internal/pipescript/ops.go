@@ -89,6 +89,7 @@ func applyImpute(c *data.Column, num float64, str string) {
 			c.Strs[i] = str
 		}
 	}
+	c.Touch()
 }
 
 // iqrBounds computes [Q1-f*IQR, Q3+f*IQR] from a train column.
@@ -110,6 +111,7 @@ func clipColumn(c *data.Column, lo, hi float64) {
 			c.Nums[i] = hi
 		}
 	}
+	c.Touch()
 }
 
 // scaleParams holds fitted scaling parameters for one column.
@@ -161,6 +163,7 @@ func (sp scaleParams) apply(c *data.Column) {
 		}
 	}
 	c.Kind = data.KindFloat
+	c.Touch()
 }
 
 // topCategories returns up to max categories of c by descending frequency
@@ -380,6 +383,8 @@ func splitComposite(t *data.Table, col, nameA, nameB string) error {
 			numCol.Strs[i] = strings.Join(numParts, " ")
 		}
 	}
+	alphaCol.Touch()
+	numCol.Touch()
 	t.DropColumn(col)
 	if err := t.AddColumn(alphaCol); err != nil {
 		return err
@@ -408,6 +413,7 @@ func extractToken(c *data.Column) {
 		}
 		c.Strs[i] = ContentToken(c.Strs[i])
 	}
+	c.Touch()
 }
 
 // ContentToken returns the informative token of a sentence value: the
@@ -487,6 +493,7 @@ func applyMapping(c *data.Column, mapping map[string]string, byNormal map[string
 			c.Strs[i] = to
 		}
 	}
+	c.Touch()
 }
 
 // rebalanceADASYN oversamples minority classes on the train table by
@@ -534,6 +541,7 @@ func rebalanceADASYN(t *data.Table, target string, seed int64) error {
 				col.AppendFrom(col, src)
 				if std, ok := stds[col.Name]; ok && !col.IsMissing(col.Len()-1) {
 					col.Nums[col.Len()-1] += rng.NormFloat64() * std * 0.05
+					col.Touch()
 				}
 			}
 		}
@@ -575,6 +583,7 @@ func augmentRegression(t *data.Table, target string, factor float64, seed int64)
 			col.AppendFrom(col, src)
 			if std, ok := stds[col.Name]; ok && !col.IsMissing(col.Len()-1) {
 				col.Nums[col.Len()-1] += rng.NormFloat64() * std * 0.05
+				col.Touch()
 			}
 		}
 	}

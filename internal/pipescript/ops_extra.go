@@ -64,6 +64,7 @@ func (e *Executor) execExtra(st Stmt, tr, te *data.Table) (bool, error) {
 				col.Nums[i] = float64(b)
 			}
 			col.Kind = data.KindInt
+			col.Touch()
 		}
 		binify(c)
 		if tc := te.Col(c.Name); tc != nil {
@@ -93,6 +94,7 @@ func (e *Executor) execExtra(st Stmt, tr, te *data.Table) (bool, error) {
 				col.Nums[i] = s * math.Log1p(v)
 			}
 			col.Kind = data.KindFloat
+			col.Touch()
 		}
 		apply(c)
 		if tc := te.Col(c.Name); tc != nil {

@@ -14,6 +14,7 @@ import (
 
 	"catdb/internal/data"
 	"catdb/internal/embed"
+	"catdb/internal/pool"
 )
 
 // FeatureType is the ML-level feature type layered over the physical kind.
@@ -82,16 +83,40 @@ type Profile struct {
 	Task    data.Task
 	Columns []*ColumnProfile
 	Elapsed time.Duration // wall time of profiling (Figure 9a)
+
+	// index maps column name → Columns position. Table builds it eagerly
+	// (never lazily: cached profiles are read by concurrent bench cells,
+	// and a lazy fill would race), so Column is O(1) in the prompt
+	// construction and catalog refinement loops.
+	index map[string]int
 }
 
-// Column returns the profile entry for a column name, or nil.
+// Column returns the profile entry for a column name, or nil. Profiles
+// built by Table answer from the eager name index; hand-assembled profiles
+// (tests) fall back to a linear scan.
 func (p *Profile) Column(name string) *ColumnProfile {
+	if p.index != nil {
+		if i, ok := p.index[name]; ok && i < len(p.Columns) {
+			return p.Columns[i]
+		}
+		return nil
+	}
 	for _, c := range p.Columns {
 		if c.Name == name {
 			return c
 		}
 	}
 	return nil
+}
+
+// buildIndex (re)builds the name→position index; call after Columns is
+// fully assembled and before the profile is shared.
+func (p *Profile) buildIndex() {
+	idx := make(map[string]int, len(p.Columns))
+	for i, c := range p.Columns {
+		idx[c.Name] = i
+	}
+	p.index = idx
 }
 
 // Options tunes profiling.
@@ -105,8 +130,12 @@ type Options struct {
 	// CategoricalMaxDistinct is the distinct-count threshold under which a
 	// string column is treated as a categorical candidate. Default 64.
 	CategoricalMaxDistinct int
-	// Seed drives sample selection.
+	// Seed drives sample selection. Every column derives its own RNG from
+	// (Seed, column index, column name), so the profile is bit-identical
+	// at any worker count.
 	Seed int64
+	// Workers bounds the per-column fan-out (0 = GOMAXPROCS, 1 = serial).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -123,7 +152,11 @@ func (o Options) withDefaults() Options {
 }
 
 // Table profiles a single table (Algorithm 1) against the given target
-// column and task.
+// column and task. The per-column work fans out over a bounded worker
+// pool (Options.Workers); every column derives its sampling RNG from the
+// profiling seed and its own identity, and all shared state (summaries,
+// embeddings) is warmed read-only before the fan-out, so the result is
+// bit-identical to the serial loop at any worker count.
 func Table(t *data.Table, target string, task data.Task, opts Options) (*Profile, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
@@ -138,32 +171,49 @@ func Table(t *data.Table, target string, task data.Task, opts Options) (*Profile
 	if t.NumRows() > opts.MaxRowsForPairwise {
 		work = t.Sample(opts.MaxRowsForPairwise, rng)
 	}
-	vecs := make([]embed.Vector, len(work.Cols))
-	for i, c := range work.Cols {
-		vecs[i] = embed.Column(c)
+
+	// Warm pass: compute each column's memoized summary (full table and
+	// working sample) and its embedding once, in parallel. The profiling
+	// pass below only reads these — concurrent workers never write shared
+	// column state.
+	m := len(t.Cols)
+	vecs := make([]embed.Vector, m)
+	sums := make([]*data.Summary, m)
+	workSums := make([]*data.Summary, m)
+	if err := pool.Each(opts.Workers, m, func(i int) error {
+		sums[i] = t.Cols[i].Summary()
+		workSums[i] = work.Cols[i].Summary()
+		vecs[i] = embed.Column(work.Cols[i])
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	targetCol := work.Col(target)
 
-	for ci, c := range t.Cols {
+	cols, err := pool.Map(opts.Workers, m, func(ci int) (*ColumnProfile, error) {
+		c := t.Cols[ci]
+		sum := sums[ci]
 		cp := &ColumnProfile{
 			Name:            c.Name,
 			DataType:        c.Kind,
 			DistinctPct:     c.DistinctRatio() * 100,
 			MissingPct:      c.MissingRatio() * 100,
-			DistinctCount:   c.DistinctCount(),
+			DistinctCount:   sum.DistinctCount(),
 			NonNullFraction: 1 - c.MissingRatio(),
 			IsTarget:        c.Name == target,
 		}
 		cp.FeatureType = guessFeatureType(c, opts)
 		if c.Kind.IsNumeric() {
-			cp.Stats = c.NumericStats()
+			cp.Stats = sum.Stats
 		}
-		cp.Samples = sampleValues(c, opts.Samples, rng)
+		colRng := rand.New(rand.NewSource(pool.DeriveSeed(opts.Seed, ci, c.Name)))
+		cp.Samples = sampleValues(c, opts.Samples, colRng)
 		if cp.FeatureType == FeatureCategorical || cp.FeatureType == FeatureBoolean {
-			cp.DistinctValues = c.Distinct()
+			cp.DistinctValues = sum.Distinct
 		}
 		// Pairwise metadata from the working sample (Alg. 1 lines 7-9).
 		wc := work.Cols[ci]
+		wcSum := workSums[ci]
 		for cj, other := range work.Cols {
 			if cj == ci || other.Name == target {
 				continue
@@ -177,7 +227,15 @@ func Table(t *data.Table, target string, task data.Task, opts Options) (*Profile
 				if cj == ci || !isDiscrete(other, opts) {
 					continue
 				}
-				if embed.InclusionScore(wc, other) >= 0.999 && other.DistinctCount() > wc.DistinctCount() {
+				// Cheap distinct-count pruning first: containment of wc in
+				// a column with no more distinct values than wc can never
+				// satisfy the joint condition, so the O(d) set walk is
+				// skipped for most pairs. Same boolean outcome as before.
+				oSum := workSums[cj]
+				if oSum.DistinctCount() <= wcSum.DistinctCount() {
+					continue
+				}
+				if embed.InclusionFromSummaries(wcSum, oSum) >= 0.999 {
 					cp.InclusionDeps = append(cp.InclusionDeps, other.Name)
 				}
 			}
@@ -191,8 +249,13 @@ func Table(t *data.Table, target string, task data.Task, opts Options) (*Profile
 		}
 		sort.Strings(cp.SimilarTo)
 		sort.Strings(cp.InclusionDeps)
-		p.Columns = append(p.Columns, cp)
+		return cp, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	p.Columns = cols
+	p.buildIndex()
 	p.Elapsed = time.Since(start)
 	return p, nil
 }
@@ -270,22 +333,36 @@ func guessFeatureType(c *data.Column, opts Options) FeatureType {
 	return FeatureSentence
 }
 
+// sampleValues draws up to n present values uniformly without replacement
+// with a bounded reservoir (algorithm R), then shuffles the reservoir so
+// the sample order stays random. Memory is O(n) — the sample budget — not
+// O(rows): the old implementation materialized and shuffled a full
+// row-index slice per column.
 func sampleValues(c *data.Column, n int, rng *rand.Rand) []string {
-	var present []int
-	for i := 0; i < c.Len(); i++ {
-		if !c.IsMissing(i) {
-			present = append(present, i)
-		}
-	}
-	if len(present) == 0 {
+	if n <= 0 {
 		return nil
 	}
-	rng.Shuffle(len(present), func(i, j int) { present[i], present[j] = present[j], present[i] })
-	if len(present) > n {
-		present = present[:n]
+	reservoir := make([]int, 0, n)
+	seen := 0
+	for i := 0; i < c.Len(); i++ {
+		if c.IsMissing(i) {
+			continue
+		}
+		seen++
+		if len(reservoir) < n {
+			reservoir = append(reservoir, i)
+			continue
+		}
+		if j := rng.Intn(seen); j < n {
+			reservoir[j] = i
+		}
 	}
-	out := make([]string, len(present))
-	for i, r := range present {
+	if len(reservoir) == 0 {
+		return nil
+	}
+	rng.Shuffle(len(reservoir), func(i, j int) { reservoir[i], reservoir[j] = reservoir[j], reservoir[i] })
+	out := make([]string, len(reservoir))
+	for i, r := range reservoir {
 		out[i] = c.ValueString(r)
 	}
 	return out
