@@ -16,15 +16,17 @@ test:
 # The benchmark harness fans experiment cells out across a worker pool;
 # the race detector guards the per-cell isolation invariants (own LLM
 # client, own trace store, read-only shared datasets). internal/profile
-# and internal/data are included for the parallel profiler and the
-# concurrent column-summary / profile-cache paths.
+# and internal/data cover the parallel profiler and concurrent
+# column-summary / profile-cache paths; internal/ml covers the parallel
+# ensemble fit/inference paths.
 race:
-	$(GO) test -race ./internal/bench/... ./internal/core/... ./internal/profile/... ./internal/data/...
+	$(GO) test -race ./internal/bench/... ./internal/core/... ./internal/profile/... ./internal/data/... ./internal/ml/...
 
 verify: build vet test race
 
-# Profiling benchmarks: one cold iteration per benchmark (matching how the
-# committed baseline was captured) merged into BENCH_profile.json; the
-# pre-optimization baseline block in that file is preserved.
+# Profiling + ML benchmarks: one cold iteration per benchmark (matching
+# how the committed baselines were captured) merged into BENCH_*.json;
+# the pre-optimization baseline blocks in those files are preserved.
 bench:
 	$(GO) test -run='^$$' -bench=Profile -benchmem -benchtime=1x ./internal/profile/ | $(GO) run ./cmd/benchjson -o BENCH_profile.json
+	$(GO) test -run='^$$' -bench=ML -benchmem -benchtime=1x -timeout=30m ./internal/ml/ | $(GO) run ./cmd/benchjson -o BENCH_ml.json

@@ -33,6 +33,9 @@ type AutoMLOptions struct {
 	// MaxCells caps rows×features before the tool reports out-of-memory
 	// (Auto-Sklearn's Table 7 failures). 0 = tool default.
 	MaxCells int
+	// Workers bounds the goroutines the portfolio's tree ensembles and KNN
+	// use (0 = GOMAXPROCS, 1 = serial); scores are identical either way.
+	Workers int
 }
 
 // candidate is one (model, hyper-parameter) configuration in a portfolio.
@@ -48,7 +51,7 @@ type candidate struct {
 	}
 }
 
-func portfolio(tool AutoMLTool) []candidate {
+func portfolio(tool AutoMLTool, workers int) []candidate {
 	rf := func(trees, depth int) candidate {
 		return candidate{
 			name: fmt.Sprintf("rf%d", trees),
@@ -56,13 +59,13 @@ func portfolio(tool AutoMLTool) []candidate {
 				FitClass(X [][]float64, y []int, classes int) error
 				Proba(X [][]float64) [][]float64
 			} {
-				return ml.NewForest(ml.ForestConfig{Trees: trees, MaxDepth: depth, Seed: seed})
+				return ml.NewForest(ml.ForestConfig{Trees: trees, MaxDepth: depth, Seed: seed, Workers: workers})
 			},
 			reg: func(seed int64) interface {
 				Fit(X [][]float64, y []float64) error
 				Predict(X [][]float64) []float64
 			} {
-				return ml.NewForest(ml.ForestConfig{Trees: trees, MaxDepth: depth, Seed: seed})
+				return ml.NewForest(ml.ForestConfig{Trees: trees, MaxDepth: depth, Seed: seed, Workers: workers})
 			},
 		}
 	}
@@ -75,13 +78,13 @@ func portfolio(tool AutoMLTool) []candidate {
 			} {
 				// One-vs-rest boosting costs rounds×classes tree fits;
 				// budgeted tools cap the product.
-				return ml.NewGBM(ml.GBMConfig{Rounds: rounds, Seed: seed, MaxDepth: 4})
+				return ml.NewGBM(ml.GBMConfig{Rounds: rounds, Seed: seed, MaxDepth: 4, Workers: workers})
 			},
 			reg: func(seed int64) interface {
 				Fit(X [][]float64, y []float64) error
 				Predict(X [][]float64) []float64
 			} {
-				return ml.NewGBM(ml.GBMConfig{Rounds: rounds, Seed: seed})
+				return ml.NewGBM(ml.GBMConfig{Rounds: rounds, Seed: seed, Workers: workers})
 			},
 		}
 	}
@@ -106,13 +109,13 @@ func portfolio(tool AutoMLTool) []candidate {
 			FitClass(X [][]float64, y []int, classes int) error
 			Proba(X [][]float64) [][]float64
 		} {
-			return ml.NewKNN(ml.KNNConfig{K: 7, MaxTrain: 3000})
+			return ml.NewKNN(ml.KNNConfig{K: 7, MaxTrain: 3000, Workers: workers})
 		},
 		reg: func(seed int64) interface {
 			Fit(X [][]float64, y []float64) error
 			Predict(X [][]float64) []float64
 		} {
-			return ml.NewKNN(ml.KNNConfig{K: 7, MaxTrain: 3000})
+			return ml.NewKNN(ml.KNNConfig{K: 7, MaxTrain: 3000, Workers: workers})
 		},
 	}
 	switch tool {
@@ -205,7 +208,7 @@ func RunAutoML(tool AutoMLTool, train, test *data.Table, target string, task dat
 	bestScore := -1.0
 	var bestOutcome *Outcome
 	tried := 0
-	for i, cand := range portfolio(tool) {
+	for i, cand := range portfolio(tool, opts.Workers) {
 		if tried > 0 && time.Since(start) > budget {
 			break // budget exhausted; keep the best so far
 		}

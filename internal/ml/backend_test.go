@@ -1,0 +1,430 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// gridData builds a dataset whose features have few distinct values, so
+// histogram binning is lossless (one bin per value, midpoint edges) and
+// the histogram sweep proposes exactly the exact sweep's candidates.
+func gridData(n int, seed int64) ([][]float64, []int, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	yc := make([]int, n)
+	yr := make([]float64, n)
+	for i := 0; i < n; i++ {
+		X[i] = []float64{
+			float64(i % 13),
+			float64((i * 7) % 11),
+			float64(rng.Intn(6)),
+		}
+		c := 0
+		if X[i][0] > 6 {
+			c = 1
+		}
+		if X[i][1] > 7 && X[i][2] < 3 {
+			c = 2
+		}
+		if rng.Float64() < 0.05 {
+			c = rng.Intn(3)
+		}
+		yc[i] = c
+		yr[i] = 2*X[i][0] - X[i][1] + X[i][2]*X[i][2] + 0.1*rng.NormFloat64()
+	}
+	return X, yc, yr
+}
+
+// TestHistMatchesExactClassification pins the two backends against each
+// other: on losslessly-binnable data with all candidate thresholds
+// enabled, histogram split finding must reproduce the exact tree's
+// training-set behaviour bit for bit (same candidates, same integer
+// count arithmetic, same tie order).
+func TestHistMatchesExactClassification(t *testing.T) {
+	X, yc, _ := gridData(240, 3)
+	mk := func(backend Backend) *Tree {
+		return NewTree(TreeConfig{
+			MaxDepth: 6, MinLeaf: 2, MaxThresholds: 10000,
+			Seed: 11, Backend: backend, ExactNodeSize: 2,
+		})
+	}
+	exact, hist := mk(BackendExact), mk(BackendHist)
+	if err := exact.FitClass(X, yc, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := hist.FitClass(X, yc, 3); err != nil {
+		t.Fatal(err)
+	}
+	pe, ph := exact.Proba(X), hist.Proba(X)
+	for i := range pe {
+		for j := range pe[i] {
+			if pe[i][j] != ph[i][j] {
+				t.Fatalf("row %d class %d: exact %v hist %v", i, j, pe[i], ph[i])
+			}
+		}
+	}
+}
+
+// TestHistMatchesExactRegression allows float-summation drift between
+// the two sweeps but requires the same training rows to land in leaves
+// with near-identical values.
+func TestHistMatchesExactRegression(t *testing.T) {
+	X, _, yr := gridData(240, 4)
+	mk := func(backend Backend) *Tree {
+		return NewTree(TreeConfig{
+			MaxDepth: 6, MinLeaf: 2, MaxThresholds: 10000,
+			Seed: 11, Backend: backend, ExactNodeSize: 2,
+		})
+	}
+	exact, hist := mk(BackendExact), mk(BackendHist)
+	if err := exact.Fit(X, yr); err != nil {
+		t.Fatal(err)
+	}
+	if err := hist.Fit(X, yr); err != nil {
+		t.Fatal(err)
+	}
+	pe, ph := exact.Predict(X), hist.Predict(X)
+	var se, sh float64
+	for i := range pe {
+		se += (pe[i] - yr[i]) * (pe[i] - yr[i])
+		sh += (ph[i] - yr[i]) * (ph[i] - yr[i])
+	}
+	// Both backends must fit the training set essentially equally well.
+	if math.Abs(se-sh) > 0.01*(1+se) {
+		t.Fatalf("train SSE diverged: exact %g hist %g", se, sh)
+	}
+}
+
+// TestHistCloseToExactSynthetic checks quality parity on continuous data
+// where 256-bin quantization is lossy: held-out AUC / R² must stay
+// within tolerance of the sort-based baseline.
+func TestHistCloseToExactSynthetic(t *testing.T) {
+	X, y := synthClass(2000, 3, 0.8, 31)
+	Xte, yte := synthClass(600, 3, 0.8, 131)
+	var auc [2]float64
+	for i, backend := range []Backend{BackendExact, BackendHist} {
+		f := NewForest(ForestConfig{Trees: 15, Seed: 5, Backend: backend})
+		if err := f.FitClass(X, y, 3); err != nil {
+			t.Fatal(err)
+		}
+		auc[i] = MacroAUC(f.Proba(Xte), yte, 3)
+	}
+	if math.Abs(auc[0]-auc[1]) > 0.03 {
+		t.Fatalf("forest AUC diverged: exact %g hist %g", auc[0], auc[1])
+	}
+	Xr, yr := synthReg(2000, 0.3, 32)
+	Xrte, yrte := synthReg(600, 0.3, 132)
+	var r2 [2]float64
+	for i, backend := range []Backend{BackendExact, BackendHist} {
+		g := NewGBM(GBMConfig{Rounds: 30, Seed: 5, Backend: backend})
+		if err := g.Fit(Xr, yr); err != nil {
+			t.Fatal(err)
+		}
+		r2[i] = R2(g.Predict(Xrte), yrte)
+	}
+	if math.Abs(r2[0]-r2[1]) > 0.05 {
+		t.Fatalf("gbm R2 diverged: exact %g hist %g", r2[0], r2[1])
+	}
+}
+
+// workerCounts returns the pinned worker settings of the determinism
+// contract: serial, a fixed small pool, and GOMAXPROCS.
+func workerCounts() []int {
+	return []int{1, 4, runtime.GOMAXPROCS(0)}
+}
+
+func TestForestWorkerInvariance(t *testing.T) {
+	X, y := synthClass(900, 3, 0.7, 41)
+	var ref [][]float64
+	for _, w := range workerCounts() {
+		f := NewForest(ForestConfig{Trees: 10, Seed: 3, Workers: w})
+		if err := f.FitClass(X, y, 3); err != nil {
+			t.Fatal(err)
+		}
+		p := f.Proba(X)
+		if ref == nil {
+			ref = p
+			continue
+		}
+		for i := range p {
+			for j := range p[i] {
+				if p[i][j] != ref[i][j] {
+					t.Fatalf("workers=%d: proba[%d][%d] = %v, want %v", w, i, j, p[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestExtraTreesWorkerInvariance(t *testing.T) {
+	X, y := synthClass(900, 3, 0.7, 42)
+	var ref [][]float64
+	for _, w := range workerCounts() {
+		e := NewExtraTrees(ForestConfig{Trees: 12, Seed: 3, Workers: w})
+		if err := e.FitClass(X, y, 3); err != nil {
+			t.Fatal(err)
+		}
+		p := e.Proba(X)
+		if ref == nil {
+			ref = p
+			continue
+		}
+		for i := range p {
+			for j := range p[i] {
+				if p[i][j] != ref[i][j] {
+					t.Fatalf("workers=%d: proba[%d][%d] = %v, want %v", w, i, j, p[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestGBMWorkerInvariance(t *testing.T) {
+	X, y := synthClass(900, 4, 0.7, 43)
+	var ref [][]float64
+	for _, w := range workerCounts() {
+		g := NewGBM(GBMConfig{Rounds: 8, Seed: 3, Workers: w})
+		if err := g.FitClass(X, y, 4); err != nil {
+			t.Fatal(err)
+		}
+		p := g.Proba(X)
+		if ref == nil {
+			ref = p
+			continue
+		}
+		for i := range p {
+			for j := range p[i] {
+				if p[i][j] != ref[i][j] {
+					t.Fatalf("workers=%d: proba[%d][%d] = %v, want %v", w, i, j, p[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+	// Regression path too.
+	Xr, yr := synthReg(900, 0.2, 44)
+	var refR []float64
+	for _, w := range workerCounts() {
+		g := NewGBM(GBMConfig{Rounds: 8, Seed: 3, Workers: w})
+		if err := g.Fit(Xr, yr); err != nil {
+			t.Fatal(err)
+		}
+		p := g.Predict(Xr)
+		if refR == nil {
+			refR = p
+			continue
+		}
+		for i := range p {
+			if p[i] != refR[i] {
+				t.Fatalf("workers=%d: pred[%d] = %v, want %v", w, i, p[i], refR[i])
+			}
+		}
+	}
+}
+
+func TestKNNWorkerInvariance(t *testing.T) {
+	X, y := synthClass(800, 3, 0.6, 45)
+	q := X[:300]
+	var ref [][]float64
+	var refC []int
+	for _, w := range workerCounts() {
+		k := NewKNN(KNNConfig{K: 7, Workers: w})
+		if err := k.FitClass(X, y, 3); err != nil {
+			t.Fatal(err)
+		}
+		p := k.Proba(q)
+		c := k.PredictClass(q)
+		if ref == nil {
+			ref, refC = p, c
+			continue
+		}
+		for i := range p {
+			if c[i] != refC[i] {
+				t.Fatalf("workers=%d: class[%d] = %d, want %d", w, i, c[i], refC[i])
+			}
+			for j := range p[i] {
+				if p[i][j] != ref[i][j] {
+					t.Fatalf("workers=%d: proba[%d][%d] = %v, want %v", w, i, j, p[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestUnfittedEnsemblesReturnZeros pins the before-Fit contract: no NaN
+// from divide-by-zero, no nil-dereference panics — zero values.
+func TestUnfittedEnsemblesReturnZeros(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}}
+	f := NewForest(ForestConfig{})
+	if f.Fitted() {
+		t.Fatal("new forest claims fitted")
+	}
+	for _, v := range f.Predict(X) {
+		if v != 0 {
+			t.Fatalf("unfitted forest predicted %v", v)
+		}
+	}
+	for _, row := range f.Proba(X) {
+		for _, v := range row {
+			if v != 0 || math.IsNaN(v) {
+				t.Fatalf("unfitted forest proba %v", v)
+			}
+		}
+	}
+	if c := f.PredictClass(X); c[0] != 0 || c[1] != 0 {
+		t.Fatalf("unfitted forest classes %v", c)
+	}
+
+	g := NewGBM(GBMConfig{})
+	if g.Fitted() {
+		t.Fatal("new gbm claims fitted")
+	}
+	for _, v := range g.Predict(X) {
+		if v != 0 || math.IsNaN(v) {
+			t.Fatalf("unfitted gbm predicted %v", v)
+		}
+	}
+	if c := g.PredictClass(X); c[0] != 0 || c[1] != 0 {
+		t.Fatalf("unfitted gbm classes %v", c)
+	}
+	for _, row := range g.Proba(X) {
+		if len(row) != 0 {
+			t.Fatalf("unfitted gbm proba row %v", row)
+		}
+	}
+
+	e := NewExtraTrees(ForestConfig{})
+	if e.Fitted() {
+		t.Fatal("new extra-trees claims fitted")
+	}
+	for _, v := range e.Predict(X) {
+		if v != 0 {
+			t.Fatalf("unfitted extra-trees predicted %v", v)
+		}
+	}
+	if c := e.PredictClass(X); c[0] != 0 || c[1] != 0 {
+		t.Fatalf("unfitted extra-trees classes %v", c)
+	}
+
+	// A failed fit must leave the model unfitted, not half-trained.
+	if err := f.FitClass(X, []int{0, 0}, 1); err == nil {
+		t.Fatal("1-class fit must error")
+	}
+	if f.Fitted() {
+		t.Fatal("forest claims fitted after failed fit")
+	}
+	if err := g.FitClass(X, []int{0, 0}, 1); err == nil {
+		t.Fatal("1-class fit must error")
+	}
+	if g.Fitted() {
+		t.Fatal("gbm claims fitted after failed fit")
+	}
+}
+
+// TestBinnedMatrixCodes checks the code/edge contract: code(x) <= b iff
+// x <= edges[b], NaN lands in the last bin, and low-cardinality features
+// bin losslessly.
+func TestBinnedMatrixCodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 3000
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64(), float64(rng.Intn(5)), rng.Float64() * 100}
+	}
+	X[17][0] = math.NaN()
+	bm := NewBinnedMatrix(X, 64)
+	if bm.Rows() != n || bm.Features() != 3 {
+		t.Fatalf("shape = %d×%d", bm.Rows(), bm.Features())
+	}
+	for f := 0; f < 3; f++ {
+		if bm.Bins(f) > 64 {
+			t.Fatalf("feature %d has %d bins", f, bm.Bins(f))
+		}
+		edges := bm.edges[f]
+		for b := 1; b < len(edges); b++ {
+			if edges[b] <= edges[b-1] {
+				t.Fatalf("feature %d edges not strictly increasing", f)
+			}
+		}
+		for r := 0; r < n; r++ {
+			v := X[r][f]
+			c := int(bm.codes[f][r])
+			if math.IsNaN(v) {
+				if c != len(edges) {
+					t.Fatalf("NaN code = %d, want last bin %d", c, len(edges))
+				}
+				continue
+			}
+			if c > 0 && !(v > edges[c-1]) {
+				t.Fatalf("feature %d row %d: %v not > lower edge %v", f, r, v, edges[c-1])
+			}
+			if c < len(edges) && !(v <= edges[c]) {
+				t.Fatalf("feature %d row %d: %v not <= upper edge %v", f, r, v, edges[c])
+			}
+		}
+	}
+	// The 5-value integer feature must bin losslessly: one bin per value.
+	if bm.Bins(1) != 5 {
+		t.Fatalf("low-cardinality feature has %d bins, want 5", bm.Bins(1))
+	}
+}
+
+// TestFitBinnedShared fits several trees against one shared matrix —
+// the ensemble pattern — and checks the API's error cases.
+func TestFitBinnedShared(t *testing.T) {
+	X, yc, yr := gridData(600, 7)
+	bm := NewBinnedMatrix(X, 256)
+	tr := NewTree(TreeConfig{Seed: 1, Backend: BackendHist, MinLeaf: 2})
+	if err := tr.FitClassBinned(bm, yc, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	pred := tr.Predict(X)
+	correct := 0
+	for i := range pred {
+		if int(pred[i]) == yc[i] {
+			correct++
+		}
+	}
+	if float64(correct)/float64(len(yc)) < 0.85 {
+		t.Fatalf("binned tree train accuracy = %d/%d", correct, len(yc))
+	}
+	rg := NewTree(TreeConfig{Seed: 2, Backend: BackendHist, MinLeaf: 2})
+	if err := rg.FitBinned(bm, yr, nil); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := R2(rg.Predict(X), yr); r2 < 0.8 {
+		t.Fatalf("binned regression tree R2 = %g", r2)
+	}
+	if err := NewTree(TreeConfig{}).FitBinned(nil, yr, nil); err == nil {
+		t.Fatal("nil matrix must error")
+	}
+	if err := NewTree(TreeConfig{}).FitBinned(bm, yr[:10], nil); err == nil {
+		t.Fatal("row mismatch must error")
+	}
+	if err := NewTree(TreeConfig{}).FitClassBinned(bm, yc, 1, nil); err == nil {
+		t.Fatal("1-class must error")
+	}
+	if err := NewTree(TreeConfig{}).FitBinned(bm, yr, []int{}); err == nil {
+		t.Fatal("empty row set must error")
+	}
+}
+
+// TestTrainPredictionCapture pins the GBM optimization: leaf values
+// recorded during growth must equal a full re-traversal of the matrix.
+func TestTrainPredictionCapture(t *testing.T) {
+	X, _, yr := gridData(800, 8)
+	for _, backend := range []Backend{BackendExact, BackendHist} {
+		tr := NewTree(TreeConfig{Seed: 4, Backend: backend})
+		captured := make([]float64, len(yr))
+		if err := tr.fitRows(nil, X, yr, 0, nil, captured); err != nil {
+			t.Fatal(err)
+		}
+		walked := tr.Predict(X)
+		for i := range walked {
+			if captured[i] != walked[i] {
+				t.Fatalf("backend %d row %d: captured %v, walked %v", backend, i, captured[i], walked[i])
+			}
+		}
+	}
+}

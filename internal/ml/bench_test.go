@@ -1,0 +1,209 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// benchRows/benchFeatures size the cold-fit benchmark dataset. The
+// acceptance bar for the histogram backend is measured on this shape:
+// ≥ 20k rows of mixed continuous + low-cardinality features, the regime
+// where sort-and-sweep split finding is most expensive. Every config pins
+// Workers: 1 so the before/after delta is the algorithmic win alone, not
+// parallelism.
+const (
+	benchRows     = 20000
+	benchFeatures = 16
+	benchClasses  = 3
+)
+
+// benchMatrix builds a deterministic synthetic design matrix: half the
+// features are continuous signal/noise mixes, half are low-cardinality
+// integer codes (the one-hot/ordinal shapes pipeline matrices produce).
+func benchMatrix(n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := 0; j < d; j++ {
+			if j%2 == 0 {
+				row[j] = rng.NormFloat64()
+			} else {
+				row[j] = float64(rng.Intn(8))
+			}
+		}
+		X[i] = row
+	}
+	return X
+}
+
+// benchLabels derives an XOR-ish multiclass target with label noise so
+// trees must actually grow to fit it.
+func benchLabels(X [][]float64, classes int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed + 1))
+	y := make([]int, len(X))
+	for i, row := range X {
+		s := row[0] + 0.5*row[1] - row[2]*row[3]*0.25
+		c := 0
+		if s > 0.5 {
+			c = 1
+		}
+		if s < -0.5 {
+			c = 2 % classes
+		}
+		if rng.Float64() < 0.05 {
+			c = rng.Intn(classes)
+		}
+		y[i] = c
+	}
+	return y
+}
+
+// benchTarget derives a nonlinear regression target.
+func benchTarget(X [][]float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed + 2))
+	y := make([]float64, len(X))
+	for i, row := range X {
+		y[i] = 3*row[0] - 2*row[1] + row[2]*row[3] + 0.3*rng.NormFloat64()
+	}
+	return y
+}
+
+var (
+	benchOnce sync.Once
+	benchX    [][]float64
+	benchYC   []int
+	benchYR   []float64
+)
+
+func benchData() ([][]float64, []int, []float64) {
+	benchOnce.Do(func() {
+		benchX = benchMatrix(benchRows, benchFeatures, 42)
+		benchYC = benchLabels(benchX, benchClasses, 42)
+		benchYR = benchTarget(benchX, 42)
+	})
+	return benchX, benchYC, benchYR
+}
+
+func sink(v float64) {
+	if math.IsNaN(v) {
+		panic("benchmark produced NaN")
+	}
+}
+
+// BenchmarkMLForestFitClass is the cold classification-forest fit the
+// execute step of every generated pipeline pays (Alg. 4).
+func BenchmarkMLForestFitClass(b *testing.B) {
+	X, yc, _ := benchData()
+	for i := 0; i < b.N; i++ {
+		f := NewForest(ForestConfig{Trees: 15, Seed: 7, Workers: 1})
+		if err := f.FitClass(X, yc, benchClasses); err != nil {
+			b.Fatal(err)
+		}
+		sink(f.Proba(X[:1])[0][0])
+	}
+}
+
+// BenchmarkMLForestFitReg is the cold regression-forest fit.
+func BenchmarkMLForestFitReg(b *testing.B) {
+	X, _, yr := benchData()
+	for i := 0; i < b.N; i++ {
+		f := NewForest(ForestConfig{Trees: 15, Seed: 7, Workers: 1})
+		if err := f.Fit(X, yr); err != nil {
+			b.Fatal(err)
+		}
+		sink(f.Predict(X[:1])[0])
+	}
+}
+
+// BenchmarkMLGBMFitClass is the cold one-vs-rest boosted fit (rounds ×
+// classes tree fits over the same matrix).
+func BenchmarkMLGBMFitClass(b *testing.B) {
+	X, yc, _ := benchData()
+	for i := 0; i < b.N; i++ {
+		g := NewGBM(GBMConfig{Rounds: 40, Seed: 7, Workers: 1})
+		if err := g.FitClass(X, yc, benchClasses); err != nil {
+			b.Fatal(err)
+		}
+		sink(g.Proba(X[:1])[0][0])
+	}
+}
+
+// BenchmarkMLGBMFitReg is the cold least-squares boosted fit.
+func BenchmarkMLGBMFitReg(b *testing.B) {
+	X, _, yr := benchData()
+	for i := 0; i < b.N; i++ {
+		g := NewGBM(GBMConfig{Rounds: 40, Seed: 7, Workers: 1})
+		if err := g.Fit(X, yr); err != nil {
+			b.Fatal(err)
+		}
+		sink(g.Predict(X[:1])[0])
+	}
+}
+
+// BenchmarkMLExtraTreesFitClass is the cold extra-trees fit.
+func BenchmarkMLExtraTreesFitClass(b *testing.B) {
+	X, yc, _ := benchData()
+	for i := 0; i < b.N; i++ {
+		e := NewExtraTrees(ForestConfig{Trees: 15, Seed: 7, Workers: 1})
+		if err := e.FitClass(X, yc, benchClasses); err != nil {
+			b.Fatal(err)
+		}
+		sink(e.Proba(X[:1])[0][0])
+	}
+}
+
+var (
+	benchForestOnce sync.Once
+	benchForest     *Forest
+	benchGBMOnce    sync.Once
+	benchGBM        *GBM
+)
+
+// BenchmarkMLForestProba times batch inference over the full matrix.
+func BenchmarkMLForestProba(b *testing.B) {
+	X, yc, _ := benchData()
+	benchForestOnce.Do(func() {
+		benchForest = NewForest(ForestConfig{Trees: 15, Seed: 7, Workers: 1})
+		if err := benchForest.FitClass(X, yc, benchClasses); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink(benchForest.Proba(X)[0][0])
+	}
+}
+
+// BenchmarkMLGBMProba times batch boosted inference over the full matrix.
+func BenchmarkMLGBMProba(b *testing.B) {
+	X, yc, _ := benchData()
+	benchGBMOnce.Do(func() {
+		benchGBM = NewGBM(GBMConfig{Rounds: 40, Seed: 7, Workers: 1})
+		if err := benchGBM.FitClass(X, yc, benchClasses); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink(benchGBM.Proba(X)[0][0])
+	}
+}
+
+// BenchmarkMLKNNPredict times brute-force batch KNN prediction (4k
+// stored rows, 2k queries), the per-row scan the pool now parallelizes.
+func BenchmarkMLKNNPredict(b *testing.B) {
+	X, yc, _ := benchData()
+	k := NewKNN(KNNConfig{K: 7, MaxTrain: 4000, Workers: 1})
+	if err := k.FitClass(X[:4000], yc[:4000], benchClasses); err != nil {
+		b.Fatal(err)
+	}
+	q := X[4000:6000]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := k.PredictClass(q)
+		sink(float64(p[0]))
+	}
+}

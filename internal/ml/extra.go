@@ -3,6 +3,8 @@ package ml
 import (
 	"math/rand"
 	"sort"
+
+	"catdb/internal/pool"
 )
 
 // ExtraTrees is an extremely-randomized-trees ensemble: like a random
@@ -28,6 +30,9 @@ type randTree struct {
 	isLeaf    bool
 	value     []float64
 }
+
+// Fitted reports whether the ensemble has been trained.
+func (e *ExtraTrees) Fitted() bool { return len(e.trees) > 0 }
 
 // FitClass trains the ensemble for classification.
 func (e *ExtraTrees) FitClass(X [][]float64, y []int, classes int) error {
@@ -56,30 +61,73 @@ func (e *ExtraTrees) Fit(X [][]float64, y []float64) error {
 	return nil
 }
 
+// fit grows trees in parallel over a binned matrix built once and shared
+// read-only by every tree (large fits only). Each tree derives its RNG
+// from its index, so the ensemble is bit-identical at any worker count.
 func (e *ExtraTrees) fit(X [][]float64, y []float64) {
 	cfg := e.Config
 	e.trees = make([]*randTree, cfg.Trees)
 	n := len(y)
-	for t := 0; t < cfg.Trees; t++ {
+	bm := sharedBinned(X, cfg.Backend, cfg.MaxBins, n)
+	_ = pool.Each(cfg.Workers, cfg.Trees, func(t int) error {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*104729))
 		rows := make([]int, n)
 		for i := range rows {
 			rows[i] = rng.Intn(n)
 		}
-		e.trees[t] = e.grow(X, y, rows, 0, rng)
-	}
+		e.trees[t] = e.grow(X, bm, y, rows, 0, rng)
+		return nil
+	})
 }
 
-func (e *ExtraTrees) grow(X [][]float64, y []float64, idx []int, depth int, rng *rand.Rand) *randTree {
+func (e *ExtraTrees) grow(X [][]float64, bm *BinnedMatrix, y []float64, idx []int, depth int, rng *rand.Rand) *randTree {
 	leaf := e.leaf(y, idx)
 	if depth >= e.Config.MaxDepth || len(idx) < 2*e.Config.MinLeaf {
 		return leaf
 	}
 	// Random splits: try a handful of (feature, random threshold) pairs
-	// and keep the first that produces two viable children.
+	// and keep the first that produces two viable children. With a binned
+	// matrix the candidate scan runs over contiguous uint8 codes — the
+	// threshold is a random bin boundary mapped back to its real value —
+	// instead of chasing row pointers through the float matrix.
 	d := len(X[0])
 	for try := 0; try < 8; try++ {
 		f := rng.Intn(d)
+		if bm != nil {
+			codes := bm.codes[f]
+			minC, maxC := codes[idx[0]], codes[idx[0]]
+			for _, r := range idx {
+				c := codes[r]
+				if c < minC {
+					minC = c
+				}
+				if c > maxC {
+					maxC = c
+				}
+			}
+			if minC == maxC {
+				continue
+			}
+			cb := int(minC) + rng.Intn(int(maxC)-int(minC))
+			li := make([]int, 0, len(idx)/2)
+			ri := make([]int, 0, len(idx)/2)
+			b := uint8(cb)
+			for _, r := range idx {
+				if codes[r] <= b {
+					li = append(li, r)
+				} else {
+					ri = append(ri, r)
+				}
+			}
+			if len(li) < e.Config.MinLeaf || len(ri) < e.Config.MinLeaf {
+				continue
+			}
+			return &randTree{
+				feature: f, threshold: bm.edges[f][cb],
+				left:  e.grow(X, bm, y, li, depth+1, rng),
+				right: e.grow(X, bm, y, ri, depth+1, rng),
+			}
+		}
 		lo, hi := X[idx[0]][f], X[idx[0]][f]
 		for _, r := range idx {
 			if X[r][f] < lo {
@@ -106,8 +154,8 @@ func (e *ExtraTrees) grow(X [][]float64, y []float64, idx []int, depth int, rng 
 		}
 		return &randTree{
 			feature: f, threshold: thr,
-			left:  e.grow(X, y, li, depth+1, rng),
-			right: e.grow(X, y, ri, depth+1, rng),
+			left:  e.grow(X, bm, y, li, depth+1, rng),
+			right: e.grow(X, bm, y, ri, depth+1, rng),
 		}
 	}
 	return leaf
@@ -146,9 +194,13 @@ func (t *randTree) lookup(row []float64) []float64 {
 	return n.value
 }
 
-// Predict averages trees (regression) or returns argmax classes.
+// Predict averages trees (regression) or returns argmax classes. An
+// unfitted ensemble predicts zeros.
 func (e *ExtraTrees) Predict(X [][]float64) []float64 {
 	out := make([]float64, len(X))
+	if !e.Fitted() {
+		return out
+	}
 	if e.classes > 0 {
 		p := e.Proba(X)
 		for i := range p {
@@ -156,54 +208,71 @@ func (e *ExtraTrees) Predict(X [][]float64) []float64 {
 		}
 		return out
 	}
-	for i, row := range X {
-		var sum float64
-		for _, t := range e.trees {
-			sum += t.lookup(row)[0]
+	nt := float64(len(e.trees))
+	forChunks(e.Config.Workers, len(X), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var sum float64
+			for _, t := range e.trees {
+				sum += t.lookup(X[i])[0]
+			}
+			out[i] = sum / nt
 		}
-		out[i] = sum / float64(len(e.trees))
-	}
+	})
 	return out
 }
 
-// PredictClass returns class predictions.
-func (e *ExtraTrees) PredictClass(X [][]float64) []int { return predictFromProba(e.Proba(X)) }
+// PredictClass returns class predictions (zeros when unfitted).
+func (e *ExtraTrees) PredictClass(X [][]float64) []int {
+	if !e.Fitted() || e.classes == 0 {
+		return make([]int, len(X))
+	}
+	return predictFromProba(e.Proba(X))
+}
 
-// Proba averages the trees' class distributions.
+// Proba averages the trees' class distributions, fanning row chunks over
+// the worker pool. An unfitted ensemble returns all-zero rows.
 func (e *ExtraTrees) Proba(X [][]float64) [][]float64 {
 	out := make([][]float64, len(X))
-	for i, row := range X {
-		acc := make([]float64, e.classes)
-		for _, t := range e.trees {
-			v := t.lookup(row)
-			var sum float64
-			for _, x := range v {
-				sum += x
-			}
-			if sum == 0 {
-				continue
-			}
-			for j := range acc {
-				if j < len(v) {
-					acc[j] += v[j] / sum
+	if !e.Fitted() || e.classes == 0 {
+		for i := range out {
+			out[i] = make([]float64, e.classes)
+		}
+		return out
+	}
+	forChunks(e.Config.Workers, len(X), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := make([]float64, e.classes)
+			for _, t := range e.trees {
+				v := t.lookup(X[i])
+				var sum float64
+				for _, x := range v {
+					sum += x
+				}
+				if sum == 0 {
+					continue
+				}
+				for j := range acc {
+					if j < len(v) {
+						acc[j] += v[j] / sum
+					}
 				}
 			}
-		}
-		var tot float64
-		for _, x := range acc {
-			tot += x
-		}
-		if tot == 0 {
-			for j := range acc {
-				acc[j] = 1 / float64(e.classes)
+			var tot float64
+			for _, x := range acc {
+				tot += x
 			}
-		} else {
-			for j := range acc {
-				acc[j] /= tot
+			if tot == 0 {
+				for j := range acc {
+					acc[j] = 1 / float64(e.classes)
+				}
+			} else {
+				for j := range acc {
+					acc[j] /= tot
+				}
 			}
+			out[i] = acc
 		}
-		out[i] = acc
-	}
+	})
 	return out
 }
 

@@ -2,6 +2,8 @@ package ml
 
 import (
 	"math"
+
+	"catdb/internal/pool"
 )
 
 // GBMConfig tunes gradient-boosted trees.
@@ -11,6 +13,15 @@ type GBMConfig struct {
 	MaxDepth     int     // default 4
 	MinLeaf      int     // default 5
 	Seed         int64
+	// Workers bounds the goroutines used for one-vs-rest class fitting
+	// and batch inference: 0 = GOMAXPROCS, 1 = serial. Every class
+	// derives its tree seeds from (class, round), so the model is
+	// bit-identical at any setting.
+	Workers int
+	// Backend selects the tree split backend (default auto).
+	Backend Backend
+	// MaxBins caps histogram bins per feature (default 256).
+	MaxBins int
 }
 
 func (c GBMConfig) withDefaults() GBMConfig {
@@ -30,7 +41,10 @@ func (c GBMConfig) withDefaults() GBMConfig {
 }
 
 // GBM is a gradient-boosting machine: least-squares boosting for regression
-// and one-vs-rest logistic boosting for classification.
+// and one-vs-rest logistic boosting for classification. Feature binning
+// happens once per fit and is shared across every round (and every OVR
+// class), and each round's training predictions are captured from leaf
+// assignments during growth instead of re-traversing the tree.
 type GBM struct {
 	Config  GBMConfig
 	base    float64
@@ -38,10 +52,27 @@ type GBM struct {
 	ovr     [][]*Tree // classification: per class, per round
 	bias    []float64 // per-class initial log-odds
 	classes int
+	fitted  bool
 }
 
 // NewGBM returns a GBM with the given configuration.
 func NewGBM(cfg GBMConfig) *GBM { return &GBM{Config: cfg.withDefaults()} }
+
+// Fitted reports whether the model has been trained.
+func (g *GBM) Fitted() bool { return g.fitted }
+
+func (g *GBM) treeConfig(seed int64, bm *BinnedMatrix) TreeConfig {
+	backend := g.Config.Backend
+	if bm != nil {
+		backend = BackendHist
+	} else if backend == BackendAuto {
+		backend = BackendExact
+	}
+	return TreeConfig{
+		MaxDepth: g.Config.MaxDepth, MinLeaf: g.Config.MinLeaf,
+		Seed: seed, Backend: backend, MaxBins: g.Config.MaxBins,
+	}
+}
 
 // Fit trains least-squares gradient boosting for regression.
 func (g *GBM) Fit(X [][]float64, y []float64) error {
@@ -49,13 +80,18 @@ func (g *GBM) Fit(X [][]float64, y []float64) error {
 		return err
 	}
 	g.classes = 0
+	g.fitted = false
 	var sum float64
 	for _, v := range y {
 		sum += v
 	}
-	g.base = sum / float64(len(y))
-	resid := make([]float64, len(y))
-	pred := make([]float64, len(y))
+	n := len(y)
+	g.base = sum / float64(n)
+	bm := sharedBinned(X, g.Config.Backend, g.Config.MaxBins, n)
+	rows := allRows(n)
+	resid := make([]float64, n)
+	pred := make([]float64, n)
+	up := make([]float64, n)
 	for i := range pred {
 		pred[i] = g.base
 	}
@@ -64,43 +100,50 @@ func (g *GBM) Fit(X [][]float64, y []float64) error {
 		for i := range resid {
 			resid[i] = y[i] - pred[i]
 		}
-		t := NewTree(TreeConfig{MaxDepth: g.Config.MaxDepth, MinLeaf: g.Config.MinLeaf, Seed: g.Config.Seed + int64(r)})
-		if err := t.Fit(X, resid); err != nil {
+		t := NewTree(g.treeConfig(g.Config.Seed+int64(r), bm))
+		if err := t.fitRows(bm, X, resid, 0, rows, up); err != nil {
 			return err
 		}
-		up := t.Predict(X)
 		for i := range pred {
 			pred[i] += g.Config.LearningRate * up[i]
 		}
 		g.trees = append(g.trees, t)
 	}
+	g.fitted = true
 	return nil
 }
 
 // Predict returns regression predictions or argmax classes for
-// classification GBMs.
+// classification GBMs. An unfitted model predicts zeros.
 func (g *GBM) Predict(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	if !g.fitted {
+		return out
+	}
 	if g.classes > 0 {
 		p := g.Proba(X)
-		out := make([]float64, len(X))
 		for i := range p {
 			out[i] = float64(argmax(p[i]))
 		}
 		return out
 	}
-	out := make([]float64, len(X))
-	for i := range out {
-		out[i] = g.base
-	}
-	for _, t := range g.trees {
-		for i, v := range t.Predict(X) {
-			out[i] += g.Config.LearningRate * v
+	lr := g.Config.LearningRate
+	forChunks(g.Config.Workers, len(X), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := g.base
+			for _, t := range g.trees {
+				s += lr * t.leafValue(X[i])[0]
+			}
+			out[i] = s
 		}
-	}
+	})
 	return out
 }
 
-// FitClass trains one-vs-rest logistic gradient boosting.
+// FitClass trains one-vs-rest logistic gradient boosting. The classes
+// are independent boosting chains over the same binned matrix, so they
+// fan out over the worker pool; per-(class, round) tree seeds keep the
+// model bit-identical at any worker count.
 func (g *GBM) FitClass(X [][]float64, y []int, classes int) error {
 	if err := checkXY(X, len(y)); err != nil {
 		return err
@@ -109,10 +152,13 @@ func (g *GBM) FitClass(X [][]float64, y []int, classes int) error {
 		return errClasses(classes)
 	}
 	g.classes = classes
+	g.fitted = false
 	n := len(y)
 	g.ovr = make([][]*Tree, classes)
 	g.bias = make([]float64, classes)
-	for c := 0; c < classes; c++ {
+	bm := sharedBinned(X, g.Config.Backend, g.Config.MaxBins, n)
+	rows := allRows(n)
+	err := pool.Each(g.Config.Workers, classes, func(c int) error {
 		pos := 0
 		target := make([]float64, n)
 		for i, lbl := range y {
@@ -129,60 +175,72 @@ func (g *GBM) FitClass(X [][]float64, y []int, classes int) error {
 			score[i] = g.bias[c]
 		}
 		grad := make([]float64, n)
+		up := make([]float64, n)
+		trees := make([]*Tree, 0, g.Config.Rounds)
 		for r := 0; r < g.Config.Rounds; r++ {
 			for i := range grad {
 				grad[i] = target[i] - sigmoid(score[i])
 			}
-			t := NewTree(TreeConfig{MaxDepth: g.Config.MaxDepth, MinLeaf: g.Config.MinLeaf, Seed: g.Config.Seed + int64(c*1000+r)})
-			if err := t.Fit(X, grad); err != nil {
+			t := NewTree(g.treeConfig(g.Config.Seed+int64(c*1000+r), bm))
+			if err := t.fitRows(bm, X, grad, 0, rows, up); err != nil {
 				return err
 			}
-			up := t.Predict(X)
 			for i := range score {
 				score[i] += g.Config.LearningRate * up[i]
 			}
-			g.ovr[c] = append(g.ovr[c], t)
+			trees = append(trees, t)
 		}
+		g.ovr[c] = trees
+		return nil
+	})
+	if err != nil {
+		g.ovr = nil
+		return err
 	}
+	g.fitted = true
 	return nil
 }
 
-// PredictClass returns integer class predictions.
+// PredictClass returns integer class predictions (zeros when unfitted).
 func (g *GBM) PredictClass(X [][]float64) []int {
+	if !g.fitted || g.classes == 0 {
+		return make([]int, len(X))
+	}
 	return predictFromProba(g.Proba(X))
 }
 
-// Proba returns normalized one-vs-rest probabilities.
+// Proba returns normalized one-vs-rest probabilities, fanning row chunks
+// over the worker pool. An unfitted model returns all-zero rows.
 func (g *GBM) Proba(X [][]float64) [][]float64 {
 	out := make([][]float64, len(X))
-	scores := make([][]float64, g.classes)
-	for c := 0; c < g.classes; c++ {
-		s := make([]float64, len(X))
-		for i := range s {
-			s[i] = g.bias[c]
+	if !g.fitted || g.classes == 0 {
+		for i := range out {
+			out[i] = make([]float64, g.classes)
 		}
-		for _, t := range g.ovr[c] {
-			for i, v := range t.Predict(X) {
-				s[i] += g.Config.LearningRate * v
+		return out
+	}
+	lr := g.Config.LearningRate
+	forChunks(g.Config.Workers, len(X), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := make([]float64, g.classes)
+			var sum float64
+			for c := 0; c < g.classes; c++ {
+				s := g.bias[c]
+				for _, t := range g.ovr[c] {
+					s += lr * t.leafValue(X[i])[0]
+				}
+				row[c] = sigmoid(s)
+				sum += row[c]
 			}
+			if sum == 0 {
+				sum = 1
+			}
+			for c := range row {
+				row[c] /= sum
+			}
+			out[i] = row
 		}
-		scores[c] = s
-	}
-	for i := range out {
-		row := make([]float64, g.classes)
-		var sum float64
-		for c := 0; c < g.classes; c++ {
-			row[c] = sigmoid(scores[c][i])
-			sum += row[c]
-		}
-		if sum == 0 {
-			sum = 1
-		}
-		for c := range row {
-			row[c] /= sum
-		}
-		out[i] = row
-	}
+	})
 	return out
 }
 

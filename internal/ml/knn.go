@@ -1,16 +1,15 @@
 package ml
 
-import (
-	"math"
-	"sort"
-)
-
 // KNNConfig tunes k-nearest-neighbours.
 type KNNConfig struct {
 	K int // default 7
 	// MaxTrain caps the stored training rows (0 = unlimited); large stores
 	// are subsampled head-first for predict-time tractability.
 	MaxTrain int
+	// Workers bounds the goroutines used for batch prediction: 0 =
+	// GOMAXPROCS, 1 = serial. Query rows are independent, so predictions
+	// are identical at any setting.
+	Workers int
 }
 
 func (c KNNConfig) withDefaults() KNNConfig {
@@ -81,23 +80,41 @@ type neighbour struct {
 	idx  int
 }
 
-func (k *KNN) nearest(row []float64) []neighbour {
+// nearest returns the K nearest stored rows by squared Euclidean
+// distance via a bounded insertion pass (O(n·K), no full sort). Ties
+// break on the lower stored index, so results are deterministic and
+// independent of scan parallelism. buf, when non-nil, is reused.
+func (k *KNN) nearest(row []float64, buf []neighbour) []neighbour {
 	rs := k.sc.apply(row)
-	nb := make([]neighbour, len(k.x))
+	kk := k.Config.K
+	if kk > len(k.x) {
+		kk = len(k.x)
+	}
+	best := buf[:0]
 	for i, tr := range k.x {
 		var d float64
 		for j := range tr {
 			diff := tr[j] - rs[j]
 			d += diff * diff
 		}
-		nb[i] = neighbour{math.Sqrt(d), i}
+		if len(best) == kk && d >= best[kk-1].dist {
+			continue
+		}
+		// Insert in (dist, idx) order; strict < keeps the earlier index
+		// on equal distances.
+		p := len(best)
+		if p < kk {
+			best = append(best, neighbour{})
+		} else {
+			p = kk - 1
+		}
+		for p > 0 && d < best[p-1].dist {
+			best[p] = best[p-1]
+			p--
+		}
+		best[p] = neighbour{d, i}
 	}
-	sort.Slice(nb, func(a, b int) bool { return nb[a].dist < nb[b].dist })
-	kk := k.Config.K
-	if kk > len(nb) {
-		kk = len(nb)
-	}
-	return nb[:kk]
+	return best
 }
 
 // Predict returns the neighbour-mean for regression or argmax class (as
@@ -110,14 +127,17 @@ func (k *KNN) Predict(X [][]float64) []float64 {
 		}
 		return out
 	}
-	for i, row := range X {
-		nb := k.nearest(row)
-		var sum float64
-		for _, n := range nb {
-			sum += k.yr[n.idx]
+	forChunks(k.Config.Workers, len(X), func(lo, hi int) {
+		buf := make([]neighbour, 0, k.Config.K)
+		for i := lo; i < hi; i++ {
+			nb := k.nearest(X[i], buf)
+			var sum float64
+			for _, n := range nb {
+				sum += k.yr[n.idx]
+			}
+			out[i] = sum / float64(len(nb))
 		}
-		out[i] = sum / float64(len(nb))
-	}
+	})
 	return out
 }
 
@@ -126,19 +146,24 @@ func (k *KNN) PredictClass(X [][]float64) []int {
 	return predictFromProba(k.Proba(X))
 }
 
-// Proba returns neighbour-vote class distributions.
+// Proba returns neighbour-vote class distributions. Query rows fan out
+// over the worker pool; each row's scan is independent, so the output is
+// identical at any worker count.
 func (k *KNN) Proba(X [][]float64) [][]float64 {
 	out := make([][]float64, len(X))
-	for i, row := range X {
-		nb := k.nearest(row)
-		p := make([]float64, k.classes)
-		for _, n := range nb {
-			p[k.yc[n.idx]]++
+	forChunks(k.Config.Workers, len(X), func(lo, hi int) {
+		buf := make([]neighbour, 0, k.Config.K)
+		for i := lo; i < hi; i++ {
+			nb := k.nearest(X[i], buf)
+			p := make([]float64, k.classes)
+			for _, n := range nb {
+				p[k.yc[n.idx]]++
+			}
+			for j := range p {
+				p[j] /= float64(len(nb))
+			}
+			out[i] = p
 		}
-		for j := range p {
-			p[j] /= float64(len(nb))
-		}
-		out[i] = p
-	}
+	})
 	return out
 }

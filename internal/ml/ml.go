@@ -9,6 +9,8 @@ package ml
 import (
 	"errors"
 	"fmt"
+
+	"catdb/internal/pool"
 )
 
 // ErrOutOfMemory is returned by models whose working set would exceed their
@@ -65,4 +67,27 @@ func predictFromProba(p [][]float64) []int {
 		out[i] = argmax(row)
 	}
 	return out
+}
+
+// inferChunk is the row-chunk granularity for parallel batch inference:
+// large enough to amortize dispatch, small enough to balance load.
+const inferChunk = 512
+
+// forChunks fans fn over contiguous row ranges of [0,n) on the worker
+// pool (workers: 0 = GOMAXPROCS, 1 = serial). Each chunk writes only its
+// own output indices, so results are identical at any worker count.
+func forChunks(workers, n int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	chunks := (n + inferChunk - 1) / inferChunk
+	_ = pool.Each(workers, chunks, func(c int) error {
+		lo := c * inferChunk
+		hi := lo + inferChunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+		return nil
+	})
 }

@@ -7,15 +7,40 @@ import (
 	"sort"
 )
 
+// Backend selects how a tree finds splits.
+type Backend int
+
+const (
+	// BackendAuto uses the histogram backend for large fits and the exact
+	// sort-and-sweep for small ones (the binning pass only pays for itself
+	// past autoHistMinRows).
+	BackendAuto Backend = iota
+	// BackendExact sorts every feature at every node (the original path).
+	BackendExact
+	// BackendHist quantile-bins each feature once and finds splits by
+	// histogram sweep, falling back to the exact sweep for nodes smaller
+	// than ExactNodeSize.
+	BackendHist
+)
+
 // TreeConfig tunes CART construction.
 type TreeConfig struct {
 	MaxDepth      int // default 10
 	MinLeaf       int // default 5
-	MaxThresholds int // candidate split thresholds per feature; default 32
+	MaxThresholds int // exact backend: candidate thresholds per feature; default 32
 	// FeatureFrac is the fraction of features examined per split (random
 	// forests use < 1). 0 means all features.
 	FeatureFrac float64
 	Seed        int64
+	// Backend selects exact vs histogram split finding (default auto).
+	Backend Backend
+	// MaxBins caps histogram bins per feature (default and max 256).
+	MaxBins int
+	// ExactNodeSize is the node size below which the histogram backend
+	// switches to the exact sweep: once a node holds fewer rows than
+	// bins, sorting them outright is cheaper than a 256-bin sweep.
+	// Default 64.
+	ExactNodeSize int
 }
 
 func (c TreeConfig) withDefaults() TreeConfig {
@@ -27,6 +52,12 @@ func (c TreeConfig) withDefaults() TreeConfig {
 	}
 	if c.MaxThresholds <= 0 {
 		c.MaxThresholds = 32
+	}
+	if c.MaxBins <= 1 || c.MaxBins > maxHistBins {
+		c.MaxBins = maxHistBins
+	}
+	if c.ExactNodeSize <= 0 {
+		c.ExactNodeSize = 64
 	}
 	return c
 }
@@ -56,11 +87,7 @@ func (t *Tree) Fit(X [][]float64, y []float64) error {
 	if err := checkXY(X, len(y)); err != nil {
 		return err
 	}
-	t.classes = 0
-	rng := rand.New(rand.NewSource(t.Config.Seed))
-	idx := allRows(len(y))
-	t.root = t.build(X, y, nil, idx, 0, rng)
-	return nil
+	return t.fitRows(nil, X, y, 0, nil, nil)
 }
 
 // FitClass trains a classification tree over integer labels in [0,classes).
@@ -71,14 +98,85 @@ func (t *Tree) FitClass(X [][]float64, y []int, classes int) error {
 	if classes < 2 {
 		return errClasses(classes)
 	}
-	t.classes = classes
 	yf := make([]float64, len(y))
 	for i, v := range y {
 		yf[i] = float64(v)
 	}
-	rng := rand.New(rand.NewSource(t.Config.Seed))
-	idx := allRows(len(y))
-	t.root = t.build(X, yf, nil, idx, 0, rng)
+	return t.fitRows(nil, X, yf, classes, nil, nil)
+}
+
+// FitBinned trains a regression tree over a shared binned matrix,
+// restricted to rows (nil = all rows; duplicate indices implement
+// bagging). Ensembles build the matrix once and hand it to every tree.
+func (t *Tree) FitBinned(bm *BinnedMatrix, y []float64, rows []int) error {
+	if err := checkBinned(bm, len(y)); err != nil {
+		return err
+	}
+	return t.fitRows(bm, bm.raw, y, 0, rows, nil)
+}
+
+// FitClassBinned trains a classification tree over a shared binned matrix.
+func (t *Tree) FitClassBinned(bm *BinnedMatrix, y []int, classes int, rows []int) error {
+	if err := checkBinned(bm, len(y)); err != nil {
+		return err
+	}
+	if classes < 2 {
+		return errClasses(classes)
+	}
+	yf := make([]float64, len(y))
+	for i, v := range y {
+		yf[i] = float64(v)
+	}
+	return t.fitRows(bm, bm.raw, yf, classes, rows, nil)
+}
+
+func checkBinned(bm *BinnedMatrix, n int) error {
+	if bm == nil || bm.rows == 0 {
+		return fmt.Errorf("ml: empty binned matrix")
+	}
+	if bm.rows != n {
+		return fmt.Errorf("ml: binned matrix has %d rows, y has %d", bm.rows, n)
+	}
+	return nil
+}
+
+// fitRows is the shared training entry point: bm may be nil (exact
+// backend or auto-resolve), rows may be nil (all rows) or carry
+// duplicates (bagging), and pred — regression only — captures each
+// training row's leaf value during growth so boosting needs no
+// re-traversal of X after each round.
+func (t *Tree) fitRows(bm *BinnedMatrix, X [][]float64, yf []float64, classes int, rows []int, pred []float64) error {
+	t.classes = classes
+	if rows == nil {
+		rows = allRows(len(yf))
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("ml: no training rows")
+	}
+	if bm == nil {
+		switch t.Config.Backend {
+		case BackendHist:
+			bm = NewBinnedMatrix(X, t.Config.MaxBins)
+		case BackendAuto:
+			if len(rows) >= autoHistMinRows {
+				bm = NewBinnedMatrix(X, t.Config.MaxBins)
+			}
+		}
+	} else if t.Config.Backend == BackendExact {
+		bm = nil
+	}
+	g := newGrower(t, X, bm, yf, pred, rand.New(rand.NewSource(t.Config.Seed)))
+	if classes > 0 {
+		g.yc = make([]int16, len(yf))
+		for i, v := range yf {
+			c := int(v)
+			if c < 0 || c >= classes {
+				c = -1 // out-of-range labels are ignored, as in the exact sweep
+			}
+			g.yc[i] = int16(c)
+		}
+	}
+	t.root = g.grow(rows, 0, nil)
 	return nil
 }
 
@@ -144,67 +242,6 @@ func allRows(n int) []int {
 		idx[i] = i
 	}
 	return idx
-}
-
-// build grows a node over rows idx; sampleWeights may be nil.
-func (t *Tree) build(X [][]float64, y []float64, w []float64, idx []int, depth int, rng *rand.Rand) *treeNode {
-	if len(idx) == 0 {
-		return nil
-	}
-	leaf := t.makeLeaf(y, w, idx)
-	if depth >= t.Config.MaxDepth || len(idx) < 2*t.Config.MinLeaf || t.pure(y, idx) {
-		return leaf
-	}
-	feat, thr, ok := t.bestSplit(X, y, idx, rng)
-	if !ok {
-		return leaf
-	}
-	var li, ri []int
-	for _, r := range idx {
-		if X[r][feat] <= thr {
-			li = append(li, r)
-		} else {
-			ri = append(ri, r)
-		}
-	}
-	if len(li) < t.Config.MinLeaf || len(ri) < t.Config.MinLeaf {
-		return leaf
-	}
-	n := &treeNode{feature: feat, threshold: thr}
-	n.left = t.build(X, y, w, li, depth+1, rng)
-	n.right = t.build(X, y, w, ri, depth+1, rng)
-	if n.left == nil || n.right == nil {
-		return leaf
-	}
-	return n
-}
-
-func (t *Tree) pure(y []float64, idx []int) bool {
-	first := y[idx[0]]
-	for _, r := range idx[1:] {
-		if y[r] != first {
-			return false
-		}
-	}
-	return true
-}
-
-func (t *Tree) makeLeaf(y []float64, w []float64, idx []int) *treeNode {
-	if t.classes > 0 {
-		dist := make([]float64, t.classes)
-		for _, r := range idx {
-			c := int(y[r])
-			if c >= 0 && c < t.classes {
-				dist[c]++
-			}
-		}
-		return &treeNode{isLeaf: true, value: dist}
-	}
-	var sum float64
-	for _, r := range idx {
-		sum += y[r]
-	}
-	return &treeNode{isLeaf: true, value: []float64{sum / float64(len(idx))}}
 }
 
 // bestSplit scans (a sample of) features for the impurity-minimizing

@@ -48,6 +48,10 @@ type Executor struct {
 	// Policy, when set, enforces organizational library constraints
 	// (disallowed models/packages raise E_POLICY).
 	Policy *Policy
+	// Workers bounds the goroutines tree ensembles and KNN use for fitting
+	// and batch inference (0 = GOMAXPROCS, 1 = serial). Models derive
+	// per-tree/per-class seeds, so results are identical at any setting.
+	Workers int
 }
 
 // Execute validates and runs the program on copies of train/test. The
@@ -727,23 +731,32 @@ type regressorIface interface {
 func (e *Executor) buildClassifier(st Stmt, name string) (classifierIface, error) {
 	trees := atoiOpt(st, "trees", 50)
 	depth := atoiOpt(st, "depth", 0)
+	backend, err := backendOpt(st)
+	if err != nil {
+		return nil, err
+	}
+	bins := atoiOpt(st, "bins", 0)
 	switch name {
 	case "random_forest":
-		return ml.NewForest(ml.ForestConfig{Trees: trees, MaxDepth: depth, Seed: e.Seed}), nil
+		return ml.NewForest(ml.ForestConfig{Trees: trees, MaxDepth: depth, Seed: e.Seed,
+			Workers: e.Workers, Backend: backend, MaxBins: bins}), nil
 	case "decision_tree":
-		return ml.NewTree(ml.TreeConfig{MaxDepth: depth, Seed: e.Seed}), nil
+		return ml.NewTree(ml.TreeConfig{MaxDepth: depth, Seed: e.Seed,
+			Backend: backend, MaxBins: bins}), nil
 	case "gbm", "gradient_boosting":
-		return ml.NewGBM(ml.GBMConfig{Rounds: atoiOpt(st, "rounds", 40), MaxDepth: depth, Seed: e.Seed}), nil
+		return ml.NewGBM(ml.GBMConfig{Rounds: atoiOpt(st, "rounds", 40), MaxDepth: depth, Seed: e.Seed,
+			Workers: e.Workers, Backend: backend, MaxBins: bins}), nil
 	case "logistic_regression":
 		return ml.NewLogistic(ml.LinearConfig{Epochs: atoiOpt(st, "epochs", 20), Seed: e.Seed}), nil
 	case "knn":
-		return ml.NewKNN(ml.KNNConfig{K: atoiOpt(st, "k", 7), MaxTrain: 4000}), nil
+		return ml.NewKNN(ml.KNNConfig{K: atoiOpt(st, "k", 7), MaxTrain: 4000, Workers: e.Workers}), nil
 	case "naive_bayes":
 		return ml.NewNaiveBayes(), nil
 	case "tabpfn":
 		return ml.NewTabPFNSim(), nil
 	case "extra_trees":
-		return ml.NewExtraTrees(ml.ForestConfig{Trees: trees, MaxDepth: depth, Seed: e.Seed}), nil
+		return ml.NewExtraTrees(ml.ForestConfig{Trees: trees, MaxDepth: depth, Seed: e.Seed,
+			Workers: e.Workers, Backend: backend, MaxBins: bins}), nil
 	case "svm":
 		return ml.NewSVM(ml.LinearConfig{Epochs: atoiOpt(st, "epochs", 10), Seed: e.Seed}), nil
 	default:
@@ -754,21 +767,30 @@ func (e *Executor) buildClassifier(st Stmt, name string) (classifierIface, error
 func (e *Executor) buildRegressor(st Stmt, name string) (regressorIface, error) {
 	trees := atoiOpt(st, "trees", 50)
 	depth := atoiOpt(st, "depth", 0)
+	backend, err := backendOpt(st)
+	if err != nil {
+		return nil, err
+	}
+	bins := atoiOpt(st, "bins", 0)
 	switch name {
 	case "random_forest":
-		return ml.NewForest(ml.ForestConfig{Trees: trees, MaxDepth: depth, Seed: e.Seed}), nil
+		return ml.NewForest(ml.ForestConfig{Trees: trees, MaxDepth: depth, Seed: e.Seed,
+			Workers: e.Workers, Backend: backend, MaxBins: bins}), nil
 	case "decision_tree":
-		return ml.NewTree(ml.TreeConfig{MaxDepth: depth, Seed: e.Seed}), nil
+		return ml.NewTree(ml.TreeConfig{MaxDepth: depth, Seed: e.Seed,
+			Backend: backend, MaxBins: bins}), nil
 	case "gbm", "gradient_boosting":
-		return ml.NewGBM(ml.GBMConfig{Rounds: atoiOpt(st, "rounds", 40), MaxDepth: depth, Seed: e.Seed}), nil
+		return ml.NewGBM(ml.GBMConfig{Rounds: atoiOpt(st, "rounds", 40), MaxDepth: depth, Seed: e.Seed,
+			Workers: e.Workers, Backend: backend, MaxBins: bins}), nil
 	case "linear_regression":
 		return ml.NewLinear(ml.LinearConfig{Epochs: atoiOpt(st, "epochs", 150)}), nil
 	case "ridge":
 		return ml.NewLinear(ml.LinearConfig{Epochs: atoiOpt(st, "epochs", 150), L2: 0.01}), nil
 	case "knn":
-		return ml.NewKNN(ml.KNNConfig{K: atoiOpt(st, "k", 7), MaxTrain: 4000}), nil
+		return ml.NewKNN(ml.KNNConfig{K: atoiOpt(st, "k", 7), MaxTrain: 4000, Workers: e.Workers}), nil
 	case "extra_trees":
-		return ml.NewExtraTrees(ml.ForestConfig{Trees: trees, MaxDepth: depth, Seed: e.Seed}), nil
+		return ml.NewExtraTrees(ml.ForestConfig{Trees: trees, MaxDepth: depth, Seed: e.Seed,
+			Workers: e.Workers, Backend: backend, MaxBins: bins}), nil
 	default:
 		return nil, rtErr(st.Line, ErrUnknownModel, "unknown regression model %q", name)
 	}
@@ -781,4 +803,23 @@ func atoiOpt(st Stmt, key string, def int) int {
 		}
 	}
 	return def
+}
+
+// backendOpt parses the optional backend=auto|exact|hist model option
+// into the tree split backend selector.
+func backendOpt(st Stmt) (ml.Backend, error) {
+	v, ok := st.KV["backend"]
+	if !ok {
+		return ml.BackendAuto, nil
+	}
+	switch v {
+	case "auto", "":
+		return ml.BackendAuto, nil
+	case "exact":
+		return ml.BackendExact, nil
+	case "hist", "histogram":
+		return ml.BackendHist, nil
+	default:
+		return 0, rtErr(st.Line, ErrBadOption, "unknown backend %q (want auto, exact or hist)", v)
+	}
 }

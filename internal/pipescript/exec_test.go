@@ -155,6 +155,36 @@ func TestExecuteUnknownModel(t *testing.T) {
 	}
 }
 
+func TestExecuteBackendOption(t *testing.T) {
+	tr, te := split(messyTable(600, 9), 7)
+	src := `pipeline "x"
+impute "num" strategy=median
+dedup_values "cat"
+onehot "cat"
+khot "lst"
+train model=random_forest target="y" trees=10 backend=%s bins=64
+evaluate metric=auto
+`
+	for _, backend := range []string{"exact", "hist", "auto"} {
+		p := mustParse(t, strings.Replace(src, "%s", backend, 1))
+		ex := &Executor{Target: "y", Task: data.Multiclass, Seed: 1, Workers: 2}
+		res, err := ex.Execute(p, tr, te)
+		if err != nil {
+			t.Fatalf("backend=%s: %v", backend, err)
+		}
+		if res.TestAcc < 85 {
+			t.Fatalf("backend=%s: test accuracy = %g", backend, res.TestAcc)
+		}
+	}
+	p := mustParse(t, strings.Replace(src, "%s", "quantum", 1))
+	ex := &Executor{Target: "y", Task: data.Multiclass, Seed: 1}
+	_, err := ex.Execute(p, tr, te)
+	var re *RuntimeError
+	if !errors.As(err, &re) || re.Code != ErrBadOption {
+		t.Fatalf("want E_BAD_OPTION for bad backend, got %v", err)
+	}
+}
+
 func TestExecuteTabPFNOOM(t *testing.T) {
 	tr, te := split(messyTable(3000, 8), 7)
 	p := mustParse(t, "pipeline \"x\"\ndrop \"cat\"\ndrop \"lst\"\nimpute_all\ntrain model=tabpfn target=\"y\"\n")
