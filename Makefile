@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race verify bench
+.PHONY: build vet test race verify bench lint-encapsulation
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,19 @@ test:
 race:
 	$(GO) test -race ./internal/bench/... ./internal/core/... ./internal/profile/... ./internal/data/... ./internal/ml/...
 
-verify: build vet test race
+# Column storage is encapsulated behind accessors (Num/Str/IsMissing/
+# SetNum/...): only internal/data may touch the backing slices, and the
+# Touch() invalidation contract is gone. Fail on any reference to the old
+# exported field names (or Touch) outside internal/data.
+lint-encapsulation:
+	@matches=$$(grep -rnE '\.(Nums|Strs|Missing)\b|\.Touch\(' --include='*.go' --exclude-dir=data .); \
+	if [ -n "$$matches" ]; then \
+		echo "lint-encapsulation: direct column-storage access outside internal/data:"; \
+		echo "$$matches"; \
+		exit 1; \
+	fi
+
+verify: build vet lint-encapsulation test race
 
 # Profiling + ML benchmarks: one cold iteration per benchmark (matching
 # how the committed baselines were captured) merged into BENCH_*.json;
@@ -30,3 +42,5 @@ verify: build vet test race
 bench:
 	$(GO) test -run='^$$' -bench=Profile -benchmem -benchtime=1x ./internal/profile/ | $(GO) run ./cmd/benchjson -o BENCH_profile.json
 	$(GO) test -run='^$$' -bench=ML -benchmem -benchtime=1x -timeout=30m ./internal/ml/ | $(GO) run ./cmd/benchjson -o BENCH_ml.json
+	BENCH_DATA_MODE=deep $(GO) test -run='^$$' -bench=Data -benchmem -benchtime=10x ./internal/data/ | $(GO) run ./cmd/benchjson -set-baseline -o BENCH_data.json
+	$(GO) test -run='^$$' -bench=Data -benchmem -benchtime=10x ./internal/data/ | $(GO) run ./cmd/benchjson -o BENCH_data.json

@@ -144,8 +144,8 @@ func encodeBasic(train, test *data.Table, target string, task data.Task, maxCats
 	if !tcol.Kind.IsNumeric() {
 		return nil, fmt.Errorf("baselines: regression target %q is not numeric", target)
 	}
-	e.ytrR = append([]float64(nil), tcol.Nums...)
-	e.yteR = append([]float64(nil), te.Col(target).Nums...)
+	e.ytrR = append([]float64(nil), tcol.NumsView()...)
+	e.yteR = append([]float64(nil), te.Col(target).NumsView()...)
 	return e, nil
 }
 
@@ -159,7 +159,7 @@ func imputeParams(c *data.Column) (float64, string) {
 		if c.IsMissing(i) {
 			continue
 		}
-		v := c.Strs[i]
+		v := c.Str(i)
 		counts[v]++
 		if counts[v] > bestN || (counts[v] == bestN && v < best) {
 			best, bestN = v, counts[v]
@@ -173,14 +173,13 @@ func fill(c *data.Column, num float64, str string) {
 		if !c.IsMissing(i) {
 			continue
 		}
-		c.Missing[i] = false
+		c.ClearMissing(i)
 		if c.Kind.IsNumeric() {
-			c.Nums[i] = num
+			c.SetNum(i, num)
 		} else {
-			c.Strs[i] = str
+			c.SetStr(i, str)
 		}
 	}
-	c.Touch()
 }
 
 func topCats(c *data.Column, max int) []string {
@@ -260,7 +259,7 @@ func matrixOf(t *data.Table, target string) [][]float64 {
 	for i := range X {
 		row := make([]float64, len(cols))
 		for j, c := range cols {
-			row[j] = c.Nums[i]
+			row[j] = c.Num(i)
 		}
 		X[i] = row
 	}
@@ -280,8 +279,8 @@ func matrixAlignedTo(te, tr *data.Table, target string) [][]float64 {
 	for i := range X {
 		row := make([]float64, len(cols))
 		for j, c := range cols {
-			if c != nil && c.Kind.IsNumeric() && i < len(c.Nums) && !c.IsMissing(i) {
-				row[j] = c.Nums[i]
+			if c != nil && c.Kind.IsNumeric() && i < c.Len() && !c.IsMissing(i) {
+				row[j] = c.Num(i)
 			}
 		}
 		X[i] = row

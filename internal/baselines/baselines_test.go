@@ -218,7 +218,7 @@ func TestADASYNBalances(t *testing.T) {
 	counts := map[string]int{}
 	c := tb.Col("y")
 	for i := 0; i < c.Len(); i++ {
-		counts[c.Strs[i]]++
+		counts[c.Str(i)]++
 	}
 	if counts["min"] <= 20 {
 		t.Fatalf("ADASYN did not oversample: %v", counts)

@@ -50,8 +50,8 @@ func applyCleaningOp(t *data.Table, target string, op cleaningOp, seed int64) {
 				maxAbs /= 10
 				p *= 10
 			}
-			for i := range c.Nums {
-				c.Nums[i] /= p
+			for i := 0; i < c.Len(); i++ {
+				c.SetNum(i, c.Num(i)/p)
 			}
 			c.Kind = data.KindFloat
 		}
@@ -89,18 +89,17 @@ func applyCleaningOp(t *data.Table, target string, op cleaningOp, seed int64) {
 			q1, q3 := c.Quantile(0.25), c.Quantile(0.75)
 			iqr := q3 - q1
 			lo, hi := q1-1.5*iqr, q3+1.5*iqr
-			for i := range c.Nums {
+			for i := 0; i < c.Len(); i++ {
 				if c.IsMissing(i) {
 					continue
 				}
-				if c.Nums[i] < lo {
-					c.Nums[i] = lo
+				if c.Num(i) < lo {
+					c.SetNum(i, lo)
 				}
-				if c.Nums[i] > hi {
-					c.Nums[i] = hi
+				if c.Num(i) > hi {
+					c.SetNum(i, hi)
 				}
 			}
-			c.Touch()
 		}
 	case OpLOF: // remove rows whose numeric profile is far from median
 		var keep []int
@@ -125,13 +124,12 @@ func applyCleaningOp(t *data.Table, target string, op cleaningOp, seed int64) {
 				continue
 			}
 			mean := c.NumericStats().Mean
-			for i := range c.Nums {
+			for i := 0; i < c.Len(); i++ {
 				if c.IsMissing(i) {
-					c.Missing[i] = false
-					c.Nums[i] = mean
+					c.ClearMissing(i)
+					c.SetNum(i, mean)
 				}
 			}
-			c.Touch()
 		}
 	case OpMEDIAN:
 		for _, c := range t.Cols {
@@ -140,13 +138,12 @@ func applyCleaningOp(t *data.Table, target string, op cleaningOp, seed int64) {
 			}
 			if c.Kind.IsNumeric() {
 				med := c.NumericStats().Median
-				for i := range c.Nums {
+				for i := 0; i < c.Len(); i++ {
 					if c.IsMissing(i) {
-						c.Missing[i] = false
-						c.Nums[i] = med
+						c.ClearMissing(i)
+						c.SetNum(i, med)
 					}
 				}
-				c.Touch()
 			}
 		}
 	case OpDROP: // drop rows with any missing cell
@@ -221,7 +218,7 @@ func rowDeviations(t *data.Table, target string) []float64 {
 			if c.IsMissing(i) {
 				continue
 			}
-			d := (c.Nums[i] - meds[j]) / iqrs[j]
+			d := (c.Num(i) - meds[j]) / iqrs[j]
 			if d < 0 {
 				d = -d
 			}
@@ -412,8 +409,8 @@ func adasynOversample(t *data.Table, target string, seed int64) {
 			for _, col := range t.Cols {
 				col.AppendFrom(col, src)
 				if std, ok := stds[col.Name]; ok && !col.IsMissing(col.Len()-1) {
-					col.Nums[col.Len()-1] += rng.NormFloat64() * std * 0.05
-					col.Touch()
+					last := col.Len() - 1
+					col.SetNum(last, col.Num(last)+rng.NormFloat64()*std*0.05)
 				}
 			}
 		}
@@ -429,7 +426,7 @@ func regressionResample(t *data.Table, target string, seed int64) {
 	lo, hi := c.Quantile(0.1), c.Quantile(0.9)
 	var tails []int
 	for i := 0; i < c.Len(); i++ {
-		if !c.IsMissing(i) && (c.Nums[i] < lo || c.Nums[i] > hi) {
+		if !c.IsMissing(i) && (c.Num(i) < lo || c.Num(i) > hi) {
 			tails = append(tails, i)
 		}
 	}

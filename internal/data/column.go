@@ -45,38 +45,76 @@ func (k Kind) String() string {
 // IsNumeric reports whether the kind stores numbers (ints, floats, bools).
 func (k Kind) IsNumeric() bool { return k == KindInt || k == KindFloat || k == KindBool }
 
+// colStore is the physical cell storage of a column: a float64 slab for
+// numeric kinds, a string slab for string columns, and the missing mask
+// (which may be shorter than the value slabs; absent entries mean
+// present). Several Column views may alias one store: the shared flag is
+// set the moment a view is handed out and every mutating accessor
+// promotes (copies) a column whose store is shared before writing —
+// classic copy-on-write.
+type colStore struct {
+	nums    []float64
+	strs    []string
+	missing []bool
+	// shared is set (and never cleared) once another Column aliases this
+	// store. Atomic so concurrent read-only view creation is race-free.
+	shared atomic.Bool
+}
+
+// ensureMask grows the missing mask to cover n cells.
+func (s *colStore) ensureMask(n int) {
+	if len(s.missing) < n {
+		m := make([]bool, n)
+		copy(m, s.missing)
+		s.missing = m
+	}
+}
+
 // Column is a single named column. Numeric kinds (int, float, bool) store
-// values in Nums; string columns store values in Strs. Missing marks cells
-// with no value; the corresponding slot in Nums/Strs is zero-valued.
+// values in a float64 slab; string columns store values in a string slab;
+// missing cells are masked and their storage slot is zero-valued.
+//
+// The storage is encapsulated: reads go through Num/Str/IsMissing (or the
+// bulk NumsView/StrsView), writes through SetNum/SetStr/SetMissing/
+// ClearMissing/Append*. Every mutating accessor bumps the version counter
+// that guards the memoized Summary, so — unlike the old exported-slice
+// representation — it is impossible to mutate a column without its
+// statistics invalidating; the former Touch() contract is gone.
+//
+// A Column may be a *view*: an index-mapped window onto a store shared
+// with other columns. Table.SelectRows/Head/Sample/Split/StratifiedSplit
+// and Clone hand these out in O(1) per column; reads map through the
+// index, and the first write promotes just that column to private dense
+// storage (copy-on-write), leaving the base bytes untouched.
 //
 // Statistics (Distinct, MissingCount, NumericStats, Quantile, IsConstant)
-// are served from a memoized one-pass Summary guarded by a mutation
-// version counter. The mutating methods below invalidate it; code writing
-// Nums/Strs/Missing directly must call Touch (see summary.go).
+// are served from the memoized one-pass Summary (see summary.go).
 type Column struct {
-	Name    string
-	Kind    Kind
-	Nums    []float64
-	Strs    []string
-	Missing []bool
+	Name string
+	Kind Kind
 
-	version atomic.Uint64                // bumped by Touch on every mutation
+	store *colStore
+	rows  []int // view row mapping into store; nil = identity over the full store
+
+	version atomic.Uint64                // bumped by every mutating accessor
 	cache   atomic.Pointer[summaryEntry] // last computed Summary, if current
 }
 
-// NewNumeric returns a float column over vals with no missing cells.
+// NewNumeric returns a float column over vals with no missing cells; it
+// takes ownership of vals.
 func NewNumeric(name string, vals []float64) *Column {
-	return &Column{Name: name, Kind: KindFloat, Nums: vals, Missing: make([]bool, len(vals))}
+	return &Column{Name: name, Kind: KindFloat, store: &colStore{nums: vals, missing: make([]bool, len(vals))}}
 }
 
 // NewInt returns an int column over vals with no missing cells.
 func NewInt(name string, vals []float64) *Column {
-	return &Column{Name: name, Kind: KindInt, Nums: vals, Missing: make([]bool, len(vals))}
+	return &Column{Name: name, Kind: KindInt, store: &colStore{nums: vals, missing: make([]bool, len(vals))}}
 }
 
-// NewString returns a string column over vals with no missing cells.
+// NewString returns a string column over vals with no missing cells; it
+// takes ownership of vals.
 func NewString(name string, vals []string) *Column {
-	return &Column{Name: name, Kind: KindString, Strs: vals, Missing: make([]bool, len(vals))}
+	return &Column{Name: name, Kind: KindString, store: &colStore{strs: vals, missing: make([]bool, len(vals))}}
 }
 
 // NewBool returns a bool column; true is stored as 1, false as 0.
@@ -87,38 +125,124 @@ func NewBool(name string, vals []bool) *Column {
 			nums[i] = 1
 		}
 	}
-	return &Column{Name: name, Kind: KindBool, Nums: nums, Missing: make([]bool, len(vals))}
+	return &Column{Name: name, Kind: KindBool, store: &colStore{nums: nums, missing: make([]bool, len(vals))}}
+}
+
+// ensureStore lazily allocates storage for a zero-value column. Only
+// mutation and view-creation paths call it; plain reads treat a nil store
+// as an empty column.
+func (c *Column) ensureStore() *colStore {
+	if c.store == nil {
+		c.store = &colStore{}
+	}
+	return c.store
 }
 
 // Len returns the number of rows in the column.
 func (c *Column) Len() int {
-	if c.Kind == KindString {
-		return len(c.Strs)
+	if c.rows != nil {
+		return len(c.rows)
 	}
-	return len(c.Nums)
+	if c.store == nil {
+		return 0
+	}
+	if c.Kind == KindString {
+		return len(c.store.strs)
+	}
+	return len(c.store.nums)
 }
 
+// at maps a view-relative row index to its storage slot.
+func (c *Column) at(i int) int {
+	if c.rows != nil {
+		return c.rows[i]
+	}
+	return i
+}
+
+// Num returns the numeric value at row i (0 when the cell is missing).
+func (c *Column) Num(i int) float64 { return c.store.nums[c.at(i)] }
+
+// Str returns the string value at row i ("" when the cell is missing).
+func (c *Column) Str(i int) string { return c.store.strs[c.at(i)] }
+
 // IsMissing reports whether row i has no value.
-func (c *Column) IsMissing(i int) bool { return len(c.Missing) > i && c.Missing[i] }
+func (c *Column) IsMissing(i int) bool {
+	if c.store == nil {
+		return false
+	}
+	j := c.at(i)
+	return j < len(c.store.missing) && c.store.missing[j]
+}
+
+// own gives the column exclusive dense storage: views gather their mapped
+// rows into fresh slabs, shared-dense columns copy theirs. A column that
+// already owns its store returns immediately, so steady-state mutation
+// costs one boolean load. After own, row index == storage index.
+func (c *Column) own() {
+	st := c.ensureStore()
+	if c.rows == nil && !st.shared.Load() {
+		return
+	}
+	n := c.Len()
+	ns := &colStore{missing: make([]bool, n)}
+	if st.strs != nil {
+		ns.strs = make([]string, n)
+	}
+	if st.nums != nil {
+		ns.nums = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		j := c.at(i)
+		if ns.strs != nil {
+			ns.strs[i] = st.strs[j]
+		}
+		if ns.nums != nil {
+			ns.nums[i] = st.nums[j]
+		}
+		ns.missing[i] = j < len(st.missing) && st.missing[j]
+	}
+	c.store, c.rows = ns, nil
+}
+
+// touch bumps the mutation version, invalidating the memoized Summary.
+func (c *Column) touch() { c.version.Add(1) }
+
+// SetNum writes the numeric value at row i. The missing mask is left
+// untouched — pair with ClearMissing when imputing a missing cell.
+func (c *Column) SetNum(i int, v float64) {
+	c.own()
+	c.store.nums[i] = v
+	c.touch()
+}
+
+// SetStr writes the string value at row i. The missing mask is left
+// untouched — pair with ClearMissing when imputing a missing cell.
+func (c *Column) SetStr(i int, v string) {
+	c.own()
+	c.store.strs[i] = v
+	c.touch()
+}
 
 // SetMissing marks row i as missing and zeroes its storage slot.
 func (c *Column) SetMissing(i int) {
-	c.ensureMask()
-	c.Missing[i] = true
+	c.own()
+	c.store.ensureMask(c.Len())
+	c.store.missing[i] = true
 	if c.Kind == KindString {
-		c.Strs[i] = ""
+		c.store.strs[i] = ""
 	} else {
-		c.Nums[i] = 0
+		c.store.nums[i] = 0
 	}
-	c.Touch()
+	c.touch()
 }
 
-func (c *Column) ensureMask() {
-	if len(c.Missing) < c.Len() {
-		m := make([]bool, c.Len())
-		copy(m, c.Missing)
-		c.Missing = m
-	}
+// ClearMissing marks row i as present without changing its stored value.
+func (c *Column) ClearMissing(i int) {
+	c.own()
+	c.store.ensureMask(c.Len())
+	c.store.missing[i] = false
+	c.touch()
 }
 
 // MissingCount returns the number of missing cells.
@@ -139,17 +263,69 @@ func (c *Column) ValueString(i int) string {
 	}
 	switch c.Kind {
 	case KindString:
-		return c.Strs[i]
+		return c.Str(i)
 	case KindInt:
-		return strconv.FormatInt(int64(c.Nums[i]), 10)
+		return strconv.FormatInt(int64(c.Num(i)), 10)
 	case KindBool:
-		if c.Nums[i] != 0 {
+		if c.Num(i) != 0 {
 			return "true"
 		}
 		return "false"
 	default:
-		return strconv.FormatFloat(c.Nums[i], 'g', -1, 64)
+		return strconv.FormatFloat(c.Num(i), 'g', -1, 64)
 	}
+}
+
+// NumsView returns the column's numeric values as a read-only slice:
+// dense columns return their live storage (callers must not modify it),
+// views gather into a fresh dense slice. Missing cells hold 0. Callers
+// that need an owned, mutable copy should copy the result.
+func (c *Column) NumsView() []float64 {
+	if c.store == nil {
+		return nil
+	}
+	if c.rows == nil {
+		return c.store.nums
+	}
+	out := make([]float64, len(c.rows))
+	for i, r := range c.rows {
+		out[i] = c.store.nums[r]
+	}
+	return out
+}
+
+// StrsView returns the column's string values as a read-only slice, under
+// the same contract as NumsView.
+func (c *Column) StrsView() []string {
+	if c.store == nil {
+		return nil
+	}
+	if c.rows == nil {
+		return c.store.strs
+	}
+	out := make([]string, len(c.rows))
+	for i, r := range c.rows {
+		out[i] = c.store.strs[r]
+	}
+	return out
+}
+
+// AppendNums appends present (non-missing) numeric values in bulk.
+func (c *Column) AppendNums(vals ...float64) {
+	c.own()
+	c.store.ensureMask(c.Len())
+	c.store.nums = append(c.store.nums, vals...)
+	c.store.missing = append(c.store.missing, make([]bool, len(vals))...)
+	c.touch()
+}
+
+// AppendStrs appends present (non-missing) string values in bulk.
+func (c *Column) AppendStrs(vals ...string) {
+	c.own()
+	c.store.ensureMask(c.Len())
+	c.store.strs = append(c.store.strs, vals...)
+	c.store.missing = append(c.store.missing, make([]bool, len(vals))...)
+	c.touch()
 }
 
 // Distinct returns the distinct non-missing values rendered as strings,
@@ -216,62 +392,67 @@ func (c *Column) Quantile(q float64) float64 {
 	return c.Summary().Quantile(q)
 }
 
-// Clone returns a deep copy of the column.
+// Clone returns an independent copy of the column in O(1): the clone is a
+// copy-on-write view sharing the original's storage, and the first write
+// to either side promotes the writer to private storage. Observable
+// semantics are those of the old deep copy (pinned by the equivalence
+// tests in view_test.go), minus the O(cells) allocation.
 func (c *Column) Clone() *Column {
-	cp := &Column{Name: c.Name, Kind: c.Kind}
-	if c.Nums != nil {
-		cp.Nums = append([]float64(nil), c.Nums...)
-	}
-	if c.Strs != nil {
-		cp.Strs = append([]string(nil), c.Strs...)
-	}
-	if c.Missing != nil {
-		cp.Missing = append([]bool(nil), c.Missing...)
-	}
-	return cp
+	st := c.ensureStore()
+	st.shared.Store(true)
+	return &Column{Name: c.Name, Kind: c.Kind, store: st, rows: c.rows}
 }
 
-// Select returns a new column containing only the given row indexes.
+// Select returns a view containing only the given row indexes, sharing
+// the receiver's storage (copy-on-write on first mutation). The rows
+// slice is not retained.
 func (c *Column) Select(rows []int) *Column {
-	out := &Column{Name: c.Name, Kind: c.Kind, Missing: make([]bool, len(rows))}
-	if c.Kind == KindString {
-		out.Strs = make([]string, len(rows))
+	idx := make([]int, len(rows))
+	if c.rows != nil {
 		for i, r := range rows {
-			out.Strs[i] = c.Strs[r]
-			out.Missing[i] = c.IsMissing(r)
+			idx[i] = c.rows[r]
 		}
-		return out
+	} else {
+		copy(idx, rows)
 	}
-	out.Nums = make([]float64, len(rows))
-	for i, r := range rows {
-		out.Nums[i] = c.Nums[r]
-		out.Missing[i] = c.IsMissing(r)
-	}
-	return out
+	return c.viewAt(idx)
+}
+
+// viewAt wraps pre-composed storage indexes into a view column. The idx
+// slice must already be storage-relative and is retained (views never
+// mutate it).
+func (c *Column) viewAt(idx []int) *Column {
+	st := c.ensureStore()
+	st.shared.Store(true)
+	return &Column{Name: c.Name, Kind: c.Kind, store: st, rows: idx}
 }
 
 // AppendFrom appends row i of src (which must have the same kind) to c.
+// Appending promotes a view or shared column to private storage first, so
+// growth is never visible through other views of the same store.
 func (c *Column) AppendFrom(src *Column, i int) {
-	c.ensureMask()
+	c.own()
+	c.store.ensureMask(c.Len())
 	if c.Kind == KindString {
-		c.Strs = append(c.Strs, src.Strs[i])
+		c.store.strs = append(c.store.strs, src.Str(i))
 	} else {
-		c.Nums = append(c.Nums, src.Nums[i])
+		c.store.nums = append(c.store.nums, src.Num(i))
 	}
-	c.Missing = append(c.Missing, src.IsMissing(i))
-	c.Touch()
+	c.store.missing = append(c.store.missing, src.IsMissing(i))
+	c.touch()
 }
 
 // AppendMissing appends a missing cell to c.
 func (c *Column) AppendMissing() {
-	c.ensureMask()
+	c.own()
+	c.store.ensureMask(c.Len())
 	if c.Kind == KindString {
-		c.Strs = append(c.Strs, "")
+		c.store.strs = append(c.store.strs, "")
 	} else {
-		c.Nums = append(c.Nums, 0)
+		c.store.nums = append(c.store.nums, 0)
 	}
-	c.Missing = append(c.Missing, true)
-	c.Touch()
+	c.store.missing = append(c.store.missing, true)
+	c.touch()
 }
 
 // IsConstant reports whether all present values are identical (and at least
@@ -324,38 +505,39 @@ func InferKind(vals []string) Kind {
 // ParseColumn builds a column of the given kind from raw strings; empty or
 // unparseable cells become missing.
 func ParseColumn(name string, kind Kind, vals []string) *Column {
-	c := &Column{Name: name, Kind: kind, Missing: make([]bool, len(vals))}
+	st := &colStore{missing: make([]bool, len(vals))}
+	c := &Column{Name: name, Kind: kind, store: st}
 	if kind == KindString {
-		c.Strs = make([]string, len(vals))
+		st.strs = make([]string, len(vals))
 		for i, v := range vals {
 			if strings.TrimSpace(v) == "" {
-				c.Missing[i] = true
+				st.missing[i] = true
 				continue
 			}
-			c.Strs[i] = v
+			st.strs[i] = v
 		}
 		return c
 	}
-	c.Nums = make([]float64, len(vals))
+	st.nums = make([]float64, len(vals))
 	for i, v := range vals {
 		v = strings.TrimSpace(v)
 		if v == "" {
-			c.Missing[i] = true
+			st.missing[i] = true
 			continue
 		}
 		switch kind {
 		case KindBool:
-			c.Nums[i] = 0
+			st.nums[i] = 0
 			if strings.EqualFold(v, "true") {
-				c.Nums[i] = 1
+				st.nums[i] = 1
 			}
 		default:
 			f, err := strconv.ParseFloat(v, 64)
 			if err != nil {
-				c.Missing[i] = true
+				st.missing[i] = true
 				continue
 			}
-			c.Nums[i] = f
+			st.nums[i] = f
 		}
 	}
 	return c

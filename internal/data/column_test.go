@@ -42,7 +42,7 @@ func TestColumnMissing(t *testing.T) {
 	if !c.IsMissing(1) || c.IsMissing(0) {
 		t.Fatal("IsMissing flags wrong")
 	}
-	if c.Nums[1] != 0 {
+	if c.Num(1) != 0 {
 		t.Fatal("SetMissing must zero the slot")
 	}
 	if c.ValueString(1) != "" {
@@ -126,10 +126,20 @@ func TestQuantile(t *testing.T) {
 func TestCloneIndependence(t *testing.T) {
 	c := NewNumeric("x", []float64{1, 2})
 	cp := c.Clone()
-	cp.Nums[0] = 99
+	cp.SetNum(0, 99)
 	cp.SetMissing(1)
-	if c.Nums[0] != 1 || c.IsMissing(1) {
-		t.Fatal("Clone must be deep")
+	if c.Num(0) != 1 || c.IsMissing(1) {
+		t.Fatal("clone mutation leaked into the original")
+	}
+	if cp.Num(0) != 99 || !cp.IsMissing(1) {
+		t.Fatal("clone lost its own mutations")
+	}
+	// And the reverse direction: mutating the original must not show
+	// through an untouched clone.
+	cp2 := c.Clone()
+	c.SetNum(1, -5)
+	if cp2.Num(1) == -5 {
+		t.Fatal("original mutation leaked into the clone")
 	}
 }
 
@@ -137,8 +147,8 @@ func TestSelect(t *testing.T) {
 	c := NewString("s", []string{"a", "b", "c", "d"})
 	c.SetMissing(2)
 	sel := c.Select([]int{3, 2, 0})
-	if sel.Strs[0] != "d" || sel.Strs[2] != "a" {
-		t.Fatalf("Select values wrong: %v", sel.Strs)
+	if sel.Str(0) != "d" || sel.Str(2) != "a" {
+		t.Fatalf("Select values wrong: %v", sel.StrsView())
 	}
 	if !sel.IsMissing(1) {
 		t.Fatal("Select must carry missing mask")
@@ -152,7 +162,7 @@ func TestAppendFromAndMissing(t *testing.T) {
 	dst.AppendFrom(src, 0)
 	dst.AppendFrom(src, 1)
 	dst.AppendMissing()
-	if dst.Len() != 3 || dst.Nums[0] != 7 {
+	if dst.Len() != 3 || dst.Num(0) != 7 {
 		t.Fatalf("append result: %+v", dst)
 	}
 	if !dst.IsMissing(1) || !dst.IsMissing(2) {
@@ -165,8 +175,7 @@ func TestIsConstant(t *testing.T) {
 	if !c.IsConstant() {
 		t.Fatal("constant column not detected")
 	}
-	c.Strs[1] = "y"
-	c.Touch() // direct field write: the summary contract requires it
+	c.SetStr(1, "y") // setter invalidates the memoized summary automatically
 	if c.IsConstant() {
 		t.Fatal("non-constant reported constant")
 	}
@@ -201,18 +210,18 @@ func TestInferKind(t *testing.T) {
 
 func TestParseColumn(t *testing.T) {
 	c := ParseColumn("x", KindFloat, []string{"1.5", "", "bogus", "3"})
-	if c.Nums[0] != 1.5 || c.Nums[3] != 3 {
-		t.Fatalf("parsed: %v", c.Nums)
+	if c.Num(0) != 1.5 || c.Num(3) != 3 {
+		t.Fatalf("parsed: %v", c.NumsView())
 	}
 	if !c.IsMissing(1) || !c.IsMissing(2) {
 		t.Fatal("empty/bogus must be missing")
 	}
 	b := ParseColumn("b", KindBool, []string{"true", "false", "TRUE"})
-	if b.Nums[0] != 1 || b.Nums[1] != 0 || b.Nums[2] != 1 {
-		t.Fatalf("bool parse: %v", b.Nums)
+	if b.Num(0) != 1 || b.Num(1) != 0 || b.Num(2) != 1 {
+		t.Fatalf("bool parse: %v", b.NumsView())
 	}
 	s := ParseColumn("s", KindString, []string{"a", " "})
-	if s.Strs[0] != "a" || !s.IsMissing(1) {
+	if s.Str(0) != "a" || !s.IsMissing(1) {
 		t.Fatal("string parse broken")
 	}
 }
@@ -258,7 +267,7 @@ func TestSelectIdentityProperty(t *testing.T) {
 			if sel.IsMissing(i) != c.IsMissing(i) {
 				return false
 			}
-			if !c.IsMissing(i) && sel.Nums[i] != c.Nums[i] {
+			if !c.IsMissing(i) && sel.Num(i) != c.Num(i) {
 				return false
 			}
 		}

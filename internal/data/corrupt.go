@@ -27,10 +27,9 @@ func InjectOutliers(t *Table, target string, ratio float64, seed int64) int {
 			if rng.Float64() < 0.5 {
 				sign = -1
 			}
-			c.Nums[i] = st.Mean + sign*span*(10+rng.Float64()*40)
+			c.SetNum(i, st.Mean+sign*span*(10+rng.Float64()*40))
 			n++
 		}
-		c.Touch()
 	}
 	return n
 }
@@ -59,10 +58,9 @@ func InjectTargetOutliers(t *Table, target string, ratio float64, seed int64) in
 		if rng.Float64() < 0.5 {
 			sign = -1
 		}
-		c.Nums[i] = st.Mean + sign*span*(10+rng.Float64()*40)
+		c.SetNum(i, st.Mean+sign*span*(10+rng.Float64()*40))
 		n++
 	}
-	c.Touch()
 	return n
 }
 

@@ -34,7 +34,7 @@ func TestInjectOutliers(t *testing.T) {
 	}
 	// Target untouched.
 	for i := 0; i < tb.NumRows(); i++ {
-		if tb.Col("y").Nums[i] != float64(i) {
+		if tb.Col("y").Num(i) != float64(i) {
 			t.Fatal("target corrupted")
 		}
 	}

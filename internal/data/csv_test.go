@@ -37,7 +37,7 @@ func TestCSVRoundTrip(t *testing.T) {
 	if !back.Col("f").IsMissing(2) {
 		t.Fatal("missing cell lost in round trip")
 	}
-	if back.Col("s").Strs[1] != "b,c" {
+	if back.Col("s").Str(1) != "b,c" {
 		t.Fatal("quoted comma lost")
 	}
 }
@@ -95,7 +95,7 @@ func TestCSVNumericRoundTripProperty(t *testing.T) {
 		}
 		c := back.Col("v")
 		for i := range vals {
-			if math.Abs(c.Nums[i]-vals[i]) > 1e-9 {
+			if math.Abs(c.Num(i)-vals[i]) > 1e-9 {
 				return false
 			}
 		}

@@ -25,7 +25,7 @@ func TestPropertySplitPartitions(t *testing.T) {
 		}
 		seen := map[float64]bool{}
 		for _, part := range []*Table{tr, te} {
-			for _, v := range part.Col("id").Nums {
+			for _, v := range part.Col("id").NumsView() {
 				if seen[v] {
 					return false
 				}
@@ -62,7 +62,7 @@ func TestPropertyStratifiedSplitPartitions(t *testing.T) {
 		trainClasses := map[string]bool{}
 		c := tr.Col("y")
 		for i := 0; i < c.Len(); i++ {
-			trainClasses[c.Strs[i]] = true
+			trainClasses[c.Str(i)] = true
 		}
 		return len(trainClasses) == classes
 	}
@@ -124,14 +124,14 @@ func TestPropertyInjectorsPreserveTarget(t *testing.T) {
 			return false
 		}
 		pt := ds.PrimaryTable()
-		orig := append([]float64(nil), pt.Col("target").Nums...)
+		orig := append([]float64(nil), pt.Col("target").NumsView()...)
 		InjectOutliers(pt, "target", ratio, seed)
 		InjectMissing(pt, "target", ratio, seed+1)
 		tgt := pt.Col("target")
 		if tgt.MissingCount() != 0 || pt.NumRows() != 150 {
 			return false
 		}
-		for i, v := range tgt.Nums {
+		for i, v := range tgt.NumsView() {
 			if v != orig[i] {
 				return false
 			}

@@ -59,34 +59,33 @@ func (s *Summary) Quantile(q float64) float64 {
 }
 
 // summaryEntry pins a computed Summary to the column state it was computed
-// from: the mutation version and the row count (the latter catches appends
-// that bypassed the mutating helpers).
+// from: the mutation version, the row count, and the column kind. Since all
+// cell storage is behind mutating accessors that bump the version, the only
+// out-of-band change the key must catch is a rewrite of the exported Kind
+// field (pipescript type conversions flip it after recoding values), which
+// changes how values render in Distinct.
 type summaryEntry struct {
 	version uint64
 	rows    int
+	kind    Kind
 	sum     *Summary
 }
 
-// Touch invalidates the column's cached Summary. The mutating methods
-// (SetMissing, AppendFrom, AppendMissing, ParseColumn construction) call it
-// internally; code that writes Nums, Strs, or Missing directly MUST call
-// Touch afterwards — see DESIGN.md §9 for the contract and the list of
-// writer sites (pipescript ops, baselines cleaning, data corruption).
-func (c *Column) Touch() { c.version.Add(1) }
-
 // Summary returns the cached one-pass statistics of the column, computing
-// them if the column mutated since the last call. Concurrent readers are
+// them if the column mutated since the last call. Invalidation is
+// automatic: every mutating accessor (SetNum, SetStr, SetMissing,
+// ClearMissing, the Append* family) bumps the version this cache is keyed
+// on — there is no manual Touch() contract anymore. Concurrent readers are
 // safe (the cache is a single atomic pointer; racing computations produce
 // identical summaries and the last store wins). Mutations must not run
-// concurrently with readers — the same rule that already governs the raw
-// Nums/Strs/Missing slices.
+// concurrently with readers — the same rule that governs all column access.
 func (c *Column) Summary() *Summary {
 	v := c.version.Load()
-	if e := c.cache.Load(); e != nil && e.version == v && e.rows == c.Len() {
+	if e := c.cache.Load(); e != nil && e.version == v && e.rows == c.Len() && e.kind == c.Kind {
 		return e.sum
 	}
 	sum := c.computeSummary()
-	c.cache.Store(&summaryEntry{version: v, rows: c.Len(), sum: sum})
+	c.cache.Store(&summaryEntry{version: v, rows: c.Len(), kind: c.Kind, sum: sum})
 	return sum
 }
 
@@ -108,7 +107,7 @@ func (c *Column) computeSummary() *Summary {
 		}
 		s.distinctSet[c.ValueString(i)] = struct{}{}
 		if numeric {
-			vals = append(vals, c.Nums[i])
+			vals = append(vals, c.Num(i))
 		}
 	}
 	s.Distinct = make([]string, 0, len(s.distinctSet))

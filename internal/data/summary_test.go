@@ -46,9 +46,9 @@ func TestSummaryMemoized(t *testing.T) {
 	if got := s1.Stats.Median; got != 2 {
 		t.Fatalf("median = %g, want 2", got)
 	}
-	c.Touch()
+	c.SetNum(0, c.Num(0)) // even a value-preserving write bumps the version
 	if s3 := c.Summary(); s3 == s1 {
-		t.Fatal("Touch must invalidate the cached summary")
+		t.Fatal("SetNum must invalidate the cached summary")
 	}
 }
 
@@ -66,31 +66,53 @@ func TestSummaryMutatingHelpersInvalidate(t *testing.T) {
 	assertSummaryFresh(t, c, "AppendMissing")
 }
 
-func TestSummaryRowCountGuard(t *testing.T) {
-	// Appending storage directly changes Len; the cache entry pins the row
-	// count, so the summary recomputes even without a Touch call.
+func TestSummaryBulkAppendInvalidates(t *testing.T) {
 	c := NewNumeric("x", []float64{1, 2})
 	if got := c.NumericStats().Count; got != 2 {
 		t.Fatalf("warm count = %d", got)
 	}
-	c.Nums = append(c.Nums, 3)
-	c.Missing = append(c.Missing, false)
+	c.AppendNums(3)
 	if got := c.NumericStats().Count; got != 3 {
-		t.Fatalf("count after direct append = %d, want 3", got)
+		t.Fatalf("count after AppendNums = %d, want 3", got)
 	}
+	assertSummaryFresh(t, c, "AppendNums")
+
+	s := NewString("s", []string{"a"})
+	if s.DistinctCount() != 1 {
+		t.Fatal("warm distinct wrong")
+	}
+	s.AppendStrs("b", "c")
+	if got := s.DistinctCount(); got != 3 {
+		t.Fatalf("DistinctCount after AppendStrs = %d, want 3", got)
+	}
+	assertSummaryFresh(t, s, "AppendStrs")
 }
 
-func TestSummaryDirectWriteNeedsTouch(t *testing.T) {
+func TestSummarySetterInvalidates(t *testing.T) {
 	c := NewString("s", []string{"a", "a", "a"})
 	if c.DistinctCount() != 1 {
 		t.Fatal("warm distinct wrong")
 	}
-	c.Strs[0] = "b"
-	c.Touch()
+	c.SetStr(0, "b")
 	if got := c.DistinctCount(); got != 2 {
-		t.Fatalf("DistinctCount after Touch = %d, want 2", got)
+		t.Fatalf("DistinctCount after SetStr = %d, want 2", got)
 	}
-	assertSummaryFresh(t, c, "direct write + Touch")
+	assertSummaryFresh(t, c, "SetStr")
+}
+
+func TestSummaryKindChangeInvalidates(t *testing.T) {
+	// The Kind field stays exported (type conversions in pipescript flip
+	// it); the cache entry pins the kind so Distinct re-renders without any
+	// setter call.
+	c := NewNumeric("x", []float64{0, 1})
+	c.Kind = KindInt
+	if got := c.Distinct(); len(got) != 2 || got[0] != "0" {
+		t.Fatalf("int distinct = %v", got)
+	}
+	c.Kind = KindBool
+	if got := c.Distinct(); len(got) != 2 || got[0] != "false" {
+		t.Fatalf("bool distinct after kind change = %v (stale summary)", got)
+	}
 }
 
 func TestSummaryStringColumn(t *testing.T) {
@@ -111,8 +133,9 @@ func TestSummaryStringColumn(t *testing.T) {
 	}
 }
 
-// The corruption injectors write Nums directly; they must leave every
-// touched column's summary consistent with a from-scratch recompute.
+// The corruption injectors rewrite cells through the setters; they must
+// leave every touched column's summary consistent with a from-scratch
+// recompute.
 func TestCorruptionInvalidatesSummaries(t *testing.T) {
 	mk := func() *Table {
 		tab := NewTable("corrupt")

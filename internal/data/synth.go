@@ -377,8 +377,7 @@ func Generate(spec Spec, seed int64) (*Dataset, error) {
 				if cs.MissingRate > 0 && rng.Float64() < cs.MissingRate {
 					col.SetMissing(i)
 				} else if cs.OutlierRate > 0 && col.Kind.IsNumeric() && rng.Float64() < cs.OutlierRate {
-					col.Nums[i] = col.Nums[i]*50 + 1000
-					col.Touch()
+					col.SetNum(i, col.Num(i)*50+1000)
 				}
 			}
 		}

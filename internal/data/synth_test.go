@@ -62,7 +62,7 @@ func TestGenerateDeterminism(t *testing.T) {
 	same := true
 	ct := c.PrimaryTable()
 	for r := 0; r < 20; r++ {
-		if at.Col("num").Nums[r] != ct.Col("num").Nums[r] {
+		if at.Col("num").Num(r) != ct.Col("num").Num(r) {
 			same = false
 		}
 	}
@@ -95,7 +95,7 @@ func TestGenerateColumnTypes(t *testing.T) {
 	}
 	// List values contain comma-separated items.
 	found := false
-	for _, v := range pt.Col("lst").Strs {
+	for _, v := range pt.Col("lst").StrsView() {
 		if strings.Contains(v, ", ") {
 			found = true
 			break
@@ -119,7 +119,7 @@ func TestGenerateImbalance(t *testing.T) {
 	counts := map[string]int{}
 	c := ds.PrimaryTable().Col("target")
 	for i := 0; i < c.Len(); i++ {
-		counts[c.Strs[i]]++
+		counts[c.Str(i)]++
 	}
 	if len(counts) != 4 {
 		t.Fatalf("classes = %d", len(counts))
@@ -197,7 +197,7 @@ func TestDuplicateOf(t *testing.T) {
 	pt := ds.PrimaryTable()
 	same := 0
 	for i := 0; i < pt.NumRows(); i++ {
-		if pt.Col("orig").Strs[i] == pt.Col("copy").Strs[i] {
+		if pt.Col("orig").Str(i) == pt.Col("copy").Str(i) {
 			same++
 		}
 	}

@@ -97,7 +97,9 @@ func (t *Table) ReplaceColumn(name string, c *Column) bool {
 	return true
 }
 
-// Clone returns a deep copy of the table.
+// Clone returns an independent copy of the table in O(columns): each
+// column is a copy-on-write view of the original's storage (see
+// Column.Clone), so cell slabs are copied only if and when mutated.
 func (t *Table) Clone() *Table {
 	out := &Table{Name: t.Name, Cols: make([]*Column, len(t.Cols))}
 	for i, c := range t.Cols {
@@ -106,13 +108,45 @@ func (t *Table) Clone() *Table {
 	return out
 }
 
-// SelectRows returns a new table containing only the given row indexes.
+// SelectRows returns a table containing only the given row indexes. The
+// result is a zero-copy view: columns share the receiver's cell storage
+// through an index mapping and promote to private storage only on their
+// first mutation. Cost is O(columns) plus a single O(len(rows)) index
+// copy shared by all dense columns (view columns of a stacked selection
+// compose their mappings, memoized per distinct source mapping), not the
+// old O(cells) deep copy. The rows slice is not retained.
 func (t *Table) SelectRows(rows []int) *Table {
 	out := &Table{Name: t.Name, Cols: make([]*Column, len(t.Cols))}
+	var dense []int // defensive copy of rows, shared by all identity columns
+	var srcRows, composed []int
 	for i, c := range t.Cols {
-		out.Cols[i] = c.Select(rows)
+		if c.rows == nil {
+			if dense == nil {
+				dense = make([]int, len(rows))
+				copy(dense, rows)
+			}
+			out.Cols[i] = c.viewAt(dense)
+			continue
+		}
+		// View column: compose its mapping with rows. Tables sliced from a
+		// common parent share one mapping slice across columns, so compare
+		// by identity and reuse the last composition.
+		if !sameSlice(c.rows, srcRows) {
+			srcRows = c.rows
+			composed = make([]int, len(rows))
+			for j, r := range rows {
+				composed[j] = srcRows[r]
+			}
+		}
+		out.Cols[i] = c.viewAt(composed)
 	}
 	return out
+}
+
+// sameSlice reports whether two slices are the identical array window
+// (same backing start and length), not merely equal element-wise.
+func sameSlice(a, b []int) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
 }
 
 // Head returns the first n rows (or all rows if n exceeds the row count).
@@ -127,13 +161,17 @@ func (t *Table) Head(n int) *Table {
 	return t.SelectRows(rows)
 }
 
-// Sample returns up to n rows drawn without replacement using rng.
+// Sample returns up to n rows drawn without replacement using rng. The
+// permutation is always drawn, even when n covers the whole table (where
+// the result keeps the original row order, as before), so the RNG is
+// consumed identically regardless of the table's size and downstream
+// draws from the same rng do not diverge on small tables.
 func (t *Table) Sample(n int, rng *rand.Rand) *Table {
+	perm := rng.Perm(t.NumRows())
 	if n >= t.NumRows() {
 		return t.Clone()
 	}
-	perm := rng.Perm(t.NumRows())[:n]
-	return t.SelectRows(perm)
+	return t.SelectRows(perm[:n])
 }
 
 // Split partitions the table into train/test with the given train fraction,

@@ -62,7 +62,7 @@ func TestDropReplaceColumn(t *testing.T) {
 func TestSelectRowsHeadSample(t *testing.T) {
 	tb := sampleTable()
 	sel := tb.SelectRows([]int{5, 0})
-	if sel.NumRows() != 2 || sel.Col("x").Nums[0] != 6 {
+	if sel.NumRows() != 2 || sel.Col("x").Num(0) != 6 {
 		t.Fatal("SelectRows wrong")
 	}
 	if tb.Head(3).NumRows() != 3 || tb.Head(100).NumRows() != 6 {
@@ -89,7 +89,7 @@ func TestSplit(t *testing.T) {
 	// Determinism.
 	tr2, _ := tb.Split(0.7, 42)
 	for i := 0; i < tr.NumRows(); i++ {
-		if tr.Col("x").Nums[i] != tr2.Col("x").Nums[i] {
+		if tr.Col("x").Num(i) != tr2.Col("x").Num(i) {
 			t.Fatal("Split must be deterministic for a fixed seed")
 		}
 	}
@@ -148,7 +148,7 @@ func TestStratifiedSplit(t *testing.T) {
 		c := tab.Col("y")
 		k := 0
 		for i := 0; i < c.Len(); i++ {
-			if c.Strs[i] == v {
+			if c.Str(i) == v {
 				k++
 			}
 		}
@@ -187,8 +187,8 @@ func TestAppendRows(t *testing.T) {
 func TestTableCloneDeep(t *testing.T) {
 	tb := sampleTable()
 	cp := tb.Clone()
-	cp.Col("x").Nums[0] = 99
-	if tb.Col("x").Nums[0] == 99 {
-		t.Fatal("Clone must be deep")
+	cp.Col("x").SetNum(0, 99)
+	if tb.Col("x").Num(0) == 99 {
+		t.Fatal("clone mutation leaked into the original")
 	}
 }

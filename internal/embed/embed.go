@@ -44,9 +44,9 @@ func Column(c *data.Column) Vector {
 		if c.Kind.IsNumeric() {
 			// Bucket numeric values by order of magnitude and leading digit
 			// so embeddings reflect the distribution, not exact values.
-			key = numericBucket(c.Nums[i])
+			key = numericBucket(c.Num(i))
 		} else {
-			key = c.Strs[i]
+			key = c.Str(i)
 		}
 		h := hash64(key)
 		idx := int(h % Dim)
@@ -146,7 +146,7 @@ func Correlation(a, b *data.Column) float64 {
 			if a.IsMissing(i) || b.IsMissing(i) {
 				continue
 			}
-			x, y := a.Nums[i], b.Nums[i]
+			x, y := a.Num(i), b.Num(i)
 			n++
 			sa += x
 			sb += y
@@ -186,10 +186,10 @@ func CramersV(a, target *data.Column) float64 {
 			if span == 0 {
 				return "0", true
 			}
-			b := int((c.Nums[i] - st.Min) / span * 7.999)
+			b := int((c.Num(i) - st.Min) / span * 7.999)
 			return string(rune('0' + b)), true
 		}
-		return c.Strs[i], true
+		return c.Str(i), true
 	}
 	counts := map[[2]string]float64{}
 	rowTot := map[string]float64{}

@@ -190,7 +190,7 @@ func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result,
 		for _, c := range cols {
 			lo, hi := iqrBounds(c, factor)
 			for i := 0; i < c.Len(); i++ {
-				if !c.IsMissing(i) && (c.Nums[i] < lo || c.Nums[i] > hi) {
+				if !c.IsMissing(i) && (c.Num(i) < lo || c.Num(i) > hi) {
 					keep[i] = false
 				}
 			}
@@ -638,7 +638,7 @@ func (e *Executor) train(st Stmt, tr, te *data.Table, res *Result) error {
 	if !tcol.Kind.IsNumeric() {
 		return rtErr(st.Line, ErrTypeMismatch, "regression target %q is not numeric", target)
 	}
-	ytr := append([]float64(nil), tcol.Nums...)
+	ytr := append([]float64(nil), tcol.NumsView()...)
 	reg, err := e.buildRegressor(st, modelName)
 	if err != nil {
 		return err
@@ -657,7 +657,7 @@ func (e *Executor) train(st Stmt, tr, te *data.Table, res *Result) error {
 	}
 	res.TrainR2 = clampR2(ml.R2(reg.Predict(Xtr), ytr))
 	if teT := te.Col(target); teT != nil && len(Xte) > 0 {
-		yte := append([]float64(nil), teT.Nums...)
+		yte := append([]float64(nil), teT.NumsView()...)
 		pred := reg.Predict(Xte)
 		res.TestR2 = clampR2(ml.R2(pred, yte))
 		res.TestRMSE = ml.RMSE(pred, yte)
@@ -690,7 +690,7 @@ func matrix(t *data.Table, target string) ([][]float64, []string) {
 	for i := range X {
 		row := make([]float64, len(cols))
 		for j, c := range cols {
-			row[j] = c.Nums[i]
+			row[j] = c.Num(i)
 		}
 		X[i] = row
 	}
@@ -708,8 +708,8 @@ func matrixAligned(t *data.Table, names []string) ([][]float64, []string) {
 	for i := range X {
 		row := make([]float64, len(names))
 		for j, c := range cols {
-			if c != nil && c.Kind.IsNumeric() && i < len(c.Nums) {
-				row[j] = c.Nums[i]
+			if c != nil && c.Kind.IsNumeric() && i < c.Len() {
+				row[j] = c.Num(i)
 			}
 		}
 		X[i] = row

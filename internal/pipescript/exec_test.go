@@ -259,7 +259,7 @@ func TestRebalanceEqualizesClasses(t *testing.T) {
 	counts := map[string]int{}
 	c := tb.Col("y")
 	for i := 0; i < c.Len(); i++ {
-		counts[c.Strs[i]]++
+		counts[c.Str(i)]++
 	}
 	if counts["small"] < 100 {
 		t.Fatalf("minority after rebalance = %d", counts["small"])
@@ -282,10 +282,10 @@ func TestSplitCompositeOp(t *testing.T) {
 	if err := splitComposite(tb2, "addr", "state", "zip"); err != nil {
 		t.Fatal(err)
 	}
-	if tb2.Col("state").Strs[0] != "CA" || tb2.Col("zip").Strs[0] != "7050" {
-		t.Fatalf("split wrong: %v %v", tb2.Col("state").Strs, tb2.Col("zip").Strs)
+	if tb2.Col("state").Str(0) != "CA" || tb2.Col("zip").Str(0) != "7050" {
+		t.Fatalf("split wrong: %v %v", tb2.Col("state").StrsView(), tb2.Col("zip").StrsView())
 	}
-	if tb2.Col("state").Strs[1] != "TX" || tb2.Col("zip").Strs[1] != "7871" {
+	if tb2.Col("state").Str(1) != "TX" || tb2.Col("zip").Str(1) != "7871" {
 		t.Fatal("order-insensitive split failed")
 	}
 }
@@ -295,8 +295,8 @@ func TestExtractTokenOp(t *testing.T) {
 	extractToken(c)
 	want := []string{"alpha", "bravo", "congo"}
 	for i, w := range want {
-		if c.Strs[i] != w {
-			t.Fatalf("extract[%d] = %q, want %q", i, c.Strs[i], w)
+		if c.Str(i) != w {
+			t.Fatalf("extract[%d] = %q, want %q", i, c.Str(i), w)
 		}
 	}
 }

@@ -82,14 +82,13 @@ func applyImpute(c *data.Column, num float64, str string) {
 		if !c.IsMissing(i) {
 			continue
 		}
-		c.Missing[i] = false
+		c.ClearMissing(i)
 		if c.Kind.IsNumeric() {
-			c.Nums[i] = num
+			c.SetNum(i, num)
 		} else {
-			c.Strs[i] = str
+			c.SetStr(i, str)
 		}
 	}
-	c.Touch()
 }
 
 // iqrBounds computes [Q1-f*IQR, Q3+f*IQR] from a train column.
@@ -100,18 +99,17 @@ func iqrBounds(c *data.Column, factor float64) (lo, hi float64) {
 }
 
 func clipColumn(c *data.Column, lo, hi float64) {
-	for i := range c.Nums {
+	for i := 0; i < c.Len(); i++ {
 		if c.IsMissing(i) {
 			continue
 		}
-		if c.Nums[i] < lo {
-			c.Nums[i] = lo
+		if c.Num(i) < lo {
+			c.SetNum(i, lo)
 		}
-		if c.Nums[i] > hi {
-			c.Nums[i] = hi
+		if c.Num(i) > hi {
+			c.SetNum(i, hi)
 		}
 	}
-	c.Touch()
 }
 
 // scaleParams holds fitted scaling parameters for one column.
@@ -149,21 +147,20 @@ func fitScale(c *data.Column, method string) (scaleParams, error) {
 }
 
 func (sp scaleParams) apply(c *data.Column) {
-	for i := range c.Nums {
+	for i := 0; i < c.Len(); i++ {
 		if c.IsMissing(i) {
 			continue
 		}
 		switch sp.method {
 		case "standard":
-			c.Nums[i] = (c.Nums[i] - sp.a) / sp.b
+			c.SetNum(i, (c.Num(i)-sp.a)/sp.b)
 		case "minmax":
-			c.Nums[i] = (c.Nums[i] - sp.a) / sp.b
+			c.SetNum(i, (c.Num(i)-sp.a)/sp.b)
 		case "decimal":
-			c.Nums[i] = c.Nums[i] / sp.a
+			c.SetNum(i, c.Num(i)/sp.a)
 		}
 	}
 	c.Kind = data.KindFloat
-	c.Touch()
 }
 
 // topCategories returns up to max categories of c by descending frequency
@@ -234,7 +231,7 @@ func kHot(t *data.Table, col string, items []string) error {
 			if c.IsMissing(i) {
 				continue
 			}
-			for _, part := range strings.Split(c.Strs[i], ",") {
+			for _, part := range strings.Split(c.Str(i), ",") {
 				if strings.TrimSpace(part) == item {
 					vals[i] = 1
 					break
@@ -259,7 +256,7 @@ func listItems(c *data.Column, max int) []string {
 		if c.IsMissing(i) {
 			continue
 		}
-		for _, part := range strings.Split(c.Strs[i], ",") {
+		for _, part := range strings.Split(c.Str(i), ",") {
 			p := strings.TrimSpace(part)
 			if p != "" {
 				set[p] = struct{}{}
@@ -365,7 +362,7 @@ func splitComposite(t *data.Table, col, nameA, nameB string) error {
 			continue
 		}
 		var alphaParts, numParts []string
-		for _, tok := range strings.Fields(c.Strs[i]) {
+		for _, tok := range strings.Fields(c.Str(i)) {
 			if isNumericToken(tok) {
 				numParts = append(numParts, tok)
 			} else {
@@ -375,16 +372,14 @@ func splitComposite(t *data.Table, col, nameA, nameB string) error {
 		if len(alphaParts) == 0 {
 			alphaCol.SetMissing(i)
 		} else {
-			alphaCol.Strs[i] = strings.Join(alphaParts, " ")
+			alphaCol.SetStr(i, strings.Join(alphaParts, " "))
 		}
 		if len(numParts) == 0 {
 			numCol.SetMissing(i)
 		} else {
-			numCol.Strs[i] = strings.Join(numParts, " ")
+			numCol.SetStr(i, strings.Join(numParts, " "))
 		}
 	}
-	alphaCol.Touch()
-	numCol.Touch()
 	t.DropColumn(col)
 	if err := t.AddColumn(alphaCol); err != nil {
 		return err
@@ -411,9 +406,8 @@ func extractToken(c *data.Column) {
 		if c.IsMissing(i) {
 			continue
 		}
-		c.Strs[i] = ContentToken(c.Strs[i])
+		c.SetStr(i, ContentToken(c.Str(i)))
 	}
-	c.Touch()
 }
 
 // ContentToken returns the informative token of a sentence value: the
@@ -484,16 +478,15 @@ func applyMapping(c *data.Column, mapping map[string]string, byNormal map[string
 		if c.IsMissing(i) {
 			continue
 		}
-		v := c.Strs[i]
+		v := c.Str(i)
 		if to, ok := mapping[v]; ok {
-			c.Strs[i] = to
+			c.SetStr(i, to)
 			continue
 		}
 		if to, ok := byNormal[NormalizeValue(v)]; ok {
-			c.Strs[i] = to
+			c.SetStr(i, to)
 		}
 	}
-	c.Touch()
 }
 
 // rebalanceADASYN oversamples minority classes on the train table by
@@ -540,8 +533,8 @@ func rebalanceADASYN(t *data.Table, target string, seed int64) error {
 			for _, col := range t.Cols {
 				col.AppendFrom(col, src)
 				if std, ok := stds[col.Name]; ok && !col.IsMissing(col.Len()-1) {
-					col.Nums[col.Len()-1] += rng.NormFloat64() * std * 0.05
-					col.Touch()
+					last := col.Len() - 1
+					col.SetNum(last, col.Num(last)+rng.NormFloat64()*std*0.05)
 				}
 			}
 		}
@@ -563,7 +556,7 @@ func augmentRegression(t *data.Table, target string, factor float64, seed int64)
 	lo, hi := c.Quantile(0.1), c.Quantile(0.9)
 	var tails []int
 	for i := 0; i < c.Len(); i++ {
-		if !c.IsMissing(i) && (c.Nums[i] < lo || c.Nums[i] > hi) {
+		if !c.IsMissing(i) && (c.Num(i) < lo || c.Num(i) > hi) {
 			tails = append(tails, i)
 		}
 	}
@@ -582,8 +575,8 @@ func augmentRegression(t *data.Table, target string, factor float64, seed int64)
 		for _, col := range t.Cols {
 			col.AppendFrom(col, src)
 			if std, ok := stds[col.Name]; ok && !col.IsMissing(col.Len()-1) {
-				col.Nums[col.Len()-1] += rng.NormFloat64() * std * 0.05
-				col.Touch()
+				last := col.Len() - 1
+				col.SetNum(last, col.Num(last)+rng.NormFloat64()*std*0.05)
 			}
 		}
 	}

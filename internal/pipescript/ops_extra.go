@@ -51,20 +51,19 @@ func (e *Executor) execExtra(st Stmt, tr, te *data.Table) (bool, error) {
 			edges[i] = c.Quantile(float64(i+1) / float64(bins))
 		}
 		binify := func(col *data.Column) {
-			for i := range col.Nums {
+			for i := 0; i < col.Len(); i++ {
 				if col.IsMissing(i) {
 					continue
 				}
 				b := 0
 				for _, edge := range edges {
-					if col.Nums[i] > edge {
+					if col.Num(i) > edge {
 						b++
 					}
 				}
-				col.Nums[i] = float64(b)
+				col.SetNum(i, float64(b))
 			}
 			col.Kind = data.KindInt
-			col.Touch()
 		}
 		binify(c)
 		if tc := te.Col(c.Name); tc != nil {
@@ -82,19 +81,18 @@ func (e *Executor) execExtra(st Stmt, tr, te *data.Table) (bool, error) {
 		}
 		// Signed log1p keeps negatives meaningful: sign(x)·log(1+|x|).
 		apply := func(col *data.Column) {
-			for i := range col.Nums {
+			for i := 0; i < col.Len(); i++ {
 				if col.IsMissing(i) {
 					continue
 				}
-				v := col.Nums[i]
+				v := col.Num(i)
 				s := 1.0
 				if v < 0 {
 					s, v = -1, -v
 				}
-				col.Nums[i] = s * math.Log1p(v)
+				col.SetNum(i, s*math.Log1p(v))
 			}
 			col.Kind = data.KindFloat
-			col.Touch()
 		}
 		apply(c)
 		if tc := te.Col(c.Name); tc != nil {
@@ -130,13 +128,13 @@ func (e *Executor) execExtra(st Stmt, tr, te *data.Table) (bool, error) {
 				}
 				switch op {
 				case "ratio":
-					den := cb.Nums[i]
+					den := cb.Num(i)
 					if den == 0 {
 						den = 1
 					}
-					vals[i] = ca.Nums[i] / den
+					vals[i] = ca.Num(i) / den
 				default:
-					vals[i] = ca.Nums[i] * cb.Nums[i]
+					vals[i] = ca.Num(i) * cb.Num(i)
 				}
 			}
 			return t.AddColumn(nc)
@@ -216,10 +214,10 @@ func (e *Executor) execExtra(st Stmt, tr, te *data.Table) (bool, error) {
 			if c.IsMissing(i) || tcol.IsMissing(i) {
 				continue
 			}
-			v := c.Strs[i]
-			sums[v] += tcol.Nums[i]
+			v := c.Str(i)
+			sums[v] += tcol.Num(i)
 			counts[v]++
-			global += tcol.Nums[i]
+			global += tcol.Num(i)
 			n++
 		}
 		if n == 0 {
@@ -239,7 +237,7 @@ func (e *Executor) execExtra(st Stmt, tr, te *data.Table) (bool, error) {
 					vals[i] = global
 					continue
 				}
-				v := col.Strs[i]
+				v := col.Str(i)
 				cnt := counts[v]
 				vals[i] = (sums[v] + smoothing*global) / (cnt + smoothing)
 			}

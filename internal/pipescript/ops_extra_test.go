@@ -67,7 +67,7 @@ func TestBinNumericValues(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The original tables are untouched (executor clones).
-	if tr.Col("a").Nums[10] != tr.Col("a").Nums[10] {
+	if v := tr.Col("a").Num(10); v != v {
 		t.Fatal("unexpected mutation")
 	}
 }

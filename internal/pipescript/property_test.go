@@ -137,7 +137,7 @@ func TestPropertyOneHotRowSums(t *testing.T) {
 		for i := 0; i < n; i++ {
 			sum := 0.0
 			for _, col := range t.Cols {
-				sum += col.Nums[i]
+				sum += col.Num(i)
 			}
 			if c.IsMissing(i) {
 				if sum != 0 {

@@ -7,10 +7,12 @@ import (
 	"catdb/internal/data"
 )
 
-// Every op that writes column storage directly must leave the memoized
-// summaries consistent with a from-scratch recompute (a Clone starts with
-// an empty cache). Warming the cache before each op is the point of these
-// tests: a missing Touch call only shows up against a warm cache.
+// Every op that rewrites column cells must leave the memoized summaries
+// consistent with a from-scratch recompute (a Clone starts with an empty
+// cache). Invalidation is automatic now — the setters bump the version —
+// but warming the cache before each op keeps these tests honest: a write
+// path that bypassed the accessors would only show up against a warm
+// cache.
 
 func warmStats(cols ...*data.Column) {
 	for _, c := range cols {

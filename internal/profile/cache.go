@@ -133,9 +133,9 @@ func tableHash(t *data.Table) uint64 {
 			}
 			h.u64(0)
 			if c.Kind == data.KindString {
-				h.str(c.Strs[i])
+				h.str(c.Str(i))
 			} else {
-				h.u64(math.Float64bits(c.Nums[i]))
+				h.u64(math.Float64bits(c.Num(i)))
 			}
 		}
 	}

@@ -117,8 +117,7 @@ func TestCacheKeysOnContentAndOptions(t *testing.T) {
 	mut := tab.Clone()
 	for _, col := range mut.Cols {
 		if col.Kind.IsNumeric() {
-			col.Nums[0] += 1000
-			col.Touch()
+			col.SetNum(0, col.Num(0)+1000)
 			break
 		}
 	}

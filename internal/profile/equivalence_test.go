@@ -1,0 +1,76 @@
+package profile
+
+import (
+	"reflect"
+	"testing"
+
+	"catdb/internal/data"
+)
+
+// materialize rebuilds a table into fresh dense storage through the
+// public accessors, severing any storage sharing with views.
+func materialize(t *data.Table) *data.Table {
+	out := data.NewTable(t.Name)
+	for _, c := range t.Cols {
+		var nc *data.Column
+		if c.Kind == data.KindString {
+			nc = data.NewString(c.Name, append([]string(nil), c.StrsView()...))
+		} else {
+			nc = data.NewNumeric(c.Name, append([]float64(nil), c.NumsView()...))
+		}
+		nc.Kind = c.Kind
+		for i := 0; i < c.Len(); i++ {
+			if c.IsMissing(i) {
+				nc.SetMissing(i)
+			}
+		}
+		out.MustAddColumn(nc)
+	}
+	return out
+}
+
+// Profiling a zero-copy row view must be bit-identical to profiling the
+// same rows materialized into dense storage (the pre-view deep-copy
+// semantics): views are an optimization, never an observable change.
+func TestProfileViewMatchesMaterialized(t *testing.T) {
+	tab := financialTable(t)
+	target := "loan_status"
+
+	rows := make([]int, 0, tab.NumRows()/2)
+	for i := 0; i < tab.NumRows(); i += 2 {
+		rows = append(rows, i)
+	}
+	view := tab.SelectRows(rows)
+	dense := materialize(view)
+
+	pView, err := Table(view, target, data.Binary, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pDense, err := Table(dense, target, data.Binary, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalized(pView), normalized(pDense)) {
+		t.Fatal("profile of row view differs from materialized copy")
+	}
+
+	// Split views must profile identically to their materialized twins too.
+	trV, teV := tab.Split(0.7, 21)
+	for name, pair := range map[string][2]*data.Table{
+		"train": {trV, materialize(trV)},
+		"test":  {teV, materialize(teV)},
+	} {
+		a, err := Table(pair[0], target, data.Binary, Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Table(pair[1], target, data.Binary, Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(normalized(a), normalized(b)) {
+			t.Fatalf("%s split: view profile differs from materialized copy", name)
+		}
+	}
+}

@@ -310,7 +310,7 @@ func guessFeatureType(c *data.Column, opts Options) FeatureType {
 			continue
 		}
 		n++
-		v := c.Strs[i]
+		v := c.Str(i)
 		if strings.Contains(v, ", ") {
 			commaSep++
 		}
