@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race verify bench lint-encapsulation
+.PHONY: build vet test race verify bench lint-encapsulation lint-obs
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ test:
 # column-summary / profile-cache paths; internal/ml covers the parallel
 # ensemble fit/inference paths.
 race:
-	$(GO) test -race ./internal/bench/... ./internal/core/... ./internal/profile/... ./internal/data/... ./internal/ml/...
+	$(GO) test -race ./internal/bench/... ./internal/core/... ./internal/profile/... ./internal/data/... ./internal/ml/... ./internal/obs/...
 
 # Column storage is encapsulated behind accessors (Num/Str/IsMissing/
 # SetNum/...): only internal/data may touch the backing slices, and the
@@ -34,7 +34,18 @@ lint-encapsulation:
 		exit 1; \
 	fi
 
-verify: build vet lint-encapsulation test race
+# Stage timing in internal/core flows through obs.Now/obs.Since so the
+# span clock stays injectable and the GenTime/ExecTime split stays
+# auditable. Fail on any raw time.Now there.
+lint-obs:
+	@matches=$$(grep -rnE 'time\.Now\(' --include='*.go' internal/core/); \
+	if [ -n "$$matches" ]; then \
+		echo "lint-obs: raw time.Now in internal/core (use obs.Now / obs.Since):"; \
+		echo "$$matches"; \
+		exit 1; \
+	fi
+
+verify: build vet lint-encapsulation lint-obs test race
 
 # Profiling + ML benchmarks: one cold iteration per benchmark (matching
 # how the committed baselines were captured) merged into BENCH_*.json;
@@ -44,3 +55,4 @@ bench:
 	$(GO) test -run='^$$' -bench=ML -benchmem -benchtime=1x -timeout=30m ./internal/ml/ | $(GO) run ./cmd/benchjson -o BENCH_ml.json
 	BENCH_DATA_MODE=deep $(GO) test -run='^$$' -bench=Data -benchmem -benchtime=10x ./internal/data/ | $(GO) run ./cmd/benchjson -set-baseline -o BENCH_data.json
 	$(GO) test -run='^$$' -bench=Data -benchmem -benchtime=10x ./internal/data/ | $(GO) run ./cmd/benchjson -o BENCH_data.json
+	$(GO) test -run='^$$' -bench=Obs -benchmem -benchtime=20x ./internal/bench/ | $(GO) run ./cmd/benchjson -o BENCH_obs.json

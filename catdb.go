@@ -25,6 +25,7 @@ import (
 	"catdb/internal/core"
 	"catdb/internal/data"
 	"catdb/internal/llm"
+	"catdb/internal/obs"
 	"catdb/internal/pipescript"
 	"catdb/internal/pool"
 	"catdb/internal/profile"
@@ -136,6 +137,42 @@ func PipGen(ds *Dataset, client LLM, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("catdb: nil LLM client")
 	}
 	return core.NewRunner(client).Run(ds, opts)
+}
+
+// Observability types (aliases into internal/obs).
+type (
+	// Tracer records a hierarchical span tree per PIPEGEN run: run →
+	// refine / profile / prompt-build / generate (with one debug-attempt
+	// span per error-correction iteration) / exec. Export with
+	// WriteJSONL or WriteTree; nil disables tracing with zero overhead.
+	Tracer = obs.Tracer
+	// Span is one node of a Tracer's span tree.
+	Span = obs.Span
+	// Metrics is a registry of counters, gauges, and bounded histograms
+	// with Prometheus-style text exposition (WriteProm): LLM calls and
+	// tokens by prompt kind, KB-vs-LLM fixes by error category, cache
+	// hits, pool utilization, and per-stage latencies.
+	Metrics = obs.Registry
+)
+
+// NewTracer returns an empty span tracer safe for concurrent use.
+func NewTracer() *Tracer { return obs.New() }
+
+// NewMetrics returns an empty metrics registry safe for concurrent use.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// PipGenObserved is PipGen with observability attached: the run's span
+// tree is recorded into tracer and its counters/latencies into metrics
+// (either may be nil). Observed and unobserved runs produce identical
+// pipelines and results — instrumentation never changes behavior.
+func PipGenObserved(ds *Dataset, client LLM, opts Options, tracer *Tracer, metrics *Metrics) (*Result, error) {
+	if client == nil {
+		return nil, fmt.Errorf("catdb: nil LLM client")
+	}
+	r := core.NewRunner(client)
+	r.Tracer = tracer
+	r.Metrics = metrics
+	return r.Run(ds, opts)
 }
 
 // PipGenJob is one pipeline-generation request in a ParallelPipGen batch.

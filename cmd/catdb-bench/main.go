@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"catdb/internal/bench"
+	"catdb/internal/obs"
+	"catdb/internal/pool"
 )
 
 type experiment struct {
@@ -34,6 +36,9 @@ func main() {
 	fast := flag.Bool("fast", false, "trimmed datasets and iterations")
 	workers := flag.Int("workers", 0, "concurrent experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	outPath := flag.String("out", "", "also write the report to this file")
+	progress := flag.Bool("progress", false, "print one line per completed experiment cell to stderr")
+	traceOut := flag.String("trace-out", "", "write per-cell span traces to this file (.jsonl = JSON lines, otherwise a human-readable tree)")
+	metricsOut := flag.String("metrics-out", "", "write harness metrics in Prometheus text format to this file")
 	flag.Parse()
 
 	var out io.Writer = os.Stdout
@@ -47,7 +52,25 @@ func main() {
 		file = f
 		out = io.MultiWriter(os.Stdout, f)
 	}
-	cfg := bench.Config{Scale: *scale, Seed: *seed, Iterations: *iters, Fast: *fast, Workers: *workers, Out: out}
+	var tracer *obs.Tracer
+	var metrics *obs.Registry
+	if *traceOut != "" {
+		tracer = obs.New()
+	}
+	if *metricsOut != "" {
+		metrics = obs.NewRegistry()
+		// The worker pool is process-wide infrastructure, so its queue
+		// and utilization gauges are installed process-wide too.
+		pool.SetMetrics(metrics)
+	}
+	var progressW io.Writer
+	if *progress {
+		progressW = os.Stderr
+	}
+	cfg := bench.Config{
+		Scale: *scale, Seed: *seed, Iterations: *iters, Fast: *fast, Workers: *workers, Out: out,
+		Tracer: tracer, Metrics: metrics, Progress: progressW,
+	}
 
 	experiments := []experiment{
 		{"fig9", func(c bench.Config) error { _, err := bench.RunFig9Profiling(c); return err }},
@@ -83,12 +106,54 @@ func main() {
 		fmt.Fprintln(os.Stderr, "catdb-bench: no matching experiments; known:", names(experiments))
 		os.Exit(2)
 	}
+	if err := writeObsOutputs(tracer, metrics, *traceOut, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "catdb-bench:", err)
+		os.Exit(1)
+	}
 	if file != nil {
 		if err := file.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "catdb-bench:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// writeObsOutputs exports the collected span trace (JSONL or tree by
+// file extension) and the Prometheus metrics snapshot.
+func writeObsOutputs(tracer *obs.Tracer, metrics *obs.Registry, tracePath, metricsPath string) error {
+	if tracer != nil && tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(tracePath, ".jsonl") {
+			err = tracer.WriteJSONL(f)
+		} else {
+			err = tracer.WriteTree(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d spans)\n", tracePath, tracer.Len())
+	}
+	if metrics != nil && metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		err = metrics.WriteProm(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", metricsPath)
+	}
+	return nil
 }
 
 func names(exps []experiment) string {

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"catdb"
@@ -165,6 +166,8 @@ func cmdGenerate(args []string) error {
 	topK := fs.Int("topk", 0, "α: keep only the K most relevant columns (0 = all)")
 	noRefine := fs.Bool("no-refine", false, "skip catalog refinement")
 	export := fs.String("export", "", "write the generated pipeline to this .pipe file")
+	traceOut := fs.String("trace-out", "", "write the run's span trace to this file (.jsonl = JSON lines, otherwise a human-readable tree)")
+	metricsOut := fs.String("metrics-out", "", "write run metrics in Prometheus text format to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -176,9 +179,20 @@ func cmdGenerate(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := catdb.PipGen(ds, client, catdb.Options{
+	var tracer *catdb.Tracer
+	var metrics *catdb.Metrics
+	if *traceOut != "" {
+		tracer = catdb.NewTracer()
+	}
+	if *metricsOut != "" {
+		metrics = catdb.NewMetrics()
+	}
+	res, err := catdb.PipGenObserved(ds, client, catdb.Options{
 		Seed: *seed, Chains: *chains, TopK: *topK, NoRefine: *noRefine,
-	})
+	}, tracer, metrics)
+	if werr := writeObsOutputs(tracer, metrics, *traceOut, *metricsOut); werr != nil && err == nil {
+		err = werr
+	}
 	if err != nil {
 		return err
 	}
@@ -200,6 +214,45 @@ func cmdGenerate(args []string) error {
 			return err
 		}
 		fmt.Printf("pipeline written to %s\n", *export)
+	}
+	return nil
+}
+
+// writeObsOutputs exports the collected span trace and metrics. It runs
+// even when generation failed, so a failing run still leaves its partial
+// trace behind for diagnosis.
+func writeObsOutputs(tracer *catdb.Tracer, metrics *catdb.Metrics, tracePath, metricsPath string) error {
+	if tracer != nil && tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(tracePath, ".jsonl") {
+			err = tracer.WriteJSONL(f)
+		} else {
+			err = tracer.WriteTree(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", tracePath)
+	}
+	if metrics != nil && metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		err = metrics.WriteProm(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", metricsPath)
 	}
 	return nil
 }

@@ -6,7 +6,7 @@ import (
 	"catdb/internal/core"
 	"catdb/internal/data"
 	"catdb/internal/llm"
-	"catdb/internal/pool"
+	"catdb/internal/obs"
 )
 
 // AblationRow is one (dataset, variant) aggregate over repeated runs.
@@ -91,9 +91,11 @@ func RunAblation(cfg Config) (*AblationResult, error) {
 			}
 		}
 	}
-	outs, err := pool.Map(cfg.Workers, len(cells), func(k int) (runOut, error) {
+	outs, err := mapCells(cfg, "ablation", len(cells), func(k int, sp *obs.Span) (runOut, error) {
 		c := cells[k]
 		v := ablationVariants[c.variant]
+		sp.SetStr("dataset", c.ds.Name)
+		sp.SetStr("variant", v.name)
 		seed := cfg.Seed + int64(c.iter)*53
 		client, cerr := llm.New("llama3.1-70b", seed)
 		if cerr != nil {
@@ -101,6 +103,7 @@ func RunAblation(cfg Config) (*AblationResult, error) {
 		}
 		r := core.NewRunner(client)
 		r.ProfileCache = cfg.ProfileCache
+		cfg.instrument(r, sp)
 		if v.noKB {
 			r.KB = nil
 		}

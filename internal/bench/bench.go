@@ -14,6 +14,7 @@ import (
 	"time"
 	"unicode/utf8"
 
+	"catdb/internal/obs"
 	"catdb/internal/pool"
 	"catdb/internal/profile"
 )
@@ -46,6 +47,21 @@ type Config struct {
 	ProfileCache *profile.Cache
 	// Out receives the rendered tables (defaults to io.Discard).
 	Out io.Writer
+	// Tracer, when set, records one "bench:<phase>" span per experiment
+	// phase with a "cell" child per experiment cell; instrumented runners
+	// nest their run subtree (refine/profile/generate/debug-attempt/exec)
+	// under the cell. Nil disables tracing; experiment results are
+	// bit-identical either way.
+	Tracer *obs.Tracer
+	// Metrics, when set, receives harness counters and latency histograms
+	// (catdb_bench_*) plus everything the instrumented runners, LLM
+	// middleware, profile cache, and pipeline executors record.
+	Metrics *obs.Registry
+	// Progress, when set, receives one line per completed experiment cell
+	// (the bench CLI points it at stderr under -progress). Lines report
+	// completion order, which is scheduling-dependent; experiment results
+	// remain deterministic.
+	Progress io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +79,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProfileCache == nil {
 		c.ProfileCache = profile.NewCache()
+	}
+	if c.Metrics != nil {
+		// Cache lookups surface as catdb_profile_cache_{hits,misses}_total.
+		// Only attach when metrics are on, so an unobserved experiment
+		// never detaches a registry another experiment installed on a
+		// shared cache.
+		c.ProfileCache.SetMetrics(c.Metrics)
 	}
 	if c.Out == nil {
 		c.Out = io.Discard

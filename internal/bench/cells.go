@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"catdb/internal/core"
+	"catdb/internal/obs"
+	"catdb/internal/pool"
+)
+
+// mapCells fans one experiment phase's cells over the worker pool with
+// optional observability: a "bench:<phase>" root span with one "cell"
+// child per cell, per-cell latency/count/error metrics (catdb_bench_*),
+// and live progress lines. With no Tracer, Metrics, or Progress
+// configured it collapses to exactly the untraced pool.Map fan-out, so
+// unobserved benches keep bit-identical behavior and zero overhead.
+// Result order and error semantics are pool.Map's in both modes.
+func mapCells[T any](cfg Config, phase string, n int, fn func(i int, sp *obs.Span) (T, error)) ([]T, error) {
+	if cfg.Tracer == nil && cfg.Metrics == nil && cfg.Progress == nil {
+		return pool.Map(cfg.Workers, n, func(i int) (T, error) { return fn(i, nil) })
+	}
+	root := cfg.Tracer.Root("bench:" + phase)
+	root.SetInt("cells", int64(n))
+	defer root.End()
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	return pool.Map(cfg.Workers, n, func(i int) (T, error) {
+		sp := root.Child("cell")
+		sp.SetStr("phase", phase)
+		sp.SetInt("index", int64(i))
+		start := obs.Now()
+		v, err := fn(i, sp)
+		d := obs.Since(start)
+		if err != nil {
+			sp.SetStr("error", err.Error())
+		}
+		sp.End()
+		if cfg.Metrics != nil {
+			cfg.Metrics.Counter("catdb_bench_cells_total", "phase", phase).Inc()
+			cfg.Metrics.Histogram("catdb_bench_cell_seconds", obs.DefBuckets, "phase", phase).Observe(d.Seconds())
+			if err != nil {
+				cfg.Metrics.Counter("catdb_bench_cell_errors_total", "phase", phase).Inc()
+			}
+		}
+		if cfg.Progress != nil {
+			// One completion line per cell; the mutex keeps concurrent
+			// lines whole and the done counter monotone.
+			mu.Lock()
+			done++
+			fmt.Fprintf(cfg.Progress, "[%s] cell %d/%d done (index %d, %s)\n",
+				phase, done, n, i, d.Round(time.Millisecond))
+			mu.Unlock()
+		}
+		return v, err
+	})
+}
+
+// instrument attaches the config's observability sinks to a runner so
+// its Run nests a full span subtree under the cell's span and records
+// into the shared registry. With observability off (nil span, nil
+// registry) it leaves the runner's behavior untouched.
+func (c Config) instrument(r *core.Runner, sp *obs.Span) {
+	r.TraceParent = sp
+	r.Metrics = c.Metrics
+}

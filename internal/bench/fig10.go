@@ -6,7 +6,7 @@ import (
 	"catdb/internal/core"
 	"catdb/internal/data"
 	"catdb/internal/llm"
-	"catdb/internal/pool"
+	"catdb/internal/obs"
 	"catdb/internal/prompt"
 )
 
@@ -41,13 +41,14 @@ func RunFig10MetadataImpact(cfg Config) (*Fig10Result, error) {
 	// row order; the pool preserves that order on reassembly. runCell is
 	// the shared body: each cell derives its own client from the cell
 	// identity so scores are independent of scheduling.
-	runCell := func(ds *data.Dataset, config, model string, clientSeed int64, opts core.Options) (Fig10Row, error) {
+	runCell := func(sp *obs.Span, ds *data.Dataset, config, model string, clientSeed int64, opts core.Options) (Fig10Row, error) {
 		client, err := llm.New(model, clientSeed)
 		if err != nil {
 			return Fig10Row{}, err
 		}
 		r := core.NewRunner(client)
 		r.ProfileCache = cfg.ProfileCache
+		cfg.instrument(r, sp)
 		out, rerr := r.Run(ds, opts)
 		row := Fig10Row{Dataset: ds.Name, Config: config}
 		if rerr != nil {
@@ -57,7 +58,7 @@ func RunFig10MetadataImpact(cfg Config) (*Fig10Result, error) {
 		}
 		return row, nil
 	}
-	var cells []func() (Fig10Row, error)
+	var cells []func(sp *obs.Span) (Fig10Row, error)
 	for _, name := range datasets {
 		ds, err := data.Load(name, cfg.Scale)
 		if err != nil {
@@ -69,8 +70,8 @@ func RunFig10MetadataImpact(cfg Config) (*Fig10Result, error) {
 				continue
 			}
 			combo := combo
-			cells = append(cells, func() (Fig10Row, error) {
-				return runCell(ds, fmt.Sprintf("#%d", combo), model, cfg.Seed+int64(combo),
+			cells = append(cells, func(sp *obs.Span) (Fig10Row, error) {
+				return runCell(sp, ds, fmt.Sprintf("#%d", combo), model, cfg.Seed+int64(combo),
 					core.Options{Seed: cfg.Seed, Combo: combo, MetadataOnly: true, NoRefine: true})
 			})
 		}
@@ -80,8 +81,8 @@ func RunFig10MetadataImpact(cfg Config) (*Fig10Result, error) {
 			chains int
 		}{{"CatDB", 1}, {"CatDB Chain", 3}} {
 			variant := variant
-			cells = append(cells, func() (Fig10Row, error) {
-				return runCell(ds, variant.label, model, cfg.Seed+100+int64(variant.chains),
+			cells = append(cells, func(sp *obs.Span) (Fig10Row, error) {
+				return runCell(sp, ds, variant.label, model, cfg.Seed+100+int64(variant.chains),
 					core.Options{Seed: cfg.Seed, Chains: variant.chains})
 			})
 		}
@@ -101,8 +102,8 @@ func RunFig10MetadataImpact(cfg Config) (*Fig10Result, error) {
 				chains int
 			}{{"single", 1}, {"chain", 4}} {
 				k, variant := k, variant
-				cells = append(cells, func() (Fig10Row, error) {
-					row, err := runCell(wide, fmt.Sprintf("TopK=%d/%s", k, variant.label),
+				cells = append(cells, func(sp *obs.Span) (Fig10Row, error) {
+					row, err := runCell(sp, wide, fmt.Sprintf("TopK=%d/%s", k, variant.label),
 						"llama3.1-70b", cfg.Seed+int64(k),
 						core.Options{Seed: cfg.Seed, TopK: k, Chains: variant.chains, NoRefine: true})
 					row.Dataset = "KDD98"
@@ -111,7 +112,7 @@ func RunFig10MetadataImpact(cfg Config) (*Fig10Result, error) {
 			}
 		}
 	}
-	rows, err := pool.Map(cfg.Workers, len(cells), func(i int) (Fig10Row, error) { return cells[i]() })
+	rows, err := mapCells(cfg, "fig10", len(cells), func(i int, sp *obs.Span) (Fig10Row, error) { return cells[i](sp) })
 	if err != nil {
 		return nil, err
 	}

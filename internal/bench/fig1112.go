@@ -8,7 +8,7 @@ import (
 	"catdb/internal/core"
 	"catdb/internal/data"
 	"catdb/internal/llm"
-	"catdb/internal/pool"
+	"catdb/internal/obs"
 )
 
 // iterDatasets are the three datasets of the 10-iteration study (§5.4).
@@ -99,7 +99,7 @@ func RunFig11TenIterations(cfg Config) (*Fig11Result, error) {
 		tokens, errTokens int
 		genSec, execSec   float64
 	}
-	type job func() contrib
+	type job func(sp *obs.Span) contrib
 	var jobs []job
 	for _, name := range datasets {
 		ds, err := data.Load(name, cfg.Scale)
@@ -122,7 +122,7 @@ func RunFig11TenIterations(cfg Config) (*Fig11Result, error) {
 					chains int
 				}{{"CatDB", 1}, {"CatDB Chain", 2}} {
 					v := v
-					jobs = append(jobs, func() contrib {
+					jobs = append(jobs, func(sp *obs.Span) contrib {
 						c := contrib{system: v.label}
 						client, cerr := llm.New(model, seed+int64(v.chains))
 						if cerr != nil {
@@ -130,8 +130,9 @@ func RunFig11TenIterations(cfg Config) (*Fig11Result, error) {
 							return c
 						}
 						r := core.NewRunner(client)
-					r.ProfileCache = cfg.ProfileCache
-					out, rerr := r.Run(ds, core.Options{Seed: seed, Chains: v.chains})
+						r.ProfileCache = cfg.ProfileCache
+						cfg.instrument(r, sp)
+						out, rerr := r.Run(ds, core.Options{Seed: seed, Chains: v.chains})
 						if rerr != nil {
 							c.failed = true
 							return c
@@ -149,7 +150,7 @@ func RunFig11TenIterations(cfg Config) (*Fig11Result, error) {
 				// token parity with the paper's setup).
 				for _, backend := range []baselines.CAAFEBackend{baselines.CAAFETabPFN, baselines.CAAFEForest} {
 					backend := backend
-					jobs = append(jobs, func() contrib {
+					jobs = append(jobs, func(*obs.Span) contrib {
 						c := contrib{system: "CAAFE " + string(backend)}
 						o := baselines.RunCAAFE(tr, te, ds.Target, ds.Task, baselines.CAAFEOptions{
 							Backend: backend, Seed: seed, Rounds: 2, MaxPairs: 40,
@@ -167,7 +168,7 @@ func RunFig11TenIterations(cfg Config) (*Fig11Result, error) {
 				}
 
 				// AIDE and AutoGen.
-				jobs = append(jobs, func() contrib {
+				jobs = append(jobs, func(*obs.Span) contrib {
 					c := contrib{system: "AIDE"}
 					clientA, _ := llm.New(model, seed+31)
 					o := baselines.RunAIDE(ds, clientA, baselines.LLMBaselineOptions{Seed: seed})
@@ -178,7 +179,7 @@ func RunFig11TenIterations(cfg Config) (*Fig11Result, error) {
 					c.auc, c.tokens, c.execSec = o.TestAUC, o.Tokens, o.ExecTime.Seconds()
 					return c
 				})
-				jobs = append(jobs, func() contrib {
+				jobs = append(jobs, func(*obs.Span) contrib {
 					c := contrib{system: "AutoGen"}
 					clientG, _ := llm.New(model, seed+37)
 					o := baselines.RunAutoGen(ds, clientG, baselines.LLMBaselineOptions{Seed: seed})
@@ -198,7 +199,7 @@ func RunFig11TenIterations(cfg Config) (*Fig11Result, error) {
 	jobsPerIter := 6 // CatDB, Chain, CAAFE x2, AIDE, AutoGen
 	jobsPerModel := cfg.Iterations * jobsPerIter
 	jobsPerDataset := len(models) * jobsPerModel
-	contribs, err := pool.Map(cfg.Workers, len(jobs), func(k int) (contrib, error) { return jobs[k](), nil })
+	contribs, err := mapCells(cfg, "fig1112", len(jobs), func(k int, sp *obs.Span) (contrib, error) { return jobs[k](sp), nil })
 	if err != nil {
 		return nil, err
 	}

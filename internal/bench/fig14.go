@@ -8,7 +8,7 @@ import (
 	"catdb/internal/core"
 	"catdb/internal/data"
 	"catdb/internal/llm"
-	"catdb/internal/pool"
+	"catdb/internal/obs"
 )
 
 // Fig14Row is one (dataset, corruption, ratio, system) measurement.
@@ -79,8 +79,10 @@ func RunFig14Robustness(cfg Config) (*Fig14Result, error) {
 			}
 		}
 	}
-	rowGroups, err := pool.Map(cfg.Workers, len(cells), func(k int) ([]Fig14Row, error) {
+	rowGroups, err := mapCells(cfg, "fig14", len(cells), func(k int, sp *obs.Span) ([]Fig14Row, error) {
 		name, corruption, ratio := cells[k].name, cells[k].corruption, cells[k].ratio
+		sp.SetStr("dataset", name)
+		sp.SetStr("corruption", corruption)
 		var rows []Fig14Row
 		ds := cells[k].base.Clone()
 		// Corruption targets the *training* data; test sets stay clean,
@@ -105,6 +107,7 @@ func RunFig14Robustness(cfg Config) (*Fig14Result, error) {
 		}
 		r := core.NewRunner(client)
 		r.ProfileCache = cfg.ProfileCache
+		cfg.instrument(r, sp)
 		out, rerr := r.Run(ds, core.Options{Seed: cfg.Seed, TrainMutator: inject})
 		row := Fig14Row{Dataset: name, Corruption: corruption, Ratio: ratio, System: "CatDB"}
 		if rerr != nil {

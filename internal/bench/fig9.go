@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"catdb/internal/data"
-	"catdb/internal/pool"
+	"catdb/internal/obs"
 	"catdb/internal/profile"
 )
 
@@ -31,7 +31,8 @@ func RunFig9Profiling(cfg Config) (*Fig9Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Fig9Result{Census: map[profile.FeatureType]int{}}
 	names := data.Names()
-	profiles, err := pool.Map(cfg.Workers, len(names), func(i int) (*profile.Profile, error) {
+	profiles, err := mapCells(cfg, "fig9", len(names), func(i int, sp *obs.Span) (*profile.Profile, error) {
+		sp.SetStr("dataset", names[i])
 		ds, err := data.Load(names[i], cfg.Scale)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"io"
+	"testing"
+
+	"catdb/internal/core"
+	"catdb/internal/data"
+	"catdb/internal/llm"
+	"catdb/internal/obs"
+)
+
+// BenchmarkObsCellDisabled / BenchmarkObsCellEnabled measure the
+// observability tax on a real experiment: the Table 4 refinement phase
+// (three datasets through data loading, LLM-driven catalog refinement,
+// and the cell fan-out) run bare versus with tracer, metrics registry,
+// and progress sink all attached. The enabled-vs-disabled gap is the
+// overhead budget tracked in BENCH_obs.json (target: under 3%).
+func BenchmarkObsCellDisabled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunTable4Refinement(Config{Fast: true, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObsCellEnabled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunTable4Refinement(Config{
+			Fast: true, Seed: 1,
+			Tracer: obs.New(), Metrics: obs.NewRegistry(), Progress: io.Discard,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsRunDisabled / BenchmarkObsRunEnabled isolate the per-run
+// cost inside core.Runner (spans on every stage and debug attempt, LLM
+// middleware, stage histograms) without the harness around it.
+func BenchmarkObsRunDisabled(b *testing.B) {
+	benchmarkObsRun(b, false)
+}
+
+func BenchmarkObsRunEnabled(b *testing.B) {
+	benchmarkObsRun(b, true)
+}
+
+func benchmarkObsRun(b *testing.B, traced bool) {
+	ds, err := data.Load("Wifi", 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		client, cerr := llm.New("gemini-1.5-pro", 1)
+		if cerr != nil {
+			b.Fatal(cerr)
+		}
+		r := core.NewRunner(client)
+		if traced {
+			r.Tracer = obs.New()
+			r.Metrics = obs.NewRegistry()
+		}
+		if _, err := r.Run(ds, core.Options{Seed: 1, NoRefine: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,7 +8,7 @@ import (
 	"catdb/internal/data"
 	"catdb/internal/errkb"
 	"catdb/internal/llm"
-	"catdb/internal/pool"
+	"catdb/internal/obs"
 )
 
 // Table2Result holds the error-trace dataset statistics (Table 2) and the
@@ -54,14 +54,17 @@ func RunTable2ErrorTraces(cfg Config) (*Table2Result, error) {
 			}
 		}
 	}
-	stores, err := pool.Map(cfg.Workers, len(cells), func(k int) (*errkb.TraceStore, error) {
+	stores, err := mapCells(cfg, "table2", len(cells), func(k int, sp *obs.Span) (*errkb.TraceStore, error) {
 		c := cells[k]
+		sp.SetStr("dataset", c.dataset)
+		sp.SetStr("model", c.model)
 		client, cerr := llm.New(c.model, cfg.Seed+int64(c.iter)*977)
 		if cerr != nil {
 			return nil, cerr
 		}
 		r := core.NewRunner(client)
 		r.ProfileCache = cfg.ProfileCache
+		cfg.instrument(r, sp)
 		r.Traces = errkb.NewTraceStore()
 		// NoRefine keeps the runs cheap; refinement does not change the
 		// generation-error profile.

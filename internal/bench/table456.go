@@ -9,7 +9,7 @@ import (
 	"catdb/internal/core"
 	"catdb/internal/data"
 	"catdb/internal/llm"
-	"catdb/internal/pool"
+	"catdb/internal/obs"
 )
 
 // cleaningDatasets are the six datasets of the §5.3 catalog-refinement
@@ -41,8 +41,9 @@ func RunTable4Refinement(cfg Config) (*Table4Result, error) {
 		datasets = datasets[:3]
 	}
 	// One cell per dataset; refinement rows come back in dataset order.
-	rowGroups, err := pool.Map(cfg.Workers, len(datasets), func(i int) ([]Table4Row, error) {
+	rowGroups, err := mapCells(cfg, "table4", len(datasets), func(i int, sp *obs.Span) ([]Table4Row, error) {
 		name := datasets[i]
+		sp.SetStr("dataset", name)
 		ds, err := data.Load(name, cfg.Scale)
 		if err != nil {
 			return nil, err
@@ -121,7 +122,7 @@ func RunTable5Cleaning(cfg Config) (*Table5Result, error) {
 	// order. The dataset and its split are loaded once per dataset and
 	// shared read-only across the dataset's cells (every system clones
 	// before mutating).
-	var cells []func() (Table5Row, error)
+	var cells []func(sp *obs.Span) (Table5Row, error)
 	for _, name := range datasets {
 		name := name
 		ds, err := data.Load(name, cfg.Scale)
@@ -145,13 +146,14 @@ func RunTable5Cleaning(cfg Config) (*Table5Result, error) {
 			noRefine bool
 		}{{"CatDB Original", true}, {"CatDB Refined", false}} {
 			variant := variant
-			cells = append(cells, func() (Table5Row, error) {
+			cells = append(cells, func(sp *obs.Span) (Table5Row, error) {
 				client, err := llm.New("gemini-1.5-pro", cfg.Seed+7)
 				if err != nil {
 					return Table5Row{}, err
 				}
 				r := core.NewRunner(client)
 				r.ProfileCache = cfg.ProfileCache
+				cfg.instrument(r, sp)
 				start := time.Now()
 				out, rerr := r.Run(ds, core.Options{Seed: cfg.Seed, NoRefine: variant.noRefine})
 				row := Table5Row{Dataset: name, System: variant.label, Runtime: time.Since(start)}
@@ -169,7 +171,7 @@ func RunTable5Cleaning(cfg Config) (*Table5Result, error) {
 		// CAAFE (both backends).
 		for _, backend := range []baselines.CAAFEBackend{baselines.CAAFETabPFN, baselines.CAAFEForest} {
 			backend := backend
-			cells = append(cells, func() (Table5Row, error) {
+			cells = append(cells, func(*obs.Span) (Table5Row, error) {
 				o := baselines.RunCAAFE(tr, te, ds.Target, ds.Task, baselines.CAAFEOptions{
 					Backend: backend, Seed: cfg.Seed, Rounds: pickInt(cfg.Fast, 2, 4),
 				})
@@ -178,11 +180,11 @@ func RunTable5Cleaning(cfg Config) (*Table5Result, error) {
 		}
 
 		// AIDE and AutoGen.
-		cells = append(cells, func() (Table5Row, error) {
+		cells = append(cells, func(*obs.Span) (Table5Row, error) {
 			client, _ := llm.New("gemini-1.5-pro", cfg.Seed+13)
 			return toTable5Row(name, baselines.RunAIDE(ds, client, baselines.LLMBaselineOptions{Seed: cfg.Seed})), nil
 		})
-		cells = append(cells, func() (Table5Row, error) {
+		cells = append(cells, func(*obs.Span) (Table5Row, error) {
 			client, _ := llm.New("gemini-1.5-pro", cfg.Seed+17)
 			return toTable5Row(name, baselines.RunAutoGen(ds, client, baselines.LLMBaselineOptions{Seed: cfg.Seed})), nil
 		})
@@ -194,7 +196,7 @@ func RunTable5Cleaning(cfg Config) (*Table5Result, error) {
 		}
 		for _, tool := range tools {
 			tool := tool
-			cells = append(cells, func() (Table5Row, error) {
+			cells = append(cells, func(*obs.Span) (Table5Row, error) {
 				o, steps := baselines.RunCleaningWorkflow(baselines.CleanL2C, tool, tr, te, ds.Target, ds.Task,
 					baselines.AutoMLOptions{Seed: cfg.Seed, TimeBudget: pickDur(cfg.Fast, 5*time.Second, 20*time.Second)})
 				row := toTable5Row(name, o)
@@ -203,7 +205,7 @@ func RunTable5Cleaning(cfg Config) (*Table5Result, error) {
 			})
 		}
 	}
-	rows, err := pool.Map(cfg.Workers, len(cells), func(i int) (Table5Row, error) { return cells[i]() })
+	rows, err := mapCells(cfg, "table56", len(cells), func(i int, sp *obs.Span) (Table5Row, error) { return cells[i](sp) })
 	if err != nil {
 		return nil, err
 	}

@@ -8,7 +8,7 @@ import (
 	"catdb/internal/core"
 	"catdb/internal/data"
 	"catdb/internal/llm"
-	"catdb/internal/pool"
+	"catdb/internal/obs"
 )
 
 // table78Datasets are the eight datasets of the single-iteration study
@@ -89,7 +89,7 @@ func RunTable7SingleIteration(cfg Config) (*Table7Result, error) {
 
 	// Phase 1: LLM systems, one cell per (dataset, model, system), in the
 	// paper's row order.
-	var llmCells []func() (Table7Row, error)
+	var llmCells []func(sp *obs.Span) (Table7Row, error)
 	for di := range preps {
 		p := preps[di]
 		name := datasets[di]
@@ -100,13 +100,14 @@ func RunTable7SingleIteration(cfg Config) (*Table7Result, error) {
 				chains int
 			}{{"CatDB", 1}, {"CatDB Chain", 3}} {
 				v := v
-				llmCells = append(llmCells, func() (Table7Row, error) {
+				llmCells = append(llmCells, func(sp *obs.Span) (Table7Row, error) {
 					client, cerr := llm.New(model, cfg.Seed+int64(len(model))+int64(v.chains))
 					if cerr != nil {
 						return Table7Row{}, cerr
 					}
 					r := core.NewRunner(client)
 					r.ProfileCache = cfg.ProfileCache
+					cfg.instrument(r, sp)
 					out, rerr := r.Run(p.ds, core.Options{Seed: cfg.Seed, Chains: v.chains})
 					row := Table7Row{Dataset: name, Model: model, System: v.label}
 					if rerr != nil {
@@ -122,26 +123,26 @@ func RunTable7SingleIteration(cfg Config) (*Table7Result, error) {
 			}
 			for _, backend := range []baselines.CAAFEBackend{baselines.CAAFETabPFN, baselines.CAAFEForest} {
 				backend := backend
-				llmCells = append(llmCells, func() (Table7Row, error) {
+				llmCells = append(llmCells, func(*obs.Span) (Table7Row, error) {
 					o := baselines.RunCAAFE(p.tr, p.te, p.ds.Target, p.ds.Task, baselines.CAAFEOptions{
 						Backend: backend, Seed: cfg.Seed, Rounds: 2, MaxPairs: 40,
 					})
 					return outcomeToT7(name, model, o), nil
 				})
 			}
-			llmCells = append(llmCells, func() (Table7Row, error) {
+			llmCells = append(llmCells, func(*obs.Span) (Table7Row, error) {
 				clientA, _ := llm.New(model, cfg.Seed+41)
 				return outcomeToT7(name, model,
 					baselines.RunAIDE(p.ds, clientA, baselines.LLMBaselineOptions{Seed: cfg.Seed})), nil
 			})
-			llmCells = append(llmCells, func() (Table7Row, error) {
+			llmCells = append(llmCells, func(*obs.Span) (Table7Row, error) {
 				clientG, _ := llm.New(model, cfg.Seed+43)
 				return outcomeToT7(name, model,
 					baselines.RunAutoGen(p.ds, clientG, baselines.LLMBaselineOptions{Seed: cfg.Seed})), nil
 			})
 		}
 	}
-	llmRows, err := pool.Map(cfg.Workers, len(llmCells), func(i int) (Table7Row, error) { return llmCells[i]() })
+	llmRows, err := mapCells(cfg, "table7-llm", len(llmCells), func(i int, sp *obs.Span) (Table7Row, error) { return llmCells[i](sp) })
 	if err != nil {
 		return nil, err
 	}
@@ -169,8 +170,9 @@ func RunTable7SingleIteration(cfg Config) (*Table7Result, error) {
 	}
 	tools := baselines.AutoMLTools()
 	autoPerDataset := len(tools) + 1 // tools + cleaning workflow
-	autoRows, err := pool.Map(cfg.Workers, len(datasets)*autoPerDataset, func(k int) (Table7Row, error) {
+	autoRows, err := mapCells(cfg, "table7-automl", len(datasets)*autoPerDataset, func(k int, sp *obs.Span) (Table7Row, error) {
 		di, ti := k/autoPerDataset, k%autoPerDataset
+		sp.SetStr("dataset", datasets[di])
 		p := preps[di]
 		opts := baselines.AutoMLOptions{Seed: cfg.Seed, TimeBudget: budgets[di]}
 		if ti < len(tools) {
@@ -264,7 +266,10 @@ func AggregateTable8(t7 *Table7Result) *Table8Result {
 // RunTable8EndToEnd runs the Table 7 sweep and prints the Table 8 view.
 func RunTable8EndToEnd(cfg Config) (*Table8Result, error) {
 	cfg = cfg.withDefaults()
-	t7, err := RunTable7SingleIteration(Config{Scale: cfg.Scale, Seed: cfg.Seed, Fast: cfg.Fast})
+	t7, err := RunTable7SingleIteration(Config{
+		Scale: cfg.Scale, Seed: cfg.Seed, Fast: cfg.Fast,
+		Tracer: cfg.Tracer, Metrics: cfg.Metrics, Progress: cfg.Progress,
+	})
 	if err != nil {
 		return nil, err
 	}

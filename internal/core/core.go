@@ -14,6 +14,7 @@ import (
 	"catdb/internal/data"
 	"catdb/internal/errkb"
 	"catdb/internal/llm"
+	"catdb/internal/obs"
 	"catdb/internal/pipescript"
 	"catdb/internal/profile"
 	"catdb/internal/prompt"
@@ -140,6 +141,23 @@ type Runner struct {
 	// catalog's refinement profiling — skip redundant Algorithm 1 passes.
 	// Share one cache across runners to share across benchmark cells.
 	ProfileCache *profile.Cache
+	// Tracer, when set, records a hierarchical span tree per Run: run →
+	// refine / profile / prompt-build / per-prompt generate (with one
+	// debug-attempt span per τ₂ iteration carrying category, fixedBy, and
+	// token attributes) / exec, plus a resume-debug subtree when the
+	// validated pipeline fails on full data. Nil disables tracing with
+	// zero overhead and bit-identical results.
+	Tracer *obs.Tracer
+	// TraceParent, when set, nests the Run's span tree under an existing
+	// span (the bench harness parents runs under its per-cell spans); it
+	// implies the parent's tracer, so Tracer may stay nil.
+	TraceParent *obs.Span
+	// Metrics, when set, records counters and histograms: LLM calls and
+	// tokens by prompt kind (catdb_gen_*) and by model (catdb_llm_*, via
+	// the llm.Observed middleware), KB-vs-LLM fixes by error category
+	// (catdb_fixes_total), per-stage latencies (catdb_stage_seconds), and
+	// pipeline executions (catdb_pipescript_*).
+	Metrics *obs.Registry
 }
 
 // NewRunner returns a runner over the given client.
@@ -152,7 +170,20 @@ func NewRunner(client llm.Client) *Runner {
 // with error management, and final execution on the 70/30 split.
 func (r *Runner) Run(ds *data.Dataset, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	if r.Metrics != nil {
+		// Route every LLM call of this run (generation, error fixes, and
+		// catalog refinement) through the metrics middleware. The shallow
+		// copy keeps the caller's Runner unwrapped.
+		rc := *r
+		rc.Client = llm.Observed(r.Client, r.Metrics)
+		r = &rc
+	}
 	res := &Result{Dataset: ds.Name, Model: r.Client.Name(), Variant: variantName(opts)}
+	root := r.rootSpan()
+	root.SetStr("dataset", ds.Name)
+	root.SetStr("model", res.Model)
+	root.SetStr("variant", res.Variant)
+	defer root.End()
 
 	// Materialize (and optionally refine) the working table.
 	var table *data.Table
@@ -163,13 +194,17 @@ func (r *Runner) Run(ds *data.Dataset, opts Options) (*Result, error) {
 		}
 		table = t
 	} else {
-		start := time.Now()
+		sp := root.Child("refine")
+		start := obs.Now()
 		ref, err := catalog.RefineDataset(ds, r.Client, catalog.Options{Seed: opts.Seed, Cache: r.ProfileCache})
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		table = ref.Table
-		res.RefineTime = time.Since(start)
+		res.RefineTime = obs.Since(start)
+		sp.End()
+		r.observeStage("refine", res.RefineTime)
 	}
 
 	// Split before prompting: all metadata is derived from train data.
@@ -184,13 +219,18 @@ func (r *Runner) Run(ds *data.Dataset, opts Options) (*Result, error) {
 	}
 
 	// Profile (Algorithm 1).
-	pstart := time.Now()
+	psp := root.Child("profile")
+	pstart := obs.Now()
 	prof, err := r.ProfileCache.Table(train, ds.Target, ds.Task, profile.Options{Seed: opts.Seed})
 	if err != nil {
+		psp.End()
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	res.ProfileTime = time.Since(pstart)
+	res.ProfileTime = obs.Since(pstart)
+	psp.End()
+	r.observeStage("profile", res.ProfileTime)
 
+	bsp := root.Child("prompt-build")
 	in := prompt.InputFromProfile(prof, topClassShare(train, ds.Target, ds.Task), descriptionOf(ds, r.Description))
 	cfg := prompt.Config{
 		Combo: opts.Combo, TopK: opts.TopK, Chains: opts.Chains,
@@ -198,6 +238,8 @@ func (r *Runner) Run(ds *data.Dataset, opts Options) (*Result, error) {
 	}
 	spec := prompt.ModelSpec{Name: r.Client.Name(), MaxPromptTokens: r.Client.MaxPromptTokens()}
 	prompts := prompt.Build(in, spec, cfg)
+	bsp.SetInt("prompts", int64(len(prompts)))
+	bsp.End()
 
 	// Validation sample for the debug loop (the paper tests pipelines on
 	// sample data before full execution).
@@ -205,14 +247,17 @@ func (r *Runner) Run(ds *data.Dataset, opts Options) (*Result, error) {
 	vTrain := train.Sample(opts.ValidationRows, rng)
 	vTest := test.Sample(opts.ValidationRows/2+1, rng)
 
-	gstart := time.Now()
+	gstart := obs.Now()
 	source := ""
 	for _, pr := range prompts {
 		// Chain intermediate steps (preprocessing / feature engineering)
 		// legitimately have no train statement yet.
 		allowNoTrain := pr.Kind == prompt.KindPreprocessing || pr.Kind == prompt.KindFeatureEng
 		pr = prompt.WithCode(pr, source)
-		src, err := r.generateAndFix(pr, in, cfg, opts, vTrain, vTest, ds, allowNoTrain, res)
+		gsp := root.Child("generate")
+		gsp.SetStr("kind", string(pr.Kind))
+		src, err := r.generateAndFix(pr, in, cfg, opts, vTrain, vTest, ds, allowNoTrain, res, gsp)
+		gsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -220,33 +265,77 @@ func (r *Runner) Run(ds *data.Dataset, opts Options) (*Result, error) {
 	}
 	// Validate the complete program strictly (a train statement is now
 	// mandatory).
-	source, err = r.finalValidate(source, in, cfg, opts, vTrain, vTest, ds, res)
+	vsp := root.Child("final-validate")
+	source, err = r.finalValidate(source, in, cfg, opts, vTrain, vTest, ds, res, vsp)
+	vsp.End()
 	if err != nil {
 		return nil, err
 	}
-	res.GenTime = time.Since(gstart)
+	res.GenTime = obs.Since(gstart)
 	res.Pipeline = source
 
 	// Final execution on the full split (the pipeline runtime of Table 6).
-	estart := time.Now()
+	esp := root.Child("exec")
+	estart := obs.Now()
+	var resumeGen time.Duration
 	prog, perr := pipescript.Parse(source)
 	if perr != nil {
+		esp.End()
 		return nil, fmt.Errorf("core: final pipeline failed to parse after validation: %w", perr)
 	}
-	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy}
+	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy, Metrics: r.Metrics}
 	execRes, xerr := ex.Execute(prog, train, test)
 	if xerr != nil {
 		// Full-data failure after sample validation: resume the debug
 		// loop against the full data.
-		source, execRes, xerr = r.resumeOnFullData(source, xerr, in, cfg, opts, train, test, ds, res)
+		var genDur time.Duration
+		source, execRes, genDur, xerr = r.resumeOnFullData(source, xerr, in, cfg, opts, train, test, ds, res, esp)
+		resumeGen = genDur
 		if xerr != nil {
+			esp.End()
 			return nil, fmt.Errorf("core: pipeline failed on full data: %w", xerr)
 		}
 		res.Pipeline = source
 	}
-	res.ExecTime = time.Since(estart)
+	// The resume path is generation work — LLM repair calls and sample
+	// re-validation — so its share of the wall time is booked under
+	// GenTime, keeping ExecTime a pure pipeline-execution measurement.
+	res.GenTime += resumeGen
+	res.ExecTime = obs.Since(estart) - resumeGen
+	esp.End()
+	r.observeStage("generate", res.GenTime)
+	r.observeStage("exec", res.ExecTime)
 	res.Exec = execRes
 	return res, nil
+}
+
+// rootSpan opens the per-run span: nested under TraceParent when the
+// bench harness provides one, a fresh root on the runner's tracer
+// otherwise (both nil-safe no-ops when tracing is off).
+func (r *Runner) rootSpan() *obs.Span {
+	if r.TraceParent != nil {
+		return r.TraceParent.Child("run")
+	}
+	return r.Tracer.Root("run")
+}
+
+// observeStage records one Table 8 stage latency into the registry.
+func (r *Runner) observeStage(stage string, d time.Duration) {
+	if r.Metrics == nil {
+		return
+	}
+	r.Metrics.Histogram("catdb_stage_seconds", obs.DefBuckets, "stage", stage).Observe(d.Seconds())
+}
+
+// observeGenCall records one generation-path LLM exchange by prompt kind
+// ("pipeline", chain steps, or "error-fix").
+func (r *Runner) observeGenCall(kind string, u llm.Usage) {
+	if r.Metrics == nil {
+		return
+	}
+	r.Metrics.Counter("catdb_gen_calls_total", "kind", kind).Inc()
+	r.Metrics.Counter("catdb_gen_tokens_total", "kind", kind, "dir", "prompt").Add(int64(u.PromptTokens))
+	r.Metrics.Counter("catdb_gen_tokens_total", "kind", kind, "dir", "completion").Add(int64(u.CompletionTokens))
 }
 
 func variantName(opts Options) string {
@@ -293,7 +382,7 @@ func topClassShare(t *data.Table, target string, task data.Task) float64 {
 // generateAndFix submits one prompt and runs the τ₂-bounded debug loop of
 // Algorithm 4 against the validation sample.
 func (r *Runner) generateAndFix(pr prompt.Prompt, in prompt.Input, cfg prompt.Config, opts Options,
-	vTrain, vTest *data.Table, ds *data.Dataset, allowNoTrain bool, res *Result) (string, error) {
+	vTrain, vTest *data.Table, ds *data.Dataset, allowNoTrain bool, res *Result, sp *obs.Span) (string, error) {
 
 	resp, err := r.Client.Complete(pr.Text)
 	if err != nil {
@@ -302,13 +391,15 @@ func (r *Runner) generateAndFix(pr prompt.Prompt, in prompt.Input, cfg prompt.Co
 	res.Cost.PromptTokens += resp.Usage.PromptTokens
 	res.Cost.CompletionTokens += resp.Usage.CompletionTokens
 	res.Cost.LLMCalls++
+	r.observeGenCall(string(pr.Kind), resp.Usage)
+	sp.SetInt("tokens", int64(resp.Usage.PromptTokens+resp.Usage.CompletionTokens))
 
 	source := resp.Text
 	if opts.StaticRepair && !allowNoTrain {
 		source = staticRepair(source, in, ds.Task)
 	}
-	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, AllowNoTrain: allowNoTrain, Policy: opts.Policy}
-	return r.debugLoop(source, in, cfg, opts, ex, vTrain, vTest, ds, res)
+	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, AllowNoTrain: allowNoTrain, Policy: opts.Policy, Metrics: r.Metrics}
+	return r.debugLoop(source, in, cfg, opts, ex, vTrain, vTest, ds, res, sp)
 }
 
 // staticRepair runs the code-analysis pass over freshly generated source:
@@ -344,23 +435,41 @@ func staticRepair(source string, in prompt.Input, task data.Task) string {
 // finalValidate runs the strict (train-required) validation over the
 // assembled program, continuing the debug loop if needed.
 func (r *Runner) finalValidate(source string, in prompt.Input, cfg prompt.Config, opts Options,
-	vTrain, vTest *data.Table, ds *data.Dataset, res *Result) (string, error) {
+	vTrain, vTest *data.Table, ds *data.Dataset, res *Result, sp *obs.Span) (string, error) {
 
-	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy}
-	return r.debugLoop(source, in, cfg, opts, ex, vTrain, vTest, ds, res)
+	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy, Metrics: r.Metrics}
+	return r.debugLoop(source, in, cfg, opts, ex, vTrain, vTest, ds, res, sp)
 }
 
 // debugLoop is the shared fix loop used by finalValidate and the
 // full-data resume path.
 func (r *Runner) debugLoop(source string, in prompt.Input, cfg prompt.Config, opts Options,
-	ex *pipescript.Executor, train, test *data.Table, ds *data.Dataset, res *Result) (string, error) {
+	ex *pipescript.Executor, train, test *data.Table, ds *data.Dataset, res *Result, parent *obs.Span) (string, error) {
 
 	var lastFixBy string
 	var lastCls errkb.Classified
 	var preFixSource string
+
+	// Whether an attempt's fix actually worked is only knowable one
+	// iteration later, so traces are buffered and flushed once the next
+	// execution reveals the outcome: Fixed means the run succeeded or the
+	// error signature (category, type, code) changed; an attempt still
+	// pending when the τ₂ budget runs out is flushed unfixed.
+	var pending *errkb.Trace
+	var pendingCls errkb.Classified
+	flush := func(fixed bool) {
+		if pending == nil {
+			return
+		}
+		pending.Fixed = fixed
+		r.Traces.Add(*pending)
+		pending = nil
+	}
+
 	for attempt := 1; attempt <= opts.MaxAttempts; attempt++ {
 		execErr := parseAndExecute(ex, source, train, test)
 		if execErr == nil {
+			flush(true)
 			// A successful run right after an LLM repair is a learning
 			// opportunity: generalize the fix into the knowledge base so
 			// the next occurrence is patched locally (§4.2).
@@ -371,7 +480,17 @@ func (r *Runner) debugLoop(source string, in prompt.Input, cfg prompt.Config, op
 		}
 		res.Cost.Attempts++
 		cls := errkb.Classify(execErr)
+		if pending != nil {
+			flush(cls.Category != pendingCls.Category || cls.Type != pendingCls.Type || cls.Code != pendingCls.Code)
+		}
 		res.Errors = append(res.Errors, cls)
+
+		asp := parent.Child("debug-attempt")
+		asp.SetInt("attempt", int64(attempt))
+		asp.SetStr("category", cls.Category.String())
+		asp.SetStr("type", cls.Type)
+		asp.SetStr("code", cls.Code)
+
 		fixedBy := ""
 		preFixSource = source
 		if r.KB != nil {
@@ -392,44 +511,65 @@ func (r *Runner) debugLoop(source string, in prompt.Input, cfg prompt.Config, op
 			ep := prompt.FormatErrorPrompt(in, source, cls.Line, cls.Code, cls.Msg, relevant, cfg)
 			fresp, ferr := r.Client.Complete(ep.Text)
 			if ferr != nil {
+				asp.End()
 				return "", fmt.Errorf("core: llm error fix: %w", ferr)
 			}
 			res.Cost.ErrorPromptTokens += fresp.Usage.PromptTokens
 			res.Cost.ErrorCompletionTokens += fresp.Usage.CompletionTokens
 			res.Cost.LLMCalls++
 			res.Cost.LLMFixes++
+			r.observeGenCall("error-fix", fresp.Usage)
+			asp.SetInt("tokens", int64(fresp.Usage.PromptTokens+fresp.Usage.CompletionTokens))
 			source = fresp.Text
 			fixedBy = "llm"
 		}
+		asp.SetStr("fixedBy", fixedBy)
+		asp.End()
+		if r.Metrics != nil {
+			r.Metrics.Counter("catdb_fixes_total", "by", fixedBy, "category", cls.Category.String()).Inc()
+		}
 		lastFixBy, lastCls = fixedBy, cls
 		if r.Traces != nil {
-			r.Traces.Add(errkb.Trace{
+			pending = &errkb.Trace{
 				Model: r.Client.Name(), Dataset: ds.Name,
 				Category: cls.Category.String(), Type: cls.Type, Code: cls.Code,
-				Attempt: attempt, Fixed: true, FixedBy: fixedBy,
-			})
+				Attempt: attempt, FixedBy: fixedBy,
+			}
+			pendingCls = cls
 		}
 	}
+	flush(false)
 	res.Handcrafted = true
+	parent.SetBool("handcrafted", true)
+	if r.Metrics != nil {
+		r.Metrics.Counter("catdb_handcrafted_total").Inc()
+	}
 	return HandcraftPipeline(in), nil
 }
 
 // resumeOnFullData continues error correction when the validated pipeline
-// fails on the complete dataset.
+// fails on the complete dataset. The returned duration is the debug-loop
+// share of the resume — LLM repair rounds, not the final execution — so
+// the caller can book it under GenTime rather than ExecTime.
 func (r *Runner) resumeOnFullData(source string, firstErr error, in prompt.Input, cfg prompt.Config,
-	opts Options, train, test *data.Table, ds *data.Dataset, res *Result) (string, *pipescript.Result, error) {
+	opts Options, train, test *data.Table, ds *data.Dataset, res *Result, parent *obs.Span) (string, *pipescript.Result, time.Duration, error) {
 
-	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy}
-	fixed, err := r.debugLoop(source, in, cfg, opts, ex, train, test, ds, res)
+	sp := parent.Child("resume-debug")
+	sp.SetStr("cause", errkb.Classify(firstErr).Code)
+	defer sp.End()
+	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy, Metrics: r.Metrics}
+	dstart := obs.Now()
+	fixed, err := r.debugLoop(source, in, cfg, opts, ex, train, test, ds, res, sp)
+	genDur := obs.Since(dstart)
 	if err != nil {
-		return "", nil, err
+		return "", nil, genDur, err
 	}
 	prog, perr := pipescript.Parse(fixed)
 	if perr != nil {
-		return "", nil, perr
+		return "", nil, genDur, perr
 	}
 	execRes, xerr := ex.Execute(prog, train, test)
-	return fixed, execRes, xerr
+	return fixed, execRes, genDur, xerr
 }
 
 // parseAndExecute is Algorithm 4's PARSEANDEXECUTE: syntax check first

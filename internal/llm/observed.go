@@ -1,0 +1,47 @@
+package llm
+
+import (
+	"catdb/internal/obs"
+)
+
+// Observed wraps a client with metrics middleware: every Complete call
+// records call counts, prompt/completion tokens, latency, and errors into
+// reg, labeled by model name. The wrapper is transparent — completions,
+// usage accounting, and determinism of the underlying client are
+// unchanged, so traced and untraced runs produce identical pipelines.
+// A nil registry (or client) returns the client unwrapped, and wrapping
+// an already-observed client with the same registry is a no-op.
+func Observed(c Client, reg *obs.Registry) Client {
+	if reg == nil || c == nil {
+		return c
+	}
+	if oc, ok := c.(*observedClient); ok && oc.reg == reg {
+		return c
+	}
+	return &observedClient{inner: c, reg: reg}
+}
+
+type observedClient struct {
+	inner Client
+	reg   *obs.Registry
+}
+
+func (o *observedClient) Name() string         { return o.inner.Name() }
+func (o *observedClient) MaxPromptTokens() int { return o.inner.MaxPromptTokens() }
+func (o *observedClient) TotalUsage() Usage    { return o.inner.TotalUsage() }
+func (o *observedClient) ResetUsage()          { o.inner.ResetUsage() }
+
+func (o *observedClient) Complete(prompt string) (Response, error) {
+	start := obs.Now()
+	resp, err := o.inner.Complete(prompt)
+	model := o.inner.Name()
+	o.reg.Histogram("catdb_llm_call_seconds", obs.DefBuckets, "model", model).Observe(obs.Since(start).Seconds())
+	o.reg.Counter("catdb_llm_calls_total", "model", model).Inc()
+	if err != nil {
+		o.reg.Counter("catdb_llm_errors_total", "model", model).Inc()
+		return resp, err
+	}
+	o.reg.Counter("catdb_llm_tokens_total", "model", model, "dir", "prompt").Add(int64(resp.Usage.PromptTokens))
+	o.reg.Counter("catdb_llm_tokens_total", "model", model, "dir", "completion").Add(int64(resp.Usage.CompletionTokens))
+	return resp, nil
+}

@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a race-safe metrics registry: counters, gauges, and
+// bounded-bucket histograms, identified by name plus a sorted label set.
+// WriteProm renders the whole registry as Prometheus-style text with a
+// stable ordering (families by name, series by label string), so the
+// exposition is golden-file testable.
+//
+// A nil *Registry is a valid disabled registry: accessors return nil
+// instruments whose methods are no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// labelSet canonicalizes "k1", "v1", "k2", "v2" pairs: sorted by key,
+// rendered once into the {k="v",...} form used both as map key suffix and
+// exposition. An odd trailing key is dropped.
+func labelSet(kv []string) string {
+	if len(kv) < 2 {
+		return ""
+	}
+	n := len(kv) / 2
+	pairs := make([][2]string, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = [2]string{kv[2*i], kv[2*i+1]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p[0])
+		b.WriteString(`=`)
+		b.WriteString(strconv.Quote(p[1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	v      atomic.Int64
+	name   string
+	labels string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 metric.
+type Gauge struct {
+	v      atomic.Int64
+	name   string
+	labels string
+}
+
+// Set stores v (no-op on nil).
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (no-op on nil).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Max raises the gauge to v if v is larger (CAS loop; no-op on nil).
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a bounded-bucket distribution: observations land in the
+// first bucket whose upper bound is >= v, with an implicit +Inf bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	name   string
+	labels string
+	bounds []float64
+	counts []int64 // len(bounds)+1; last = +Inf
+	sum    float64
+	count  int64
+}
+
+// Observe records one value (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Counter returns (creating on first use) the counter with the given name
+// and label pairs ("k1", "v1", "k2", "v2", ...). Nil registry returns a
+// nil no-op counter.
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	labels := labelSet(kv)
+	key := name + labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{name: name, labels: labels}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge with the given name and
+// label pairs. Nil registry returns a nil no-op gauge.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	labels := labelSet(kv)
+	key := name + labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{name: name, labels: labels}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the histogram with the given
+// name, bucket upper bounds, and label pairs. The bounds of the first
+// creation win; they must be sorted ascending. Nil registry returns a nil
+// no-op histogram.
+func (r *Registry) Histogram(name string, bounds []float64, kv ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	labels := labelSet(kv)
+	key := name + labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[key]
+	if !ok {
+		h = &Histogram{
+			name: name, labels: labels,
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]int64, len(bounds)+1),
+		}
+		r.hists[key] = h
+	}
+	return h
+}
+
+// WriteProm renders the registry as Prometheus text exposition with
+// deterministic ordering: families sorted by name (counters, then gauges,
+// then histograms, interleaved by name), series sorted by label string.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type series struct {
+		labels string
+		render func(io.Writer, string, string) error
+	}
+	families := map[string]struct {
+		typ    string
+		series []series
+	}{}
+	addSeries := func(name, typ, labels string, render func(io.Writer, string, string) error) {
+		f := families[name]
+		f.typ = typ
+		f.series = append(f.series, series{labels: labels, render: render})
+		families[name] = f
+	}
+	for _, c := range r.counters {
+		c := c
+		addSeries(c.name, "counter", c.labels, func(w io.Writer, name, labels string) error {
+			_, err := fmt.Fprintf(w, "%s%s %d\n", name, labels, c.Value())
+			return err
+		})
+	}
+	for _, g := range r.gauges {
+		g := g
+		addSeries(g.name, "gauge", g.labels, func(w io.Writer, name, labels string) error {
+			_, err := fmt.Fprintf(w, "%s%s %d\n", name, labels, g.Value())
+			return err
+		})
+	}
+	for _, h := range r.hists {
+		h := h
+		addSeries(h.name, "histogram", h.labels, func(w io.Writer, name, labels string) error {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			cum := int64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i]
+				if err := writeBucket(w, name, labels, strconv.FormatFloat(b, 'g', -1, 64), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.counts[len(h.bounds)]
+			if err := writeBucket(w, name, labels, "+Inf", cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels,
+				strconv.FormatFloat(h.sum, 'g', -1, 64)); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count)
+			return err
+		})
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := families[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, f.typ); err != nil {
+			return err
+		}
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		for _, s := range f.series {
+			if err := s.render(w, n, s.labels); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeBucket emits one cumulative histogram bucket line, splicing the
+// le label into the (possibly empty) label set.
+func writeBucket(w io.Writer, name, labels, le string, cum int64) error {
+	withLE := `{le="` + le + `"}`
+	if labels != "" {
+		withLE = labels[:len(labels)-1] + `,le="` + le + `"}`
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE, cum)
+	return err
+}

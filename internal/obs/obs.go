@@ -1,0 +1,34 @@
+// Package obs is the observability substrate of the repo: hierarchical
+// span tracing (Tracer/Span) and a metrics registry (Registry) with
+// Prometheus-style text exposition. It is a leaf package — everything
+// else (core, llm, profile, pool, pipescript, bench, the CLIs) records
+// into it, and it depends on nothing inside the repo.
+//
+// Two invariants shape the design:
+//
+//   - The disabled fast path is free. Every method is safe on a nil
+//     *Tracer, *Span, *Registry, *Counter, *Gauge, or *Histogram and does
+//     no work and no allocation, so instrumented code paths need no
+//     conditionals and untraced runs stay bit-identical to the
+//     pre-instrumentation code.
+//
+//   - Exporter output is deterministic. Spans export in start order (a
+//     process-wide mutex assigns IDs), attributes and metric series sort
+//     by key, and the clock is injectable (NewWithClock), so exporters
+//     are golden-file testable.
+package obs
+
+import "time"
+
+// Now is the single wall-clock source for stage timing outside the
+// tracer's injectable clock. internal/core is forbidden (make lint-obs)
+// from calling time.Now directly — stage accounting flows through obs so
+// the spans and the Result duration fields cannot drift apart.
+func Now() time.Time { return time.Now() }
+
+// Since returns the elapsed wall-clock time since t.
+func Since(t time.Time) time.Duration { return time.Since(t) }
+
+// DefBuckets are the default latency histogram bounds in seconds,
+// spanning sub-millisecond span overheads to multi-minute AutoML budgets.
+var DefBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}

