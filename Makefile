@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race verify bench lint-encapsulation lint-obs
+.PHONY: build vet test race verify bench lint-encapsulation lint-obs lint-transform
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ test:
 # column-summary / profile-cache paths; internal/ml covers the parallel
 # ensemble fit/inference paths.
 race:
-	$(GO) test -race ./internal/bench/... ./internal/core/... ./internal/profile/... ./internal/data/... ./internal/ml/... ./internal/obs/...
+	$(GO) test -race ./internal/bench/... ./internal/core/... ./internal/profile/... ./internal/data/... ./internal/ml/... ./internal/obs/... ./internal/pipescript/...
 
 # Column storage is encapsulated behind accessors (Num/Str/IsMissing/
 # SetNum/...): only internal/data may touch the backing slices, and the
@@ -45,7 +45,19 @@ lint-obs:
 		exit 1; \
 	fi
 
-verify: build vet lint-encapsulation lint-obs test race
+# The serving half of the fit/transform split applies only recorded
+# parameters: it must have no notion of a label column. Fail on any
+# reference to the executor's Target field (or a target option lookup)
+# in the transform-phase source.
+lint-transform:
+	@matches=$$(grep -n 'Target' internal/pipescript/transform.go); \
+	if [ -n "$$matches" ]; then \
+		echo "lint-transform: transform-phase code references the target column:"; \
+		echo "$$matches"; \
+		exit 1; \
+	fi
+
+verify: build vet lint-encapsulation lint-obs lint-transform test race
 
 # Profiling + ML benchmarks: one cold iteration per benchmark (matching
 # how the committed baselines were captured) merged into BENCH_*.json;
@@ -56,3 +68,4 @@ bench:
 	BENCH_DATA_MODE=deep $(GO) test -run='^$$' -bench=Data -benchmem -benchtime=10x ./internal/data/ | $(GO) run ./cmd/benchjson -set-baseline -o BENCH_data.json
 	$(GO) test -run='^$$' -bench=Data -benchmem -benchtime=10x ./internal/data/ | $(GO) run ./cmd/benchjson -o BENCH_data.json
 	$(GO) test -run='^$$' -bench=Obs -benchmem -benchtime=20x ./internal/bench/ | $(GO) run ./cmd/benchjson -o BENCH_obs.json
+	$(GO) test -run='^$$' -bench=Predict -benchtime=300x ./internal/pipescript/ | $(GO) run ./cmd/benchjson -o BENCH_predict.json

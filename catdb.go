@@ -230,3 +230,54 @@ func ExecutePipeline(source string, train, test *Table, target string, task Task
 	ex := &pipescript.Executor{Target: target, Task: task, Seed: seed}
 	return ex.Execute(prog, train, test)
 }
+
+// Serving types (aliases into the pipeline executor).
+type (
+	// FittedPipeline is the versioned, serializable artifact a fit run
+	// produces: every fitted preprocessing parameter plus the trained
+	// model. Apply it to new row batches with Predict; steps touching the
+	// label column are never recorded, so serving cannot read labels.
+	FittedPipeline = pipescript.FittedPipeline
+	// Predictions is the output of scoring a row batch with an artifact.
+	Predictions = pipescript.Predictions
+	// ArtifactError is a serving-contract failure (schema drift, corrupt
+	// artifact) with a machine-readable Code.
+	ArtifactError = pipescript.ArtifactError
+)
+
+// FitPipeline parses and runs a PipeScript pipeline like ExecutePipeline
+// and additionally returns the fitted-pipeline artifact. The artifact's
+// Predict on the test rows is bit-identical to the executor's own
+// held-out scoring — both funnel through the same fitted-step code.
+func FitPipeline(source string, train, test *Table, target string, task Task, seed int64) (*PipelineResult, *FittedPipeline, error) {
+	prog, err := pipescript.Parse(source)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex := &pipescript.Executor{Target: target, Task: task, Seed: seed}
+	return ex.Fit(prog, train, test)
+}
+
+// Predict applies a fitted-pipeline artifact to a batch of raw rows:
+// recorded preprocessing first, then model inference (512-row chunks,
+// identical output at any Workers setting). The rows need the raw feature
+// columns the pipeline was fitted on — never the target column.
+func Predict(fp *FittedPipeline, rows *Table) (*Predictions, error) {
+	return fp.Predict(rows)
+}
+
+// LoadFittedPipeline reads and version-checks a fitted-pipeline artifact.
+func LoadFittedPipeline(r io.Reader) (*FittedPipeline, error) {
+	return pipescript.LoadFittedPipeline(r)
+}
+
+// LoadFittedPipelineFile is LoadFittedPipeline over a file path.
+func LoadFittedPipelineFile(path string) (*FittedPipeline, error) {
+	return pipescript.LoadFittedPipelineFile(path)
+}
+
+// ReadTableCSV reads one raw table from a CSV stream — the row-batch
+// loader for Predict, with no target or task attached.
+func ReadTableCSV(r io.Reader, name string) (*Table, error) {
+	return data.ReadCSV(r, name)
+}

@@ -19,12 +19,14 @@ import (
 	"strings"
 )
 
-// Entry is one benchmark measurement.
+// Entry is one benchmark measurement. Extra holds custom b.ReportMetric
+// units (e.g. p99-ns, qps) keyed by their unit string.
 type Entry struct {
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // File is the on-disk layout of BENCH_profile.json.
@@ -35,10 +37,14 @@ type File struct {
 	Speedup  map[string]string `json:"speedup_vs_baseline,omitempty"`
 }
 
-// benchLine matches e.g.
+// benchLine matches the benchmark name and iteration count, e.g.
 //
 //	BenchmarkProfileKDD98-16  1  17379382968 ns/op  5621032880 B/op  74230499 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+//	BenchmarkPredictSingleRow-16  300  61500 ns/op  58000 p50-ns  91000 p99-ns
+//
+// The remainder of the line is value/unit pairs, parsed positionally so
+// custom b.ReportMetric units interleave freely with the standard ones.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
 
 func main() {
 	out := flag.String("o", "BENCH_profile.json", "output JSON file (merged in place)")
@@ -57,12 +63,28 @@ func main() {
 		}
 		e := Entry{}
 		e.Iterations, _ = strconv.Atoi(m[2])
-		e.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			e.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = int64(v)
+			case "allocs/op":
+				e.AllocsPerOp = int64(v)
+			default:
+				if e.Extra == nil {
+					e.Extra = map[string]float64{}
+				}
+				e.Extra[fields[i+1]] = v
+			}
 		}
-		if m[5] != "" {
-			e.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		if e.NsPerOp == 0 && e.Extra == nil {
+			continue
 		}
 		parsed[m[1]] = e
 	}

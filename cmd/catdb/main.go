@@ -8,12 +8,17 @@
 //	catdb profile  -dataset Wifi | -csv file.csv -target y -task binary
 //	catdb refine   -dataset Utility [-model gemini-1.5-pro]
 //	catdb generate -dataset Diabetes [-model gpt-4o] [-chains 3] [-seed 1]
+//	catdb fit      -dataset Diabetes -pipe p.pipe -out model.catdb.json
+//	catdb predict  -artifact model.catdb.json -csv rows.csv [-proba]
 package main
 
 import (
+	csvenc "encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 
@@ -38,6 +43,10 @@ func main() {
 		err = cmdGenerate(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "fit":
+		err = cmdFit(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -56,7 +65,9 @@ commands:
   profile    profile a dataset into data-catalog metadata
   refine     run catalog refinement and report distinct-count reductions
   generate   generate, validate, and execute a pipeline (-export saves it)
-  run        execute a saved .pipe file against a dataset`)
+  run        execute a saved .pipe file against a dataset
+  fit        fit a saved .pipe file and export the artifact (-out model.json)
+  predict    score CSV rows (file or stdin) with a fitted artifact`)
 }
 
 // datasetFlags adds the shared dataset-selection flags.
@@ -270,46 +281,174 @@ func cmdRun(args []string) error {
 	if *pipe == "" {
 		return fmt.Errorf("-pipe is required")
 	}
+	ds, tr, te, err := prepareSplit(*dataset, *csv, *target, *task, *scale, *refine, *model, *seed)
+	if err != nil {
+		return err
+	}
 	src, err := os.ReadFile(*pipe)
 	if err != nil {
 		return err
-	}
-	ds, err := loadFlagDataset(*dataset, *csv, *target, *task, *scale)
-	if err != nil {
-		return err
-	}
-	var tb *catdb.Table
-	if *refine {
-		client, cerr := catdb.NewLLM(*model, *seed)
-		if cerr != nil {
-			return cerr
-		}
-		ref, rerr := catdb.Refine(ds, client)
-		if rerr != nil {
-			return rerr
-		}
-		tb = ref.Table
-	} else {
-		tb, err = ds.Consolidate()
-		if err != nil {
-			return err
-		}
-	}
-	var tr, te *catdb.Table
-	if ds.Task.IsClassification() {
-		tr, te = tb.StratifiedSplit(ds.Target, 0.7, *seed)
-	} else {
-		tr, te = tb.Split(0.7, *seed)
 	}
 	res, err := catdb.ExecutePipeline(string(src), tr, te, ds.Target, ds.Task, *seed)
 	if err != nil {
 		return err
 	}
+	printExecResult(res)
+	return nil
+}
+
+// prepareSplit loads a dataset, optionally refines it, and splits it
+// 70/30 — the shared front half of `catdb run` and `catdb fit`.
+func prepareSplit(dataset, csv, target, task string, scale float64, refine bool, model string, seed int64) (*catdb.Dataset, *catdb.Table, *catdb.Table, error) {
+	ds, err := loadFlagDataset(dataset, csv, target, task, scale)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var tb *catdb.Table
+	if refine {
+		client, err := catdb.NewLLM(model, seed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ref, err := catdb.Refine(ds, client)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		tb = ref.Table
+	} else {
+		tb, err = ds.Consolidate()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	var tr, te *catdb.Table
+	if ds.Task.IsClassification() {
+		tr, te = tb.StratifiedSplit(ds.Target, 0.7, seed)
+	} else {
+		tr, te = tb.Split(0.7, seed)
+	}
+	return ds, tr, te, nil
+}
+
+func printExecResult(res *catdb.PipelineResult) {
 	if res.Metric == "r2" {
 		fmt.Printf("train R2=%.2f  test R2=%.2f  RMSE=%.3f\n", res.TrainR2, res.TestR2, res.TestRMSE)
 	} else {
 		fmt.Printf("train acc=%.2f auc=%.2f  test acc=%.2f auc=%.2f\n", res.TrainAcc, res.TrainAUC, res.TestAcc, res.TestAUC)
 	}
 	fmt.Printf("model=%s features=%d rows=%d\n", res.ModelName, res.Features, res.TrainRows)
+}
+
+func cmdFit(args []string) error {
+	fs := flag.NewFlagSet("fit", flag.ExitOnError)
+	dataset, csv, target, task, scale := datasetFlags(fs)
+	pipe := fs.String("pipe", "", "path to a .pipe file (required)")
+	seed := fs.Int64("seed", 1, "random seed")
+	refine := fs.Bool("refine", false, "apply catalog refinement before fitting")
+	model := fs.String("model", "gemini-1.5-pro", "LLM model for -refine")
+	out := fs.String("out", "model.catdb.json", "fitted-pipeline artifact output path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pipe == "" {
+		return fmt.Errorf("-pipe is required")
+	}
+	ds, tr, te, err := prepareSplit(*dataset, *csv, *target, *task, *scale, *refine, *model, *seed)
+	if err != nil {
+		return err
+	}
+	src, err := os.ReadFile(*pipe)
+	if err != nil {
+		return err
+	}
+	res, fp, err := catdb.FitPipeline(string(src), tr, te, ds.Target, ds.Task, *seed)
+	if err != nil {
+		return err
+	}
+	printExecResult(res)
+	if err := fp.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("artifact written to %s (%d steps, model=%s)\n", *out, len(fp.Steps), fp.ModelName)
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	artifact := fs.String("artifact", "", "fitted-pipeline artifact path (required)")
+	csvPath := fs.String("csv", "", "CSV rows to score; '-' reads stdin (required)")
+	proba := fs.Bool("proba", false, "classification: also emit per-class probability columns")
+	workers := fs.Int("workers", 0, "inference goroutines (0 = all cores; output is identical at any setting)")
+	metricsOut := fs.String("metrics-out", "", "write serving metrics in Prometheus text format to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *artifact == "" {
+		return fmt.Errorf("-artifact is required")
+	}
+	if *csvPath == "" {
+		return fmt.Errorf("-csv is required ('-' for stdin)")
+	}
+	fp, err := catdb.LoadFittedPipelineFile(*artifact)
+	if err != nil {
+		return err
+	}
+	fp.Workers = *workers
+	var metrics *catdb.Metrics
+	if *metricsOut != "" {
+		metrics = catdb.NewMetrics()
+		fp.Metrics = metrics
+	}
+	var in io.Reader = os.Stdin
+	if *csvPath != "-" {
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	tb, err := catdb.ReadTableCSV(in, "batch")
+	if err != nil {
+		return err
+	}
+	pred, err := catdb.Predict(fp, tb)
+	if werr := writeObsOutputs(nil, metrics, "", *metricsOut); werr != nil && err == nil {
+		err = werr
+	}
+	if err != nil {
+		return err
+	}
+	w := csvenc.NewWriter(os.Stdout)
+	header := []string{"prediction"}
+	if pred.Task != "regression" && *proba {
+		for _, cl := range pred.Classes {
+			header = append(header, "proba_"+cl)
+		}
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < pred.Rows; i++ {
+		var row []string
+		if pred.Task == "regression" {
+			row = append(row, strconv.FormatFloat(pred.Values[i], 'g', -1, 64))
+		} else {
+			row = append(row, pred.Labels[i])
+			if *proba {
+				for _, p := range pred.Proba[i] {
+					row = append(row, strconv.FormatFloat(p, 'g', -1, 64))
+				}
+			}
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "scored %d rows (task=%s model=%s)\n", pred.Rows, pred.Task, fp.ModelName)
 	return nil
 }

@@ -25,6 +25,14 @@ type Result struct {
 	TestRMSE  float64
 	Features  int // feature count at train time
 	TrainRows int
+
+	// Captured only when Executor.CapturePredictions is set: the raw
+	// model outputs on the test split (regression values, or class
+	// probabilities plus argmax labels for classification). Used to pin
+	// artifact-based serving bit-identical to inline scoring.
+	TestPredictions []float64
+	TestLabels      []string
+	TestProba       [][]float64
 }
 
 // Primary returns the headline score: AUC for classification, R² for
@@ -57,6 +65,14 @@ type Executor struct {
 	// codes (catdb_pipescript_*) into the observability registry. Nil
 	// disables recording with zero overhead.
 	Metrics *obs.Registry
+	// CapturePredictions copies the model's raw test-split outputs into
+	// Result.TestPredictions/TestLabels/TestProba (off by default: the
+	// search loop only needs aggregate scores).
+	CapturePredictions bool
+
+	// record, when non-nil, collects fitted steps and the trained model
+	// into an artifact; set by Fit for the duration of one Execute.
+	record *FittedPipeline
 }
 
 // Execute validates and runs the program on copies of train/test. The
@@ -144,8 +160,8 @@ func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result,
 			return rtErr(st.Line, ErrTypeMismatch, "%v", ierr)
 		}
 		applyImpute(c, num, str)
-		if tc := te.Col(c.Name); tc != nil {
-			applyImpute(tc, num, str)
+		if err := e.recordAndApply(FittedStep{Op: "impute", Col: c.Name, Num: num, Str: str}, te); err != nil {
+			return rtErr(st.Line, ErrBadOption, "%v", err)
 		}
 		return nil
 
@@ -168,8 +184,8 @@ func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result,
 				return rtErr(st.Line, ErrTypeMismatch, "%v", ierr)
 			}
 			applyImpute(c, num, str)
-			if tc := te.Col(c.Name); tc != nil {
-				applyImpute(tc, num, str)
+			if err := e.recordAndApply(FittedStep{Op: "impute", Col: c.Name, Num: num, Str: str}, te); err != nil {
+				return rtErr(st.Line, ErrBadOption, "%v", err)
 			}
 		}
 		return nil
@@ -200,8 +216,10 @@ func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result,
 			for _, c := range cols {
 				lo, hi := iqrBounds(c, factor)
 				clipColumn(c, lo, hi)
-				if tc := te.Col(c.Name); tc != nil && c.Name != e.Target {
-					clipColumn(tc, lo, hi)
+				if c.Name != e.Target {
+					if err := e.recordAndApply(FittedStep{Op: "clip", Col: c.Name, Lo: lo, Hi: hi}, te); err != nil {
+						return rtErr(st.Line, ErrBadOption, "%v", err)
+					}
 				}
 			}
 			return nil
@@ -221,8 +239,10 @@ func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result,
 			}
 			// Evaluation rows are clipped (never dropped) so the test set
 			// size is preserved — except the target, which is ground truth.
-			if tc := te.Col(c.Name); tc != nil && c.Name != e.Target {
-				clipColumn(tc, lo, hi)
+			if c.Name != e.Target {
+				if err := e.recordAndApply(FittedStep{Op: "clip", Col: c.Name, Lo: lo, Hi: hi}, te); err != nil {
+					return rtErr(st.Line, ErrBadOption, "%v", err)
+				}
 			}
 		}
 		var rows []int
@@ -262,8 +282,14 @@ func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result,
 				return rtErr(st.Line, ErrBadOption, "%v", serr)
 			}
 			sp.apply(c)
-			if tc := te.Col(c.Name); tc != nil {
-				sp.apply(tc)
+			// Like the outlier ops, the target is exempt on the test side:
+			// scaling held-out ground truth would corrupt RMSE (the train
+			// target may be scaled — the model just learns that scale).
+			if c.Name != e.Target {
+				if err := e.recordAndApply(FittedStep{Op: "scale", Col: c.Name,
+					Method: sp.method, A: sp.a, B: sp.b}, te); err != nil {
+					return rtErr(st.Line, ErrBadOption, "%v", err)
+				}
 			}
 		}
 		return nil
@@ -288,10 +314,8 @@ func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result,
 		if err := oneHot(tr, c.Name, cats); err != nil {
 			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
 		}
-		if te.Col(c.Name) != nil {
-			if err := oneHot(te, c.Name, cats); err != nil {
-				return rtErr(st.Line, ErrUnknownColumn, "%v", err)
-			}
+		if err := e.recordAndApply(FittedStep{Op: "onehot", Col: c.Name, Cats: cats}, te); err != nil {
+			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
 		}
 		return nil
 
@@ -310,10 +334,8 @@ func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result,
 		if err := kHot(tr, c.Name, items); err != nil {
 			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
 		}
-		if te.Col(c.Name) != nil {
-			if err := kHot(te, c.Name, items); err != nil {
-				return rtErr(st.Line, ErrUnknownColumn, "%v", err)
-			}
+		if err := e.recordAndApply(FittedStep{Op: "khot", Col: c.Name, Cats: items}, te); err != nil {
+			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
 		}
 		return nil
 
@@ -329,10 +351,8 @@ func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result,
 		if err := hashEncode(tr, c.Name, buckets); err != nil {
 			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
 		}
-		if te.Col(c.Name) != nil {
-			if err := hashEncode(te, c.Name, buckets); err != nil {
-				return rtErr(st.Line, ErrUnknownColumn, "%v", err)
-			}
+		if err := e.recordAndApply(FittedStep{Op: "hash_encode", Col: c.Name, Buckets: buckets}, te); err != nil {
+			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
 		}
 		return nil
 
@@ -348,10 +368,8 @@ func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result,
 		if err := ordinalEncode(tr, c.Name, mapping); err != nil {
 			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
 		}
-		if te.Col(c.Name) != nil {
-			if err := ordinalEncode(te, c.Name, mapping); err != nil {
-				return rtErr(st.Line, ErrUnknownColumn, "%v", err)
-			}
+		if err := e.recordAndApply(FittedStep{Op: "ordinal", Col: c.Name, Mapping: mapping}, te); err != nil {
+			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
 		}
 		return nil
 
@@ -363,15 +381,17 @@ func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result,
 			return rtErr(st.Line, ErrTargetMissing, "cannot drop the target column %q", e.Target)
 		}
 		tr.DropColumn(st.Arg(0))
-		te.DropColumn(st.Arg(0))
-		return nil
+		return e.recordAndApply(FittedStep{Op: "drop", Cols: []string{st.Arg(0)}}, te)
 
 	case "drop_constant":
-		for _, name := range constantCols(tr, e.Target) {
-			tr.DropColumn(name)
-			te.DropColumn(name)
+		names := constantCols(tr, e.Target)
+		if len(names) == 0 {
+			return nil
 		}
-		return nil
+		for _, name := range names {
+			tr.DropColumn(name)
+		}
+		return e.recordAndApply(FittedStep{Op: "drop", Cols: names}, te)
 
 	case "drop_sparse":
 		thr, perr := strconv.ParseFloat(st.Opt("threshold", "0.02"), 64)
@@ -384,11 +404,13 @@ func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result,
 				doomed = append(doomed, c.Name)
 			}
 		}
+		if len(doomed) == 0 {
+			return nil
+		}
 		for _, name := range doomed {
 			tr.DropColumn(name)
-			te.DropColumn(name)
 		}
-		return nil
+		return e.recordAndApply(FittedStep{Op: "drop", Cols: doomed}, te)
 
 	case "split_composite":
 		c, err := requireCol(st.Arg(0))
@@ -399,10 +421,9 @@ func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result,
 		if err := splitComposite(tr, c.Name, names[0], names[1]); err != nil {
 			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
 		}
-		if te.Col(c.Name) != nil {
-			if err := splitComposite(te, c.Name, names[0], names[1]); err != nil {
-				return rtErr(st.Line, ErrUnknownColumn, "%v", err)
-			}
+		if err := e.recordAndApply(FittedStep{Op: "split_composite", Col: c.Name,
+			Name: names[0], NameB: names[1]}, te); err != nil {
+			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
 		}
 		return nil
 
@@ -415,10 +436,7 @@ func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result,
 			return rtErr(st.Line, ErrTypeMismatch, "extract_token needs a string column, %q is %s", c.Name, c.Kind)
 		}
 		extractToken(c)
-		if tc := te.Col(c.Name); tc != nil {
-			extractToken(tc)
-		}
-		return nil
+		return e.recordAndApply(FittedStep{Op: "extract_token", Col: c.Name}, te)
 
 	case "dedup_values":
 		c, err := requireCol(st.Arg(0))
@@ -434,10 +452,7 @@ func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result,
 			byNormal[NormalizeValue(raw)] = canon
 		}
 		applyMapping(c, mapping, byNormal)
-		if tc := te.Col(c.Name); tc != nil {
-			applyMapping(tc, mapping, byNormal)
-		}
-		return nil
+		return e.recordAndApply(FittedStep{Op: "dedup_values", Col: c.Name, ValueMap: mapping}, te)
 
 	case "rebalance":
 		if e.Task == data.Regression {
@@ -466,8 +481,7 @@ func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result,
 		if perr != nil || k <= 0 {
 			return rtErr(st.Line, ErrBadOption, "select_topk needs k>0")
 		}
-		e.selectTopK(tr, te, k)
-		return nil
+		return e.selectTopK(tr, te, k)
 
 	case "train":
 		if err := e.train(st, tr, te, res); err != nil {
@@ -525,7 +539,7 @@ func splitComma(s string) []string {
 }
 
 // selectTopK keeps the k features most associated with the target.
-func (e *Executor) selectTopK(tr, te *data.Table, k int) {
+func (e *Executor) selectTopK(tr, te *data.Table, k int) error {
 	target := tr.Col(e.Target)
 	type scored struct {
 		name  string
@@ -553,12 +567,14 @@ func (e *Executor) selectTopK(tr, te *data.Table, k int) {
 		return sc[i].name < sc[j].name
 	})
 	if k >= len(sc) {
-		return
+		return nil
 	}
+	dropped := make([]string, 0, len(sc)-k)
 	for _, s := range sc[k:] {
 		tr.DropColumn(s.name)
-		te.DropColumn(s.name)
+		dropped = append(dropped, s.name)
 	}
+	return e.recordAndApply(FittedStep{Op: "drop", Cols: dropped}, te)
 }
 
 func abs(x float64) float64 {
@@ -588,6 +604,13 @@ func (e *Executor) train(st Stmt, tr, te *data.Table, res *Result) error {
 		if c.MissingCount() > 0 {
 			return rtErr(st.Line, ErrNaNInMatrix, "input contains NaN: column %q has %d missing values", c.Name, c.MissingCount())
 		}
+	}
+	// The target must be complete too: a missing regression target would
+	// read as a silent 0 through NumsView, and a missing classification
+	// label would stringify to "" and become a phantom class.
+	if tcol.MissingCount() > 0 {
+		return rtErr(st.Line, ErrNaNInMatrix,
+			"input contains NaN: target column %q has %d missing values", target, tcol.MissingCount())
 	}
 	Xtr, featNames := matrix(tr, target)
 	Xte, _ := matrixAligned(te, featNames)
@@ -655,6 +678,21 @@ func (e *Executor) train(st Stmt, tr, te *data.Table, res *Result) error {
 		}
 		res.TrainAcc, res.TrainAUC = scoreSplit(Xtr, labels)
 		res.TestAcc, res.TestAUC = scoreSplit(Xte, te.Col(target))
+		if e.CapturePredictions && len(Xte) > 0 {
+			res.TestProba = clf.Proba(Xte)
+			res.TestPredictions = make([]float64, len(res.TestProba))
+			res.TestLabels = make([]string, len(res.TestProba))
+			for i, row := range res.TestProba {
+				idx := argmax(row)
+				res.TestPredictions[i] = float64(idx)
+				res.TestLabels[i] = classOf[idx]
+			}
+		}
+		if e.record != nil {
+			if err := e.recordModel(st, res, featNames, classOf, clf); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 
@@ -681,12 +719,38 @@ func (e *Executor) train(st Stmt, tr, te *data.Table, res *Result) error {
 		return v * 100
 	}
 	res.TrainR2 = clampR2(ml.R2(reg.Predict(Xtr), ytr))
-	if teT := te.Col(target); teT != nil && len(Xte) > 0 {
-		yte := append([]float64(nil), teT.NumsView()...)
+	teT := te.Col(target)
+	if len(Xte) > 0 && (teT != nil || e.CapturePredictions) {
 		pred := reg.Predict(Xte)
-		res.TestR2 = clampR2(ml.R2(pred, yte))
-		res.TestRMSE = ml.RMSE(pred, yte)
+		if e.CapturePredictions {
+			res.TestPredictions = pred
+		}
+		if teT != nil {
+			yte := append([]float64(nil), teT.NumsView()...)
+			res.TestR2 = clampR2(ml.R2(pred, yte))
+			res.TestRMSE = ml.RMSE(pred, yte)
+		}
 	}
+	if e.record != nil {
+		if err := e.recordModel(st, res, featNames, nil, reg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recordModel exports the trained model and train-time schema into the
+// artifact being recorded.
+func (e *Executor) recordModel(st Stmt, res *Result, featNames, classOf []string, model any) error {
+	fm, err := ml.Export(model)
+	if err != nil {
+		return rtErr(st.Line, ErrBadOption, "artifact export: %v", err)
+	}
+	e.record.Metric = res.Metric
+	e.record.ModelName = res.ModelName
+	e.record.Features = append([]string(nil), featNames...)
+	e.record.Classes = classOf
+	e.record.Model = fm
 	return nil
 }
 
@@ -722,8 +786,16 @@ func matrix(t *data.Table, target string) ([][]float64, []string) {
 	return X, names
 }
 
-// matrixAligned extracts features in the given column order (absent
-// columns yield zeros), so test matrices line up with train matrices.
+// matrixAligned extracts features in the given column order so test
+// matrices line up with train matrices. The contract is deliberately
+// lenient for the in-search evaluation path: a column that is absent,
+// non-numeric, or short zero-fills its cells (and a missing cell reads
+// as its stored 0), because candidate pipelines routinely produce test
+// splits lacking a train-only encoded column and the search must score
+// them rather than crash. The serving path (FittedPipeline.Predict) is
+// the strict version: it rejects absent/non-numeric/incomplete fitted
+// features with a typed ArtifactError before this zero-fill can skew
+// predictions.
 func matrixAligned(t *data.Table, names []string) ([][]float64, []string) {
 	cols := make([]*data.Column, len(names))
 	for j, n := range names {

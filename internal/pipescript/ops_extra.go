@@ -50,24 +50,9 @@ func (e *Executor) execExtra(st Stmt, tr, te *data.Table) (bool, error) {
 		for i := range edges {
 			edges[i] = c.Quantile(float64(i+1) / float64(bins))
 		}
-		binify := func(col *data.Column) {
-			for i := 0; i < col.Len(); i++ {
-				if col.IsMissing(i) {
-					continue
-				}
-				b := 0
-				for _, edge := range edges {
-					if col.Num(i) > edge {
-						b++
-					}
-				}
-				col.SetNum(i, float64(b))
-			}
-			col.Kind = data.KindInt
-		}
-		binify(c)
-		if tc := te.Col(c.Name); tc != nil {
-			binify(tc)
+		binifyColumn(c, edges)
+		if err := e.recordAndApply(FittedStep{Op: "bin_numeric", Col: c.Name, Edges: edges}, te); err != nil {
+			return true, rtErr(st.Line, ErrBadOption, "%v", err)
 		}
 		return true, nil
 
@@ -79,24 +64,9 @@ func (e *Executor) execExtra(st Stmt, tr, te *data.Table) (bool, error) {
 		if !c.Kind.IsNumeric() {
 			return true, rtErr(st.Line, ErrTypeMismatch, "log_transform needs a numeric column, %q is %s", c.Name, c.Kind)
 		}
-		// Signed log1p keeps negatives meaningful: sign(x)·log(1+|x|).
-		apply := func(col *data.Column) {
-			for i := 0; i < col.Len(); i++ {
-				if col.IsMissing(i) {
-					continue
-				}
-				v := col.Num(i)
-				s := 1.0
-				if v < 0 {
-					s, v = -1, -v
-				}
-				col.SetNum(i, s*math.Log1p(v))
-			}
-			col.Kind = data.KindFloat
-		}
-		apply(c)
-		if tc := te.Col(c.Name); tc != nil {
-			apply(tc)
+		logTransformColumn(c)
+		if err := e.recordAndApply(FittedStep{Op: "log_transform", Col: c.Name}, te); err != nil {
+			return true, rtErr(st.Line, ErrBadOption, "%v", err)
 		}
 		return true, nil
 
@@ -114,35 +84,11 @@ func (e *Executor) execExtra(st Stmt, tr, te *data.Table) (bool, error) {
 		}
 		op := st.Opt("op", "product")
 		name := fmt.Sprintf("%s_%s_%s", a.Name, op, b.Name)
-		build := func(t *data.Table) error {
-			ca, cb := t.Col(a.Name), t.Col(b.Name)
-			if ca == nil || cb == nil {
-				return nil // the interaction column only exists where both sources do
-			}
-			vals := make([]float64, ca.Len())
-			nc := data.NewNumeric(name, vals)
-			for i := range vals {
-				if ca.IsMissing(i) || cb.IsMissing(i) {
-					nc.SetMissing(i)
-					continue
-				}
-				switch op {
-				case "ratio":
-					den := cb.Num(i)
-					if den == 0 {
-						den = 1
-					}
-					vals[i] = ca.Num(i) / den
-				default:
-					vals[i] = ca.Num(i) * cb.Num(i)
-				}
-			}
-			return t.AddColumn(nc)
-		}
-		if err := build(tr); err != nil {
+		if err := buildInteraction(tr, a.Name, b.Name, op, name); err != nil {
 			return true, rtErr(st.Line, ErrBadOption, "%v", err)
 		}
-		if err := build(te); err != nil {
+		if err := e.recordAndApply(FittedStep{Op: "interaction", Col: a.Name, ColB: b.Name,
+			Method: op, Name: name}, te); err != nil {
 			return true, rtErr(st.Line, ErrBadOption, "%v", err)
 		}
 		return true, nil
@@ -185,8 +131,10 @@ func (e *Executor) execExtra(st Stmt, tr, te *data.Table) (bool, error) {
 		}
 		lo, hi := c.Quantile(lowQ), c.Quantile(hiQ)
 		clipColumn(c, lo, hi)
-		if tc := te.Col(c.Name); tc != nil && c.Name != e.Target {
-			clipColumn(tc, lo, hi)
+		if c.Name != e.Target {
+			if err := e.recordAndApply(FittedStep{Op: "clip", Col: c.Name, Lo: lo, Hi: hi}, te); err != nil {
+				return true, rtErr(st.Line, ErrBadOption, "%v", err)
+			}
 		}
 		return true, nil
 
@@ -224,33 +172,104 @@ func (e *Executor) execExtra(st Stmt, tr, te *data.Table) (bool, error) {
 			return true, rtErr(st.Line, ErrEmptyData, "no data to fit target encoding")
 		}
 		global /= n
-		const smoothing = 10
-		encodeOne := func(t *data.Table) error {
-			col := t.Col(c.Name)
-			if col == nil {
-				return nil
-			}
-			vals := make([]float64, col.Len())
-			nc := data.NewNumeric(c.Name+"__tenc", vals)
-			for i := range vals {
-				if col.IsMissing(i) {
-					vals[i] = global
-					continue
-				}
-				v := col.Str(i)
-				cnt := counts[v]
-				vals[i] = (sums[v] + smoothing*global) / (cnt + smoothing)
-			}
-			t.DropColumn(c.Name)
-			return t.AddColumn(nc)
-		}
-		if err := encodeOne(tr); err != nil {
+		if err := smoothedMeanEncode(tr, c.Name, sums, counts, global); err != nil {
 			return true, rtErr(st.Line, ErrBadOption, "%v", err)
 		}
-		if err := encodeOne(te); err != nil {
+		if err := e.recordAndApply(FittedStep{Op: "target_encode", Col: c.Name,
+			Sums: sums, Counts: counts, Global: global}, te); err != nil {
 			return true, rtErr(st.Line, ErrBadOption, "%v", err)
 		}
 		return true, nil
 	}
 	return false, nil
+}
+
+// binifyColumn maps numeric values to their bin ordinal over fitted
+// quantile edges.
+func binifyColumn(col *data.Column, edges []float64) {
+	for i := 0; i < col.Len(); i++ {
+		if col.IsMissing(i) {
+			continue
+		}
+		b := 0
+		for _, edge := range edges {
+			if col.Num(i) > edge {
+				b++
+			}
+		}
+		col.SetNum(i, float64(b))
+	}
+	col.Kind = data.KindInt
+}
+
+// logTransformColumn applies the signed log1p transform in place:
+// sign(x)·log(1+|x|) keeps negatives meaningful.
+func logTransformColumn(col *data.Column) {
+	for i := 0; i < col.Len(); i++ {
+		if col.IsMissing(i) {
+			continue
+		}
+		v := col.Num(i)
+		s := 1.0
+		if v < 0 {
+			s, v = -1, -v
+		}
+		col.SetNum(i, s*math.Log1p(v))
+	}
+	col.Kind = data.KindFloat
+}
+
+// buildInteraction adds a product/ratio column of two numeric sources; a
+// table lacking either source is left unchanged (the interaction column
+// only exists where both sources do).
+func buildInteraction(t *data.Table, aName, bName, op, name string) error {
+	ca, cb := t.Col(aName), t.Col(bName)
+	if ca == nil || cb == nil {
+		return nil
+	}
+	vals := make([]float64, ca.Len())
+	nc := data.NewNumeric(name, vals)
+	for i := range vals {
+		if ca.IsMissing(i) || cb.IsMissing(i) {
+			nc.SetMissing(i)
+			continue
+		}
+		switch op {
+		case "ratio":
+			den := cb.Num(i)
+			if den == 0 {
+				den = 1
+			}
+			vals[i] = ca.Num(i) / den
+		default:
+			vals[i] = ca.Num(i) * cb.Num(i)
+		}
+	}
+	return t.AddColumn(nc)
+}
+
+// tencSmoothing is the smoothed-mean prior weight of target encoding.
+const tencSmoothing = 10
+
+// smoothedMeanEncode replaces a string column with its fitted smoothed
+// mean encoding. The sums/counts maps (not precomputed encodings) feed
+// the identical arithmetic at fit and serve time, so unseen and seen
+// categories alike encode bit-identically on both paths.
+func smoothedMeanEncode(t *data.Table, col string, sums, counts map[string]float64, global float64) error {
+	c := t.Col(col)
+	if c == nil {
+		return nil
+	}
+	vals := make([]float64, c.Len())
+	nc := data.NewNumeric(col+"__tenc", vals)
+	for i := range vals {
+		if c.IsMissing(i) {
+			vals[i] = global
+			continue
+		}
+		v := c.Str(i)
+		vals[i] = (sums[v] + tencSmoothing*global) / (counts[v] + tencSmoothing)
+	}
+	t.DropColumn(col)
+	return t.AddColumn(nc)
 }
