@@ -78,10 +78,33 @@ func LoadDataset(name string, scale float64) (*Dataset, error) {
 // DatasetNames lists the built-in datasets in Table 3 order.
 func DatasetNames() []string { return data.Names() }
 
+// IngestOptions tunes CSV ingest: Workers bounds the chunk-parse fan-out
+// (0 = GOMAXPROCS, 1 = serial) and ChunkBytes the record-aligned chunk
+// size (0 = 4 MiB). Results are identical at any setting.
+type IngestOptions = data.IngestOptions
+
+// SummaryBackend selects how column statistics are computed:
+// exact (bit-identical full-fidelity path), sketch (mergeable one-pass
+// sketches, no sorted copies), or auto (sketch at scale).
+type SummaryBackend = data.SummaryBackend
+
+// ParseSummaryBackend parses a -summary-backend flag value
+// ("exact" | "sketch" | "auto").
+func ParseSummaryBackend(s string) (SummaryBackend, error) { return data.ParseSummaryBackend(s) }
+
+// SetDefaultSummaryBackend installs the process-wide statistics backend
+// used wherever no explicit backend is passed.
+func SetDefaultSummaryBackend(b SummaryBackend) { data.SetDefaultSummaryBackend(b) }
+
 // ReadCSV loads a single-table dataset from a CSV stream; target and task
 // describe the prediction problem.
 func ReadCSV(r io.Reader, name, target string, task Task) (*Dataset, error) {
-	t, err := data.ReadCSV(r, name)
+	return ReadCSVOptions(r, name, target, task, IngestOptions{})
+}
+
+// ReadCSVOptions is ReadCSV with explicit ingest tuning.
+func ReadCSVOptions(r io.Reader, name, target string, task Task, opts IngestOptions) (*Dataset, error) {
+	t, err := data.ReadCSVOptions(r, name, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +117,12 @@ func ReadCSV(r io.Reader, name, target string, task Task) (*Dataset, error) {
 
 // ReadCSVFile is ReadCSV over a file path.
 func ReadCSVFile(path, target string, task Task) (*Dataset, error) {
-	t, err := data.ReadCSVFile(path)
+	return ReadCSVFileOptions(path, target, task, IngestOptions{})
+}
+
+// ReadCSVFileOptions is ReadCSVFile with explicit ingest tuning.
+func ReadCSVFileOptions(path, target string, task Task, opts IngestOptions) (*Dataset, error) {
+	t, err := data.ReadCSVFileOptions(path, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -280,4 +308,9 @@ func LoadFittedPipelineFile(path string) (*FittedPipeline, error) {
 // loader for Predict, with no target or task attached.
 func ReadTableCSV(r io.Reader, name string) (*Table, error) {
 	return data.ReadCSV(r, name)
+}
+
+// ReadTableCSVOptions is ReadTableCSV with explicit ingest tuning.
+func ReadTableCSVOptions(r io.Reader, name string, opts IngestOptions) (*Table, error) {
+	return data.ReadCSVOptions(r, name, opts)
 }

@@ -70,28 +70,45 @@ commands:
   predict    score CSV rows (file or stdin) with a fitted artifact`)
 }
 
-// datasetFlags adds the shared dataset-selection flags.
-func datasetFlags(fs *flag.FlagSet) (dataset, csv, target, task *string, scale *float64) {
-	dataset = fs.String("dataset", "", "built-in dataset name (see `catdb datasets`)")
-	csv = fs.String("csv", "", "path to a CSV file (single-table dataset)")
-	target = fs.String("target", "", "target column (required with -csv)")
-	task = fs.String("task", "binary", "task type with -csv: binary|multiclass|regression")
-	scale = fs.Float64("scale", 0.2, "row-count scale for built-in datasets")
-	return
+// dsFlags bundles the shared dataset-selection and ingest-tuning flags.
+type dsFlags struct {
+	dataset, csv, target, task *string
+	scale                      *float64
+	ingestWorkers, chunkBytes  *int
+	summaryBackend             *string
 }
 
-func loadFlagDataset(dataset, csv, target, task string, scale float64) (*catdb.Dataset, error) {
-	if dataset != "" {
-		return catdb.LoadDataset(dataset, scale)
+// datasetFlags adds the shared dataset-selection flags.
+func datasetFlags(fs *flag.FlagSet) *dsFlags {
+	f := &dsFlags{}
+	f.dataset = fs.String("dataset", "", "built-in dataset name (see `catdb datasets`)")
+	f.csv = fs.String("csv", "", "path to a CSV file (single-table dataset)")
+	f.target = fs.String("target", "", "target column (required with -csv)")
+	f.task = fs.String("task", "binary", "task type with -csv: binary|multiclass|regression")
+	f.scale = fs.Float64("scale", 0.2, "row-count scale for built-in datasets")
+	f.ingestWorkers = fs.Int("ingest-workers", 0, "CSV parse goroutines (0 = all cores, 1 = serial; output identical at any setting)")
+	f.chunkBytes = fs.Int("chunk-bytes", 0, "CSV ingest chunk size in bytes (0 = 4 MiB; output identical at any setting)")
+	f.summaryBackend = fs.String("summary-backend", "auto", "column statistics backend: exact|sketch|auto (auto sketches at scale)")
+	return f
+}
+
+func (f *dsFlags) load() (*catdb.Dataset, error) {
+	backend, err := catdb.ParseSummaryBackend(*f.summaryBackend)
+	if err != nil {
+		return nil, err
 	}
-	if csv == "" {
+	catdb.SetDefaultSummaryBackend(backend)
+	if *f.dataset != "" {
+		return catdb.LoadDataset(*f.dataset, *f.scale)
+	}
+	if *f.csv == "" {
 		return nil, fmt.Errorf("one of -dataset or -csv is required")
 	}
-	if target == "" {
+	if *f.target == "" {
 		return nil, fmt.Errorf("-target is required with -csv")
 	}
 	var tk catdb.Task
-	switch task {
+	switch *f.task {
 	case "binary":
 		tk = catdb.Binary
 	case "multiclass":
@@ -99,9 +116,13 @@ func loadFlagDataset(dataset, csv, target, task string, scale float64) (*catdb.D
 	case "regression":
 		tk = catdb.Regression
 	default:
-		return nil, fmt.Errorf("unknown task %q", task)
+		return nil, fmt.Errorf("unknown task %q", *f.task)
 	}
-	return catdb.ReadCSVFile(csv, target, tk)
+	return catdb.ReadCSVFileOptions(*f.csv, *f.target, tk, f.ingest())
+}
+
+func (f *dsFlags) ingest() catdb.IngestOptions {
+	return catdb.IngestOptions{Workers: *f.ingestWorkers, ChunkBytes: *f.chunkBytes}
 }
 
 func cmdDatasets() error {
@@ -116,11 +137,11 @@ func cmdDatasets() error {
 
 func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
-	dataset, csv, target, task, scale := datasetFlags(fs)
+	df := datasetFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ds, err := loadFlagDataset(*dataset, *csv, *target, *task, *scale)
+	ds, err := df.load()
 	if err != nil {
 		return err
 	}
@@ -141,13 +162,13 @@ func cmdProfile(args []string) error {
 
 func cmdRefine(args []string) error {
 	fs := flag.NewFlagSet("refine", flag.ExitOnError)
-	dataset, csv, target, task, scale := datasetFlags(fs)
+	df := datasetFlags(fs)
 	model := fs.String("model", "gemini-1.5-pro", "LLM model name")
 	seed := fs.Int64("seed", 1, "random seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ds, err := loadFlagDataset(*dataset, *csv, *target, *task, *scale)
+	ds, err := df.load()
 	if err != nil {
 		return err
 	}
@@ -170,7 +191,7 @@ func cmdRefine(args []string) error {
 
 func cmdGenerate(args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
-	dataset, csv, target, task, scale := datasetFlags(fs)
+	df := datasetFlags(fs)
 	model := fs.String("model", "gemini-1.5-pro", "LLM model name")
 	seed := fs.Int64("seed", 1, "random seed")
 	chains := fs.Int("chains", 1, "β: 1 = CatDB single prompt, >1 = CatDB Chain")
@@ -182,7 +203,7 @@ func cmdGenerate(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ds, err := loadFlagDataset(*dataset, *csv, *target, *task, *scale)
+	ds, err := df.load()
 	if err != nil {
 		return err
 	}
@@ -270,7 +291,7 @@ func writeObsOutputs(tracer *catdb.Tracer, metrics *catdb.Metrics, tracePath, me
 
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	dataset, csv, target, task, scale := datasetFlags(fs)
+	df := datasetFlags(fs)
 	pipe := fs.String("pipe", "", "path to a .pipe file (required)")
 	seed := fs.Int64("seed", 1, "random seed")
 	refine := fs.Bool("refine", false, "apply catalog refinement before running (use when the pipeline was generated without -no-refine)")
@@ -281,7 +302,7 @@ func cmdRun(args []string) error {
 	if *pipe == "" {
 		return fmt.Errorf("-pipe is required")
 	}
-	ds, tr, te, err := prepareSplit(*dataset, *csv, *target, *task, *scale, *refine, *model, *seed)
+	ds, tr, te, err := prepareSplit(df, *refine, *model, *seed)
 	if err != nil {
 		return err
 	}
@@ -299,8 +320,8 @@ func cmdRun(args []string) error {
 
 // prepareSplit loads a dataset, optionally refines it, and splits it
 // 70/30 — the shared front half of `catdb run` and `catdb fit`.
-func prepareSplit(dataset, csv, target, task string, scale float64, refine bool, model string, seed int64) (*catdb.Dataset, *catdb.Table, *catdb.Table, error) {
-	ds, err := loadFlagDataset(dataset, csv, target, task, scale)
+func prepareSplit(df *dsFlags, refine bool, model string, seed int64) (*catdb.Dataset, *catdb.Table, *catdb.Table, error) {
+	ds, err := df.load()
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -341,7 +362,7 @@ func printExecResult(res *catdb.PipelineResult) {
 
 func cmdFit(args []string) error {
 	fs := flag.NewFlagSet("fit", flag.ExitOnError)
-	dataset, csv, target, task, scale := datasetFlags(fs)
+	df := datasetFlags(fs)
 	pipe := fs.String("pipe", "", "path to a .pipe file (required)")
 	seed := fs.Int64("seed", 1, "random seed")
 	refine := fs.Bool("refine", false, "apply catalog refinement before fitting")
@@ -353,7 +374,7 @@ func cmdFit(args []string) error {
 	if *pipe == "" {
 		return fmt.Errorf("-pipe is required")
 	}
-	ds, tr, te, err := prepareSplit(*dataset, *csv, *target, *task, *scale, *refine, *model, *seed)
+	ds, tr, te, err := prepareSplit(df, *refine, *model, *seed)
 	if err != nil {
 		return err
 	}
@@ -379,6 +400,8 @@ func cmdPredict(args []string) error {
 	csvPath := fs.String("csv", "", "CSV rows to score; '-' reads stdin (required)")
 	proba := fs.Bool("proba", false, "classification: also emit per-class probability columns")
 	workers := fs.Int("workers", 0, "inference goroutines (0 = all cores; output is identical at any setting)")
+	ingestWorkers := fs.Int("ingest-workers", 0, "CSV parse goroutines (0 = all cores, 1 = serial; output identical at any setting)")
+	chunkBytes := fs.Int("chunk-bytes", 0, "CSV ingest chunk size in bytes (0 = 4 MiB)")
 	metricsOut := fs.String("metrics-out", "", "write serving metrics in Prometheus text format to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -408,7 +431,7 @@ func cmdPredict(args []string) error {
 		defer f.Close()
 		in = f
 	}
-	tb, err := catdb.ReadTableCSV(in, "batch")
+	tb, err := catdb.ReadTableCSVOptions(in, "batch", catdb.IngestOptions{Workers: *ingestWorkers, ChunkBytes: *chunkBytes})
 	if err != nil {
 		return err
 	}

@@ -42,8 +42,53 @@ func WriteCSVFile(path string, t *Table) error {
 
 // ReadCSV parses a CSV stream with a header row into a table, inferring the
 // narrowest kind per column (bool, int, float, string). Empty cells become
-// missing values.
+// missing values. It is ReadCSVOptions under the default ingest options
+// (parallel chunked parse); output is identical to the historical serial
+// reader.
 func ReadCSV(r io.Reader, name string) (*Table, error) {
+	return ReadCSVOptions(r, name, IngestOptions{})
+}
+
+// ReadCSVOptions is ReadCSV with explicit ingest tuning. The stream is
+// slurped once, split into record-aligned byte chunks, and parsed
+// concurrently straight into preallocated typed columns; any input the
+// chunked path cannot handle re-parses through the legacy serial reader,
+// so results and errors never depend on Workers or ChunkBytes.
+func ReadCSVOptions(r io.Reader, name string, opts IngestOptions) (*Table, error) {
+	buf, err := slurp(r)
+	if err != nil {
+		return nil, fmt.Errorf("data: read csv %q: %w", name, err)
+	}
+	return parseCSVBytes(buf, name, opts)
+}
+
+// slurp reads r to EOF. When the reader knows its remaining size
+// (bytes.Reader, strings.Reader, bytes.Buffer all expose Len) the
+// destination is allocated once up front; io.ReadAll's append-growth
+// would otherwise cumulatively allocate several times the input size on
+// large tables.
+func slurp(r io.Reader) ([]byte, error) {
+	if l, ok := r.(interface{ Len() int }); ok {
+		buf := make([]byte, l.Len())
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		// Guard against readers that grow after Len (e.g. a Buffer being
+		// written concurrently is unsupported, but a short final read is
+		// cheap to confirm).
+		rest, err := io.ReadAll(r)
+		if err != nil {
+			return nil, err
+		}
+		return append(buf, rest...), nil
+	}
+	return io.ReadAll(r)
+}
+
+// readCSVLegacy is the historical ReadAll-based serial reader. It is the
+// semantic reference: the chunked path falls back to it on any parse
+// trouble, and the equivalence tests pin the chunked output against it.
+func readCSVLegacy(r io.Reader, name string) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = false
 	records, err := cr.ReadAll()
@@ -73,10 +118,14 @@ func ReadCSV(r io.Reader, name string) (*Table, error) {
 
 // ReadCSVFile reads the CSV file at path into a table named after the file.
 func ReadCSVFile(path string) (*Table, error) {
-	f, err := os.Open(path)
+	return ReadCSVFileOptions(path, IngestOptions{})
+}
+
+// ReadCSVFileOptions is ReadCSVFile with explicit ingest tuning.
+func ReadCSVFileOptions(path string, opts IngestOptions) (*Table, error) {
+	buf, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("data: %w", err)
 	}
-	defer f.Close()
-	return ReadCSV(f, path)
+	return parseCSVBytes(buf, path, opts)
 }

@@ -1,0 +1,531 @@
+package data
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the mergeable one-pass sketches behind the
+// SummarySketch backend: a deterministic KLL-style quantile sketch and a
+// distinct sketch that is exact up to a cap and switches to a K-minimum-
+// values estimator beyond it. Per-chunk states merge associatively, so a
+// column summary composes from chunk summaries instead of requiring a
+// whole-column sorted copy — the building block the out-of-core ingest
+// path and the paper-scale profiler stand on.
+
+const (
+	// qsketchCap is the per-level compactor capacity of QuantileSketch.
+	// Error grows roughly with log²(n/cap)/cap; 256 keeps the observed
+	// rank error under ~1% at 10M values (pinned at 2% by the tests).
+	qsketchCap = 256
+	// distinctTrackLimit is the distinct-value count up to which a sketch
+	// summary tracks the exact value set (so categorical detection,
+	// inclusion dependencies, and Contains behave exactly like the exact
+	// backend). Beyond it only the KMV estimate survives.
+	distinctTrackLimit = 4096
+	// kmvK is the sample size of the K-minimum-values distinct estimator:
+	// relative error ~ 1/sqrt(k-2) ≈ 3% once the exact set overflows.
+	kmvK = 1024
+	// sketchMergeRows is the chunk granularity of the sketch summary
+	// build: the column is consumed as independent per-chunk states merged
+	// in order, exercising the same merge path out-of-core ingest uses.
+	sketchMergeRows = 1 << 16
+	// SketchAutoRows is the row count at or above which the auto backend
+	// picks the sketch path (mirrors the hist-backend auto threshold
+	// convention: exact below, approximate-and-fast at scale).
+	SketchAutoRows = 1 << 18
+)
+
+// QuantileSketch is a fixed-capacity, mergeable streaming quantile sketch
+// in the KLL compactor style, made deterministic: compactions alternate
+// their keep-offset via a counter instead of a coin flip, so the same
+// inputs in the same order always produce the same sketch. Level i items
+// carry weight 2^i. Memory is O(cap · log(n/cap)) regardless of n.
+type QuantileSketch struct {
+	levels [][]float64
+	n      uint64
+	comps  uint64 // compaction counter; low bit is the keep-offset
+	min    float64
+	max    float64
+}
+
+// NewQuantileSketch returns an empty sketch.
+func NewQuantileSketch() *QuantileSketch {
+	return &QuantileSketch{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Count returns the number of values added (including through merges).
+func (s *QuantileSketch) Count() int { return int(s.n) }
+
+// Min returns the exact minimum added value (never compacted away).
+func (s *QuantileSketch) Min() float64 { return s.min }
+
+// Max returns the exact maximum added value.
+func (s *QuantileSketch) Max() float64 { return s.max }
+
+// Add inserts one value.
+func (s *QuantileSketch) Add(v float64) {
+	s.n++
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	if len(s.levels) == 0 {
+		s.levels = append(s.levels, make([]float64, 0, qsketchCap))
+	}
+	s.levels[0] = append(s.levels[0], v)
+	if len(s.levels[0]) >= qsketchCap {
+		s.compactFrom(0)
+	}
+}
+
+// compactFrom halves every full level starting at l, promoting the kept
+// elements (every second one of the sorted buffer, at a deterministically
+// alternating offset) into the next level.
+func (s *QuantileSketch) compactFrom(l int) {
+	for ; l < len(s.levels) && len(s.levels[l]) >= qsketchCap; l++ {
+		buf := s.levels[l]
+		sort.Float64s(buf)
+		if l+1 >= len(s.levels) {
+			s.levels = append(s.levels, make([]float64, 0, qsketchCap))
+		}
+		off := int(s.comps & 1)
+		s.comps++
+		for i := off; i < len(buf); i += 2 {
+			s.levels[l+1] = append(s.levels[l+1], buf[i])
+		}
+		s.levels[l] = buf[:0]
+	}
+}
+
+// Merge folds o into s. Merging is associative up to the documented error
+// bound; merging in a fixed order (as the chunked ingest and summary
+// paths do) is fully deterministic. o is not modified.
+func (s *QuantileSketch) Merge(o *QuantileSketch) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	s.n += o.n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	for l, items := range o.levels {
+		for len(s.levels) <= l {
+			s.levels = append(s.levels, make([]float64, 0, qsketchCap))
+		}
+		s.levels[l] = append(s.levels[l], items...)
+	}
+	for l := 0; l < len(s.levels); l++ {
+		if len(s.levels[l]) >= qsketchCap {
+			s.compactFrom(l)
+		}
+	}
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) with the same
+// interpolation convention as the exact backend: position q·(W−1) over
+// the weighted, value-sorted retained items. Exact for columns that never
+// compacted (n < cap); clamped into the true [min, max] otherwise. NaN on
+// an empty sketch.
+func (s *QuantileSketch) Quantile(q float64) float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	type wv struct {
+		v float64
+		w float64
+	}
+	items := make([]wv, 0, qsketchCap*len(s.levels))
+	total := 0.0
+	for l, lvl := range s.levels {
+		w := float64(uint64(1) << uint(l))
+		for _, v := range lvl {
+			items = append(items, wv{v, w})
+			total += w
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].v < items[j].v })
+	target := q * (total - 1)
+	// Midpoint ranks: an item of weight w covers w ranks centred on
+	// cum + (w-1)/2; interpolate linearly between neighbouring centres.
+	prevRank, prevVal := math.Inf(-1), s.min
+	cum := 0.0
+	for _, it := range items {
+		r := cum + (it.w-1)/2
+		if r >= target {
+			if math.IsInf(prevRank, -1) || r == prevRank {
+				return clamp(it.v, s.min, s.max)
+			}
+			frac := (target - prevRank) / (r - prevRank)
+			return clamp(prevVal+(it.v-prevVal)*frac, s.min, s.max)
+		}
+		prevRank, prevVal = r, it.v
+		cum += it.w
+	}
+	return s.max
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// DistinctSketch counts distinct values with a two-phase design: an exact
+// value set up to distinctTrackLimit (so small cardinalities — the ones
+// feature typing, categorical detection, and inclusion dependencies
+// depend on — stay exact), then a K-minimum-values hash estimator once
+// the set overflows. Both phases merge associatively, and the result is
+// order-independent: the same value set always yields the same estimate.
+type DistinctSketch struct {
+	vals     map[string]struct{} // exact values; nil once overflowed
+	bits     map[uint64]struct{} // numeric dedup: float bits already rendered
+	kmvIn    map[uint64]struct{} // hashes currently held in kmv
+	kmv      []uint64            // max-heap of the kmvK smallest hashes
+	overflow bool
+}
+
+// NewDistinctSketch returns an empty sketch.
+func NewDistinctSketch() *DistinctSketch {
+	return &DistinctSketch{
+		vals:  make(map[string]struct{}),
+		kmvIn: make(map[uint64]struct{}),
+	}
+}
+
+// AddStr inserts a string value.
+func (d *DistinctSketch) AddStr(v string) {
+	d.addHash(fnvHash64(v))
+	d.insert(v)
+}
+
+// needsRender reports whether the caller should render the numeric value
+// with the given float bits to a string and pass it to insertRendered —
+// i.e. whether the exact set is still live and these bits are new. The
+// KMV estimator is updated unconditionally, so an overflowed sketch never
+// pays the render cost.
+func (d *DistinctSketch) needsRender(bits uint64) bool {
+	d.addHash(mix64(bits))
+	if d.vals == nil {
+		return false
+	}
+	if d.bits == nil {
+		d.bits = make(map[uint64]struct{})
+	}
+	if _, ok := d.bits[bits]; ok {
+		return false
+	}
+	d.bits[bits] = struct{}{}
+	return true
+}
+
+// insertRendered records the rendered string of float bits previously
+// approved by needsRender.
+func (d *DistinctSketch) insertRendered(v string) { d.insert(v) }
+
+func (d *DistinctSketch) insert(v string) {
+	if d.vals == nil {
+		return
+	}
+	d.vals[v] = struct{}{}
+	if len(d.vals) > distinctTrackLimit {
+		d.spill()
+	}
+}
+
+// spill drops the exact set, leaving only the KMV estimator.
+func (d *DistinctSketch) spill() {
+	d.vals, d.bits, d.overflow = nil, nil, true
+}
+
+// addHash feeds one value hash to the KMV estimator (k smallest distinct
+// hashes, kept as a max-heap so the largest retained hash is O(1)).
+func (d *DistinctSketch) addHash(h uint64) {
+	if _, ok := d.kmvIn[h]; ok {
+		return
+	}
+	if len(d.kmv) < kmvK {
+		d.kmvIn[h] = struct{}{}
+		d.kmv = append(d.kmv, h)
+		heapUp(d.kmv, len(d.kmv)-1)
+		return
+	}
+	if h >= d.kmv[0] {
+		return
+	}
+	delete(d.kmvIn, d.kmv[0])
+	d.kmvIn[h] = struct{}{}
+	d.kmv[0] = h
+	heapDown(d.kmv, 0)
+}
+
+// Exact reports whether the sketch still tracks the exact value set.
+func (d *DistinctSketch) Exact() bool { return d.vals != nil }
+
+// Estimate returns the distinct count: exact while the value set is
+// live, the KMV estimate afterwards.
+func (d *DistinctSketch) Estimate() int {
+	if d.vals != nil {
+		return len(d.vals)
+	}
+	if len(d.kmv) < kmvK {
+		return len(d.kmv)
+	}
+	kth := float64(d.kmv[0])
+	if kth == 0 {
+		return len(d.kmv)
+	}
+	return int(float64(kmvK-1)/(kth/float64(math.MaxUint64)) + 0.5)
+}
+
+// Merge folds o into d (set union in both phases; exactness survives only
+// when both sides are exact and the union stays under the cap).
+func (d *DistinctSketch) Merge(o *DistinctSketch) {
+	if o == nil {
+		return
+	}
+	for h := range o.kmvIn {
+		d.addHash(h)
+	}
+	if o.vals == nil {
+		d.spill()
+	}
+	if d.vals == nil {
+		return
+	}
+	for v := range o.vals {
+		d.insert(v)
+		if d.vals == nil {
+			return
+		}
+	}
+	for b := range o.bits {
+		if d.bits == nil {
+			d.bits = make(map[uint64]struct{})
+		}
+		d.bits[b] = struct{}{}
+	}
+}
+
+// values returns the exact value map (nil once overflowed). Shared with
+// the Summary that owns the sketch — read-only.
+func (d *DistinctSketch) values() map[string]struct{} { return d.vals }
+
+func heapUp(h []uint64, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] >= h[i] {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func heapDown(h []uint64, i int) {
+	n := len(h)
+	for {
+		l, r, big := 2*i+1, 2*i+2, i
+		if l < n && h[l] > h[big] {
+			big = l
+		}
+		if r < n && h[r] > h[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+// fnvHash64 is FNV-1a over the string bytes.
+func fnvHash64(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer — a cheap bijective scrambler that
+// spreads float bit patterns uniformly over the KMV hash space.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// momentState accumulates count/mean/M2 (Welford) plus exact min/max, and
+// merges with the Chan et al. parallel-variance formula.
+type momentState struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+func newMomentState() momentState {
+	return momentState{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+func (m *momentState) add(v float64) {
+	m.n++
+	d := v - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (v - m.mean)
+	if v < m.min {
+		m.min = v
+	}
+	if v > m.max {
+		m.max = v
+	}
+}
+
+func (m *momentState) merge(o momentState) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = o
+		return
+	}
+	n := m.n + o.n
+	d := o.mean - m.mean
+	m.mean += d * float64(o.n) / float64(n)
+	m.m2 += o.m2 + d*d*float64(m.n)*float64(o.n)/float64(n)
+	m.n = n
+	if o.min < m.min {
+		m.min = o.min
+	}
+	if o.max > m.max {
+		m.max = o.max
+	}
+}
+
+// sketchState is the mergeable per-chunk summary state: cell counts, the
+// distinct sketch, and (numeric kinds) moments plus the quantile sketch.
+// States built over disjoint row ranges merge associatively into exactly
+// what a single pass over the concatenation would produce (distinct
+// counts identically; quantiles within the documented bound).
+type sketchState struct {
+	rows     int
+	missing  int
+	numeric  bool
+	moments  momentState
+	quant    *QuantileSketch
+	distinct *DistinctSketch
+}
+
+func newSketchState(numeric bool) *sketchState {
+	st := &sketchState{numeric: numeric, distinct: NewDistinctSketch(), moments: newMomentState()}
+	if numeric {
+		st.quant = NewQuantileSketch()
+	}
+	return st
+}
+
+// observe feeds row i of column c into the state.
+func (st *sketchState) observe(c *Column, i int) {
+	st.rows++
+	if c.IsMissing(i) {
+		st.missing++
+		return
+	}
+	if !st.numeric {
+		st.distinct.AddStr(c.Str(i))
+		return
+	}
+	v := c.Num(i)
+	if st.distinct.needsRender(math.Float64bits(v)) {
+		st.distinct.insertRendered(c.ValueString(i))
+	}
+	st.moments.add(v)
+	st.quant.Add(v)
+}
+
+// merge folds o into st in order.
+func (st *sketchState) merge(o *sketchState) {
+	st.rows += o.rows
+	st.missing += o.missing
+	st.distinct.Merge(o.distinct)
+	if st.numeric {
+		st.moments.merge(o.moments)
+		st.quant.Merge(o.quant)
+	}
+}
+
+// finalize renders the state into a Summary. The sketch summary carries
+// no sortedNums — quantile queries answer from the retained sketch — so
+// it releases the O(rows) sorted copy the exact backend pins.
+func (st *sketchState) finalize() *Summary {
+	s := &Summary{
+		Rows:    st.rows,
+		Missing: st.missing,
+		Approx:  true,
+	}
+	if set := st.distinct.values(); set != nil {
+		s.distinctSet = set
+		s.Distinct = make([]string, 0, len(set))
+		for v := range set {
+			s.Distinct = append(s.Distinct, v)
+		}
+		sort.Strings(s.Distinct)
+	} else {
+		s.dsketch = st.distinct
+	}
+	if st.numeric && st.moments.n > 0 {
+		s.Stats = Stats{
+			Count:  st.moments.n,
+			Min:    st.moments.min,
+			Max:    st.moments.max,
+			Mean:   st.moments.mean,
+			Std:    math.Sqrt(st.moments.m2 / float64(st.moments.n)),
+			Median: st.quant.Quantile(0.5),
+			Q1:     st.quant.Quantile(0.25),
+			Q3:     st.quant.Quantile(0.75),
+		}
+		s.qsketch = st.quant
+	}
+	return s
+}
+
+// computeSummarySketch builds the column summary from per-chunk sketch
+// states merged in row order — the same composition the chunked ingest
+// and a future out-of-core column store use, so "summarize a column" and
+// "merge chunk summaries" are one code path.
+func (c *Column) computeSummarySketch() *Summary {
+	n := c.Len()
+	numeric := c.Kind != KindString
+	total := newSketchState(numeric)
+	for start := 0; start < n; start += sketchMergeRows {
+		end := start + sketchMergeRows
+		if end > n {
+			end = n
+		}
+		chunk := newSketchState(numeric)
+		for i := start; i < end; i++ {
+			chunk.observe(c, i)
+		}
+		total.merge(chunk)
+	}
+	return total.finalize()
+}

@@ -1,0 +1,389 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// qsketchRankEps is the rank-error bound the tests pin for the quantile
+// sketch at up to 1M values: the estimated q-quantile must sit within
+// ±2% of rank q in the sorted data. (Observed error is well under 1%;
+// the bound leaves deterministic-compaction headroom.)
+const qsketchRankEps = 0.02
+
+// rankErr returns how far the q-rank falls outside the rank interval v
+// occupies in sorted. A value repeated heavily (ties) covers a whole rank
+// range; any q inside it is a zero-error answer — the standard rank-error
+// definition for quantile sketches.
+func rankErr(sorted []float64, v, q float64) float64 {
+	n := float64(len(sorted))
+	lo := float64(sort.SearchFloat64s(sorted, v)) / n
+	hi := float64(sort.Search(len(sorted), func(i int) bool { return sorted[i] > v })) / n
+	switch {
+	case q < lo:
+		return lo - q
+	case q > hi:
+		return q - hi
+	default:
+		return 0
+	}
+}
+
+// Below compaction capacity the sketch holds every value, so quantiles
+// must equal the exact interpolation convention bit for bit.
+func TestQuantileSketchExactBelowCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 7, qsketchCap - 1} {
+		s := NewQuantileSketch()
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 100
+			s.Add(vals[i])
+		}
+		sort.Float64s(vals)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+			want := quantileSorted(vals, q)
+			got := s.Quantile(q)
+			if math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("n=%d q=%v: got %v, want %v (must be exact below cap)", n, q, got, want)
+			}
+		}
+	}
+}
+
+func TestQuantileSketchErrorBound(t *testing.T) {
+	dists := map[string]func(*rand.Rand) float64{
+		"uniform": func(r *rand.Rand) float64 { return r.Float64() },
+		"normal":  func(r *rand.Rand) float64 { return r.NormFloat64() },
+		"lognorm": func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64() * 2) },
+		"zipfish": func(r *rand.Rand) float64 { return math.Floor(1 / (r.Float64() + 1e-6)) },
+	}
+	for name, gen := range dists {
+		rng := rand.New(rand.NewSource(42))
+		n := 200000
+		s := NewQuantileSketch()
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = gen(rng)
+			s.Add(vals[i])
+		}
+		sort.Float64s(vals)
+		for _, q := range []float64{0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99} {
+			est := s.Quantile(q)
+			if e := rankErr(vals, est, q); e > qsketchRankEps {
+				t.Fatalf("%s q=%v: estimate %v rank err %v > %v", name, q, est, e, qsketchRankEps)
+			}
+		}
+		if s.Min() != vals[0] || s.Max() != vals[n-1] {
+			t.Fatalf("%s: min/max not exact", name)
+		}
+		if s.Count() != n {
+			t.Fatalf("%s: count %d", name, s.Count())
+		}
+	}
+}
+
+// Chunked adds + merges must stay within the same bound as a single
+// stream, and the whole pipeline must be deterministic: two identical
+// runs produce bit-identical estimates.
+func TestQuantileSketchMergeAndDeterminism(t *testing.T) {
+	build := func(chunks int) *QuantileSketch {
+		rng := rand.New(rand.NewSource(9))
+		n := 120000
+		parts := make([]*QuantileSketch, chunks)
+		for i := range parts {
+			parts[i] = NewQuantileSketch()
+		}
+		for i := 0; i < n; i++ {
+			parts[i*chunks/n].Add(rng.NormFloat64())
+		}
+		total := NewQuantileSketch()
+		for _, p := range parts {
+			total.Merge(p)
+		}
+		return total
+	}
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]float64, 120000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	sort.Float64s(vals)
+	a, b := build(16), build(16)
+	single := build(1)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		if math.Float64bits(a.Quantile(q)) != math.Float64bits(b.Quantile(q)) {
+			t.Fatalf("q=%v: merge path nondeterministic", q)
+		}
+		for _, s := range []*QuantileSketch{single, a} {
+			if e := rankErr(vals, s.Quantile(q), q); e > qsketchRankEps {
+				t.Fatalf("q=%v: rank err %v", q, e)
+			}
+		}
+	}
+	if a.Count() != 120000 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+}
+
+func TestQuantileSketchEmpty(t *testing.T) {
+	s := NewQuantileSketch()
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Fatal("empty sketch must answer NaN")
+	}
+	s.Merge(NewQuantileSketch())
+	if s.Count() != 0 {
+		t.Fatal("merging empties must stay empty")
+	}
+}
+
+// Up to distinctTrackLimit values the distinct sketch is an exact set —
+// including across merges — and beyond it the KMV estimate stays within
+// a few percent.
+func TestDistinctSketchExactAndEstimate(t *testing.T) {
+	d := NewDistinctSketch()
+	for i := 0; i < 3000; i++ {
+		d.AddStr(fmt.Sprintf("v%d", i%1500))
+	}
+	if !d.Exact() || d.Estimate() != 1500 {
+		t.Fatalf("exact phase: Exact=%v Estimate=%d, want 1500", d.Exact(), d.Estimate())
+	}
+
+	a, b := NewDistinctSketch(), NewDistinctSketch()
+	for i := 0; i < 2000; i++ {
+		a.AddStr(fmt.Sprintf("x%d", i))
+		b.AddStr(fmt.Sprintf("x%d", i+1000)) // 1000 overlap → 3000 union
+	}
+	a.Merge(b)
+	if !a.Exact() || a.Estimate() != 3000 {
+		t.Fatalf("merged exact: Exact=%v Estimate=%d, want 3000", a.Exact(), a.Estimate())
+	}
+
+	big := NewDistinctSketch()
+	const truth = 50000
+	for i := 0; i < truth*2; i++ {
+		big.AddStr(fmt.Sprintf("k%d", i%truth))
+	}
+	if big.Exact() {
+		t.Fatal("must overflow beyond distinctTrackLimit")
+	}
+	est := big.Estimate()
+	if rel := math.Abs(float64(est)-truth) / truth; rel > 0.10 {
+		t.Fatalf("KMV estimate %d vs %d: rel err %v > 10%%", est, truth, rel)
+	}
+}
+
+// The KMV phase is a set construction, so the estimate must not depend on
+// insertion order or merge shape.
+func TestDistinctSketchOrderIndependence(t *testing.T) {
+	n := 20000
+	forward, backward := NewDistinctSketch(), NewDistinctSketch()
+	for i := 0; i < n; i++ {
+		forward.AddStr(fmt.Sprintf("v%d", i))
+		backward.AddStr(fmt.Sprintf("v%d", n-1-i))
+	}
+	if forward.Estimate() != backward.Estimate() {
+		t.Fatalf("order dependent: %d vs %d", forward.Estimate(), backward.Estimate())
+	}
+	parts := make([]*DistinctSketch, 8)
+	for i := range parts {
+		parts[i] = NewDistinctSketch()
+	}
+	for i := 0; i < n; i++ {
+		parts[i%8].AddStr(fmt.Sprintf("v%d", i))
+	}
+	merged := NewDistinctSketch()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Estimate() != forward.Estimate() {
+		t.Fatalf("merge shape dependent: %d vs %d", merged.Estimate(), forward.Estimate())
+	}
+}
+
+func TestMomentStateMergeMatchesSinglePass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 100000)
+	single := newMomentState()
+	parts := make([]momentState, 7)
+	for i := range parts {
+		parts[i] = newMomentState()
+	}
+	for i := range vals {
+		vals[i] = rng.NormFloat64()*50 + 10
+		single.add(vals[i])
+		parts[i%7].add(vals[i])
+	}
+	merged := newMomentState()
+	for _, p := range parts {
+		merged.merge(p)
+	}
+	if merged.n != single.n || merged.min != single.min || merged.max != single.max {
+		t.Fatal("count/min/max must merge exactly")
+	}
+	if math.Abs(merged.mean-single.mean) > 1e-9 || math.Abs(merged.m2-single.m2)/single.m2 > 1e-9 {
+		t.Fatalf("moments drift: mean %v vs %v, m2 %v vs %v", merged.mean, single.mean, merged.m2, single.m2)
+	}
+}
+
+// Small columns: the sketch summary must agree with the exact backend on
+// everything that matters (counts, distinct set, min/max/quantiles — the
+// quantile sketch is exact below capacity).
+func TestSketchSummaryMatchesExactSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = math.Round(rng.NormFloat64() * 100)
+	}
+	c := NewNumeric("v", vals)
+	c.SetMissing(7)
+	c.SetMissing(130)
+
+	exact := c.SummaryWith(SummaryExact)
+	sk := c.SummaryWith(SummarySketch)
+	if exact.Approx || !sk.Approx {
+		t.Fatalf("Approx flags: exact=%v sketch=%v", exact.Approx, sk.Approx)
+	}
+	if sk.Rows != exact.Rows || sk.Missing != exact.Missing || sk.DistinctCount() != exact.DistinctCount() {
+		t.Fatalf("counts differ: %d/%d/%d vs %d/%d/%d", sk.Rows, sk.Missing, sk.DistinctCount(), exact.Rows, exact.Missing, exact.DistinctCount())
+	}
+	for i, v := range exact.Distinct {
+		if sk.Distinct[i] != v {
+			t.Fatalf("distinct[%d] %q vs %q", i, sk.Distinct[i], v)
+		}
+		if !sk.Contains(v) {
+			t.Fatalf("Contains(%q) false", v)
+		}
+	}
+	es, ss := exact.Stats, sk.Stats
+	if ss.Count != es.Count || ss.Min != es.Min || ss.Max != es.Max {
+		t.Fatalf("stats count/min/max differ: %+v vs %+v", ss, es)
+	}
+	if math.Abs(ss.Mean-es.Mean) > 1e-9 || math.Abs(ss.Std-es.Std) > 1e-9 {
+		t.Fatalf("mean/std differ: %+v vs %+v", ss, es)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if math.Float64bits(sk.Quantile(q)) != math.Float64bits(exact.Quantile(q)) {
+			t.Fatalf("q=%v: %v vs %v (exact below cap)", q, sk.Quantile(q), exact.Quantile(q))
+		}
+	}
+	if ss.Median != es.Median || ss.Q1 != es.Q1 || ss.Q3 != es.Q3 {
+		t.Fatalf("quartiles differ: %+v vs %+v", ss, es)
+	}
+}
+
+// Large columns: sketch quantiles stay within the documented rank bound of
+// the exact backend, distinct estimates within KMV tolerance, and the
+// sketch summary must not retain a sorted copy.
+func TestSketchSummaryBoundsLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 300000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 1000
+	}
+	c := NewNumeric("v", vals)
+	exact := c.SummaryWith(SummaryExact)
+	sk := c.SummaryWith(SummarySketch)
+	sort.Float64s(vals)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		if e := rankErr(vals, sk.Quantile(q), q); e > qsketchRankEps {
+			t.Fatalf("q=%v: rank err %v > %v", q, e, qsketchRankEps)
+		}
+	}
+	if sk.Stats.Min != exact.Stats.Min || sk.Stats.Max != exact.Stats.Max || sk.Stats.Count != exact.Stats.Count {
+		t.Fatal("min/max/count must be exact under sketch")
+	}
+	if math.Abs(sk.Stats.Mean-exact.Stats.Mean) > 1e-6 || math.Abs(sk.Stats.Std-exact.Stats.Std)/exact.Stats.Std > 1e-6 {
+		t.Fatal("mean/std must match to float tolerance")
+	}
+	truth := exact.DistinctCount()
+	if rel := math.Abs(float64(sk.DistinctCount()-truth)) / float64(truth); rel > 0.10 {
+		t.Fatalf("distinct estimate %d vs %d: rel err %v", sk.DistinctCount(), truth, rel)
+	}
+	if len(sk.sortedNums) != 0 {
+		t.Fatal("sketch summary must not retain sortedNums")
+	}
+	if len(exact.sortedNums) != n {
+		t.Fatal("exact summary must retain sortedNums")
+	}
+}
+
+// Backend selection and caching: auto flips to sketch at SketchAutoRows,
+// the two backends cache independently, and mutation invalidates both.
+func TestSummaryBackendSelectionAndCaching(t *testing.T) {
+	small := NewNumeric("s", make([]float64, 100))
+	if small.SummaryWith(SummaryAuto).Approx {
+		t.Fatal("auto on a small column must be exact")
+	}
+	big := NewNumeric("b", make([]float64, SketchAutoRows))
+	if !big.SummaryWith(SummaryAuto).Approx {
+		t.Fatal("auto at SketchAutoRows must sketch")
+	}
+
+	c := NewNumeric("c", []float64{1, 2, 3, 4})
+	e1, s1 := c.SummaryWith(SummaryExact), c.SummaryWith(SummarySketch)
+	if e1 == s1 {
+		t.Fatal("backends must not share cache slots")
+	}
+	if c.SummaryWith(SummaryExact) != e1 || c.SummaryWith(SummarySketch) != s1 {
+		t.Fatal("repeated calls must hit the per-backend cache")
+	}
+	if c.Summary() != e1 {
+		t.Fatal("default backend must be exact")
+	}
+	c.SetNum(0, 99)
+	if c.SummaryWith(SummaryExact) == e1 || c.SummaryWith(SummarySketch) == s1 {
+		t.Fatal("mutation must invalidate both backend caches")
+	}
+
+	SetDefaultSummaryBackend(SummarySketch)
+	defer SetDefaultSummaryBackend(SummaryDefault)
+	if !c.Summary().Approx {
+		t.Fatal("process default must reroute Summary()")
+	}
+}
+
+func TestParseSummaryBackend(t *testing.T) {
+	for in, want := range map[string]SummaryBackend{
+		"": SummaryDefault, "default": SummaryDefault,
+		"exact": SummaryExact, "sketch": SummarySketch, "auto": SummaryAuto,
+	} {
+		got, err := ParseSummaryBackend(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSummaryBackend(%q) = %v, %v", in, got, err)
+		}
+		if in != "" && got.String() != in {
+			t.Fatalf("String() = %q, want %q", got.String(), in)
+		}
+	}
+	if _, err := ParseSummaryBackend("bogus"); err == nil {
+		t.Fatal("bogus backend must error")
+	}
+}
+
+// String columns under the sketch backend: distinct set exact under the
+// cap, Stats zero, Quantile NaN — same contract as exact.
+func TestSketchSummaryStringColumn(t *testing.T) {
+	c := NewString("s", []string{"b", "a", "b", "", "c"})
+	c.SetMissing(3)
+	sk := c.SummaryWith(SummarySketch)
+	exact := c.SummaryWith(SummaryExact)
+	if sk.Missing != exact.Missing || sk.DistinctCount() != exact.DistinctCount() {
+		t.Fatal("string column counts differ")
+	}
+	for i := range exact.Distinct {
+		if sk.Distinct[i] != exact.Distinct[i] {
+			t.Fatal("string distinct set differs")
+		}
+	}
+	if !math.IsNaN(sk.Quantile(0.5)) {
+		t.Fatal("string sketch summary must answer NaN quantiles")
+	}
+	if sk.Stats != (Stats{}) {
+		t.Fatal("string sketch summary must have zero Stats")
+	}
+}

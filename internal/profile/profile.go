@@ -136,6 +136,12 @@ type Options struct {
 	Seed int64
 	// Workers bounds the per-column fan-out (0 = GOMAXPROCS, 1 = serial).
 	Workers int
+	// SummaryBackend selects how column statistics are computed
+	// (exact | sketch | auto, data.ParseSummaryBackend). The sketch
+	// backend answers quantiles from a mergeable fixed-size sketch and
+	// never materializes per-column sorted copies — the paper-scale
+	// profiling path. Zero value defers to the process default (exact).
+	SummaryBackend data.SummaryBackend
 }
 
 func (o Options) withDefaults() Options {
@@ -181,8 +187,8 @@ func Table(t *data.Table, target string, task data.Task, opts Options) (*Profile
 	sums := make([]*data.Summary, m)
 	workSums := make([]*data.Summary, m)
 	if err := pool.Each(opts.Workers, m, func(i int) error {
-		sums[i] = t.Cols[i].Summary()
-		workSums[i] = work.Cols[i].Summary()
+		sums[i] = t.Cols[i].SummaryWith(opts.SummaryBackend)
+		workSums[i] = work.Cols[i].SummaryWith(opts.SummaryBackend)
 		vecs[i] = embed.Column(work.Cols[i])
 		return nil
 	}); err != nil {
@@ -193,16 +199,21 @@ func Table(t *data.Table, target string, task data.Task, opts Options) (*Profile
 	cols, err := pool.Map(opts.Workers, m, func(ci int) (*ColumnProfile, error) {
 		c := t.Cols[ci]
 		sum := sums[ci]
+		// All ratio/count fields come from the warmed backend summary, not
+		// the Column convenience methods: those recompute a default-backend
+		// (exact) summary, which would defeat the sketch path's point of
+		// never building sorted copies. Same float expressions, so the
+		// exact backend stays bit-identical.
 		cp := &ColumnProfile{
 			Name:            c.Name,
 			DataType:        c.Kind,
-			DistinctPct:     c.DistinctRatio() * 100,
-			MissingPct:      c.MissingRatio() * 100,
+			DistinctPct:     distinctRatio(sum) * 100,
+			MissingPct:      missingRatio(sum) * 100,
 			DistinctCount:   sum.DistinctCount(),
-			NonNullFraction: 1 - c.MissingRatio(),
+			NonNullFraction: 1 - missingRatio(sum),
 			IsTarget:        c.Name == target,
 		}
-		cp.FeatureType = guessFeatureType(c, opts)
+		cp.FeatureType = guessFeatureType(c, sum, opts)
 		if c.Kind.IsNumeric() {
 			cp.Stats = sum.Stats
 		}
@@ -224,7 +235,7 @@ func Table(t *data.Table, target string, task data.Task, opts Options) (*Profile
 		}
 		if cp.FeatureType == FeatureCategorical {
 			for cj, other := range work.Cols {
-				if cj == ci || !isDiscrete(other, opts) {
+				if cj == ci || !isDiscrete(workSums[cj], opts) {
 					continue
 				}
 				// Cheap distinct-count pruning first: containment of wc in
@@ -275,24 +286,44 @@ func Dataset(ds *data.Dataset, opts Options) (*Profile, error) {
 	return p, nil
 }
 
-func isDiscrete(c *data.Column, opts Options) bool {
-	return c.DistinctCount() <= opts.CategoricalMaxDistinct*4
+// distinctRatio and missingRatio mirror Column.DistinctRatio and
+// Column.MissingRatio over an already-computed summary (same expressions,
+// so results are bit-identical under the exact backend) without forcing a
+// default-backend summary build.
+func distinctRatio(s *data.Summary) float64 {
+	n := s.Present()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.DistinctCount()) / float64(n)
+}
+
+func missingRatio(s *data.Summary) float64 {
+	if s.Rows == 0 {
+		return 0
+	}
+	return float64(s.Rows-s.Present()) / float64(s.Rows)
+}
+
+func isDiscrete(s *data.Summary, opts Options) bool {
+	return s.DistinctCount() <= opts.CategoricalMaxDistinct*4
 }
 
 // guessFeatureType is the profiler's pre-LLM heuristic (the catalog's LLM
-// pass can overturn it, e.g. sentence → categorical).
-func guessFeatureType(c *data.Column, opts Options) FeatureType {
-	if c.IsConstant() {
+// pass can overturn it, e.g. sentence → categorical). It reads all counts
+// from the provided backend summary.
+func guessFeatureType(c *data.Column, sum *data.Summary, opts Options) FeatureType {
+	if sum.DistinctCount() == 1 && sum.Present() > 0 {
 		return FeatureConstant
 	}
 	switch c.Kind {
 	case data.KindBool:
 		return FeatureBoolean
 	case data.KindInt:
-		if c.DistinctRatio() > 0.98 && c.DistinctCount() > 50 {
+		if distinctRatio(sum) > 0.98 && sum.DistinctCount() > 50 {
 			return FeatureID
 		}
-		if c.DistinctCount() <= 12 {
+		if sum.DistinctCount() <= 12 {
 			return FeatureCategorical
 		}
 		return FeatureNumerical
@@ -300,7 +331,7 @@ func guessFeatureType(c *data.Column, opts Options) FeatureType {
 		return FeatureNumerical
 	}
 	// String columns.
-	dc := c.DistinctCount()
+	dc := sum.DistinctCount()
 	if dc <= opts.CategoricalMaxDistinct {
 		return FeatureCategorical
 	}
@@ -327,7 +358,7 @@ func guessFeatureType(c *data.Column, opts Options) FeatureType {
 	if float64(multiWord)/float64(n) > 0.3 {
 		return FeatureSentence
 	}
-	if c.DistinctRatio() > 0.98 {
+	if distinctRatio(sum) > 0.98 {
 		return FeatureID
 	}
 	return FeatureSentence
