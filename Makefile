@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race verify bench lint-encapsulation lint-obs lint-transform
+.PHONY: build vet test race verify bench lint-encapsulation lint-obs lint-transform lint-dag
 
 build:
 	$(GO) build ./...
@@ -57,7 +57,25 @@ lint-transform:
 		exit 1; \
 	fi
 
-verify: build vet lint-encapsulation lint-obs lint-transform test race
+# Op metadata (arity, column footprint, barriers, handlers) lives in one
+# registry (pipescript/optable.go) consumed by the parser, executor,
+# analyzer, and DAG scheduler. Fail on any op dispatch switch in the
+# executor sources or any knownOps registration outside the registry.
+lint-dag:
+	@matches=$$(grep -nE 'switch (st|stmt)\.Op' internal/pipescript/exec.go internal/pipescript/ops_extra.go); \
+	if [ -n "$$matches" ]; then \
+		echo "lint-dag: op dispatch switch outside the op registry (use registerOp):"; \
+		echo "$$matches"; \
+		exit 1; \
+	fi
+	@matches=$$(grep -rnE 'knownOps\[[^]]*\] *=|registerOp\(' --include='*.go' internal/pipescript/ | grep -v 'optable.go'); \
+	if [ -n "$$matches" ]; then \
+		echo "lint-dag: op registration outside internal/pipescript/optable.go:"; \
+		echo "$$matches"; \
+		exit 1; \
+	fi
+
+verify: build vet lint-encapsulation lint-obs lint-transform lint-dag test race
 
 # Profiling + ML benchmarks: one cold iteration per benchmark (matching
 # how the committed baselines were captured) merged into BENCH_*.json;
@@ -71,3 +89,5 @@ bench:
 	$(GO) test -run='^$$' -bench=Predict -benchtime=300x ./internal/pipescript/ | $(GO) run ./cmd/benchjson -o BENCH_predict.json
 	BENCH_INGEST_MODE=legacy $(GO) test -run='^$$' -bench=Ingest -benchmem -benchtime=1x -timeout=30m ./internal/data/ | $(GO) run ./cmd/benchjson -set-baseline -o BENCH_ingest.json
 	$(GO) test -run='^$$' -bench=Ingest -benchmem -benchtime=1x -timeout=30m ./internal/data/ | $(GO) run ./cmd/benchjson -o BENCH_ingest.json
+	BENCH_DAG_MODE=serial $(GO) test -run='^$$' -bench=DAG -benchmem -benchtime=3x ./internal/pipescript/ | $(GO) run ./cmd/benchjson -set-baseline -o BENCH_dag.json
+	$(GO) test -run='^$$' -bench=DAG -benchmem -benchtime=3x ./internal/pipescript/ | $(GO) run ./cmd/benchjson -o BENCH_dag.json

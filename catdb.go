@@ -251,11 +251,29 @@ func ParallelPipGen(jobs []PipGenJob, workers int) []PipGenOutcome {
 // explicit train/test split — for users who want to re-run or hand-edit a
 // generated pipeline.
 func ExecutePipeline(source string, train, test *Table, target string, task Task, seed int64) (*PipelineResult, error) {
+	return ExecutePipelineWith(source, train, test, target, task, seed, ExecOptions{})
+}
+
+// ExecOptions tunes how ExecutePipelineWith and FitPipelineWith run a
+// pipeline. The zero value reproduces ExecutePipeline / FitPipeline.
+type ExecOptions struct {
+	// DAG schedules independent pipeline statements concurrently with
+	// the dependency-DAG scheduler. Results, fitted artifacts, and
+	// errors are bit-identical to linear execution at any worker count;
+	// only wall time changes.
+	DAG bool
+	// Workers bounds the goroutines the DAG scheduler and the tree/KNN
+	// models use (0 = all cores).
+	Workers int
+}
+
+// ExecutePipelineWith is ExecutePipeline with execution tuning.
+func ExecutePipelineWith(source string, train, test *Table, target string, task Task, seed int64, opts ExecOptions) (*PipelineResult, error) {
 	prog, err := pipescript.Parse(source)
 	if err != nil {
 		return nil, err
 	}
-	ex := &pipescript.Executor{Target: target, Task: task, Seed: seed}
+	ex := &pipescript.Executor{Target: target, Task: task, Seed: seed, DAG: opts.DAG, Workers: opts.Workers}
 	return ex.Execute(prog, train, test)
 }
 
@@ -278,12 +296,32 @@ type (
 // Predict on the test rows is bit-identical to the executor's own
 // held-out scoring — both funnel through the same fitted-step code.
 func FitPipeline(source string, train, test *Table, target string, task Task, seed int64) (*PipelineResult, *FittedPipeline, error) {
+	return FitPipelineWith(source, train, test, target, task, seed, ExecOptions{})
+}
+
+// FitPipelineWith is FitPipeline with execution tuning. The fitted
+// artifact is byte-identical whichever way the pipeline executed.
+func FitPipelineWith(source string, train, test *Table, target string, task Task, seed int64, opts ExecOptions) (*PipelineResult, *FittedPipeline, error) {
 	prog, err := pipescript.Parse(source)
 	if err != nil {
 		return nil, nil, err
 	}
-	ex := &pipescript.Executor{Target: target, Task: task, Seed: seed}
+	ex := &pipescript.Executor{Target: target, Task: task, Seed: seed, DAG: opts.DAG, Workers: opts.Workers}
 	return ex.Fit(prog, train, test)
+}
+
+// RenderPipelineDAG renders the dependency-DAG execution plan of a
+// pipeline over the given initial columns: segments of parallel waves
+// separated by serial barriers, with per-statement column dependencies.
+// It is a static preview of what ExecOptions.DAG would schedule;
+// segments whose references cannot be statically resolved are marked
+// serial (they fall back to linear execution at run time).
+func RenderPipelineDAG(source string, cols []string, target string) (string, error) {
+	prog, err := pipescript.Parse(source)
+	if err != nil {
+		return "", err
+	}
+	return pipescript.RenderDAG(prog, cols, target), nil
 }
 
 // Predict applies a fitted-pipeline artifact to a batch of raw rows:

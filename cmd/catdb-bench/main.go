@@ -44,6 +44,7 @@ func main() {
 	progress := flag.Bool("progress", false, "print one line per completed experiment cell to stderr")
 	traceOut := flag.String("trace-out", "", "write per-cell span traces to this file (.jsonl = JSON lines, otherwise a human-readable tree)")
 	metricsOut := flag.String("metrics-out", "", "write harness metrics in Prometheus text format to this file")
+	dag := flag.Bool("dag", false, "execute pipelines with the DAG statement scheduler (results are bit-identical; only wall time changes)")
 	flag.Parse()
 
 	var out io.Writer = os.Stdout
@@ -81,7 +82,7 @@ func main() {
 	cfg := bench.Config{
 		Scale: *scale, Seed: *seed, Iterations: *iters, Fast: *fast, Workers: *workers, Out: out,
 		Ingest: data.IngestOptions{Workers: *ingestWorkers, ChunkBytes: *chunkBytes},
-		Tracer: tracer, Metrics: metrics, Progress: progressW,
+		Tracer: tracer, Metrics: metrics, Progress: progressW, DAG: *dag,
 	}
 
 	experiments := []experiment{

@@ -200,6 +200,7 @@ func cmdGenerate(args []string) error {
 	export := fs.String("export", "", "write the generated pipeline to this .pipe file")
 	traceOut := fs.String("trace-out", "", "write the run's span trace to this file (.jsonl = JSON lines, otherwise a human-readable tree)")
 	metricsOut := fs.String("metrics-out", "", "write run metrics in Prometheus text format to this file")
+	dag := fs.Bool("dag", false, "execute generated pipelines with the DAG statement scheduler (results are bit-identical; only wall time changes)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -220,7 +221,7 @@ func cmdGenerate(args []string) error {
 		metrics = catdb.NewMetrics()
 	}
 	res, err := catdb.PipGenObserved(ds, client, catdb.Options{
-		Seed: *seed, Chains: *chains, TopK: *topK, NoRefine: *noRefine,
+		Seed: *seed, Chains: *chains, TopK: *topK, NoRefine: *noRefine, DAG: *dag,
 	}, tracer, metrics)
 	if werr := writeObsOutputs(tracer, metrics, *traceOut, *metricsOut); werr != nil && err == nil {
 		err = werr
@@ -296,6 +297,9 @@ func cmdRun(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	refine := fs.Bool("refine", false, "apply catalog refinement before running (use when the pipeline was generated without -no-refine)")
 	model := fs.String("model", "gemini-1.5-pro", "LLM model for -refine")
+	dag := fs.Bool("dag", false, "schedule independent statements concurrently (results are bit-identical; only wall time changes)")
+	workers := fs.Int("workers", 0, "execution goroutines for -dag and model fitting (0 = all cores)")
+	dagPlan := fs.Bool("dag-plan", false, "print the DAG execution plan (waves, barriers, dependencies) before running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -310,7 +314,15 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := catdb.ExecutePipeline(string(src), tr, te, ds.Target, ds.Task, *seed)
+	if *dagPlan {
+		plan, perr := catdb.RenderPipelineDAG(string(src), tr.ColumnNames(), ds.Target)
+		if perr != nil {
+			return perr
+		}
+		fmt.Print(plan)
+	}
+	res, err := catdb.ExecutePipelineWith(string(src), tr, te, ds.Target, ds.Task, *seed,
+		catdb.ExecOptions{DAG: *dag, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -368,6 +380,8 @@ func cmdFit(args []string) error {
 	refine := fs.Bool("refine", false, "apply catalog refinement before fitting")
 	model := fs.String("model", "gemini-1.5-pro", "LLM model for -refine")
 	out := fs.String("out", "model.catdb.json", "fitted-pipeline artifact output path")
+	dag := fs.Bool("dag", false, "schedule independent statements concurrently (the artifact is byte-identical; only wall time changes)")
+	workers := fs.Int("workers", 0, "execution goroutines for -dag and model fitting (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -382,7 +396,8 @@ func cmdFit(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, fp, err := catdb.FitPipeline(string(src), tr, te, ds.Target, ds.Task, *seed)
+	res, fp, err := catdb.FitPipelineWith(string(src), tr, te, ds.Target, ds.Task, *seed,
+		catdb.ExecOptions{DAG: *dag, Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -107,7 +107,9 @@ func RunAblation(cfg Config) (*AblationResult, error) {
 		if v.noKB {
 			r.KB = nil
 		}
-		out, rerr := r.Run(c.ds, v.opts(seed))
+		opts := v.opts(seed)
+		opts.DAG = cfg.DAG
+		out, rerr := r.Run(c.ds, opts)
 		if rerr != nil {
 			return runOut{failed: true}, nil
 		}

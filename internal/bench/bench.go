@@ -67,6 +67,11 @@ type Config struct {
 	// completion order, which is scheduling-dependent; experiment results
 	// remain deterministic.
 	Progress io.Writer
+	// DAG turns on the pipeline executor's dependency-DAG scheduler for
+	// every run the experiments launch. Scores, costs, and errors are
+	// bit-identical to linear execution — only pipeline wall time
+	// changes — so it is safe to flip on any experiment.
+	DAG bool
 }
 
 func (c Config) withDefaults() Config {

@@ -61,6 +61,16 @@ type Options struct {
 	// packages raise policy errors that the error-management loop repairs
 	// with allowed alternatives.
 	Policy *pipescript.Policy
+	// DAG schedules independent pipeline statements concurrently
+	// (pipescript's dependency-DAG scheduler). Results, artifacts, and
+	// errors are bit-identical to linear execution at any worker count;
+	// only wall time changes. With Chains > 1 the chained sub-pipelines
+	// accumulate into one program, so the whole chain is fused into a
+	// single DAG.
+	DAG bool
+	// ExecWorkers bounds the goroutines the pipeline executor uses for
+	// DAG statement scheduling and model fitting (0 = all cores).
+	ExecWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -283,7 +293,7 @@ func (r *Runner) Run(ds *data.Dataset, opts Options) (*Result, error) {
 		esp.End()
 		return nil, fmt.Errorf("core: final pipeline failed to parse after validation: %w", perr)
 	}
-	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy, Metrics: r.Metrics}
+	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy, Metrics: r.Metrics, DAG: opts.DAG, Workers: opts.ExecWorkers}
 	execRes, xerr := ex.Execute(prog, train, test)
 	if xerr != nil {
 		// Full-data failure after sample validation: resume the debug
@@ -398,7 +408,7 @@ func (r *Runner) generateAndFix(pr prompt.Prompt, in prompt.Input, cfg prompt.Co
 	if opts.StaticRepair && !allowNoTrain {
 		source = staticRepair(source, in, ds.Task)
 	}
-	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, AllowNoTrain: allowNoTrain, Policy: opts.Policy, Metrics: r.Metrics}
+	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, AllowNoTrain: allowNoTrain, Policy: opts.Policy, Metrics: r.Metrics, DAG: opts.DAG, Workers: opts.ExecWorkers}
 	return r.debugLoop(source, in, cfg, opts, ex, vTrain, vTest, ds, res, sp)
 }
 
@@ -437,7 +447,7 @@ func staticRepair(source string, in prompt.Input, task data.Task) string {
 func (r *Runner) finalValidate(source string, in prompt.Input, cfg prompt.Config, opts Options,
 	vTrain, vTest *data.Table, ds *data.Dataset, res *Result, sp *obs.Span) (string, error) {
 
-	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy, Metrics: r.Metrics}
+	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy, Metrics: r.Metrics, DAG: opts.DAG, Workers: opts.ExecWorkers}
 	return r.debugLoop(source, in, cfg, opts, ex, vTrain, vTest, ds, res, sp)
 }
 
@@ -557,7 +567,7 @@ func (r *Runner) resumeOnFullData(source string, firstErr error, in prompt.Input
 	sp := parent.Child("resume-debug")
 	sp.SetStr("cause", errkb.Classify(firstErr).Code)
 	defer sp.End()
-	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy, Metrics: r.Metrics}
+	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy, Metrics: r.Metrics, DAG: opts.DAG, Workers: opts.ExecWorkers}
 	dstart := obs.Now()
 	fixed, err := r.debugLoop(source, in, cfg, opts, ex, train, test, ds, res, sp)
 	genDur := obs.Since(dstart)

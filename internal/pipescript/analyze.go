@@ -82,48 +82,22 @@ func Analyze(p *Program, cols []ColumnInfo, task data.Task) []Issue {
 		return s
 	}
 	for _, stmt := range p.Stmts {
+		spec := opRegistry[stmt.Op]
+		if spec == nil {
+			continue // Parse rejects unknown statements
+		}
+		// Checks and transitions that go beyond the column footprint:
+		// packages, task shape, whole-table imputation, the train gate.
 		switch stmt.Op {
 		case "require":
 			if !AvailablePackages[stmt.Arg(0)] {
 				issues = append(issues, Issue{Code: IssueBadPackage, Line: stmt.Line,
 					Msg: fmt.Sprintf("package %q is not installed", stmt.Arg(0))})
 			}
-		case "impute":
-			if s := lookup(stmt.Arg(0), stmt.Line); s != nil {
-				s.hasMissing = false
-			}
 		case "impute_all":
 			imputeAll = true
 			for _, s := range st {
 				s.hasMissing = false
-			}
-		case "onehot", "khot", "hash_encode", "ordinal":
-			if s := lookup(stmt.Arg(0), stmt.Line); s != nil {
-				if s.encoded {
-					issues = append(issues, Issue{Code: IssueDoubleEncode, Line: stmt.Line, Column: stmt.Arg(0),
-						Msg: fmt.Sprintf("column %q is encoded more than once", stmt.Arg(0))})
-				}
-				s.encoded = true
-				s.isString = false
-				s.hasMissing = false // encoders produce complete indicators
-			}
-		case "extract_token", "dedup_values":
-			lookup(stmt.Arg(0), stmt.Line)
-		case "split_composite":
-			if s := lookup(stmt.Arg(0), stmt.Line); s != nil {
-				s.present = false
-				names := splitNames(stmt, stmt.Arg(0))
-				for _, n := range names {
-					st[n] = &state{isString: true, present: true}
-				}
-			}
-		case "drop":
-			if s := lookup(stmt.Arg(0), stmt.Line); s != nil {
-				if s.isTarget {
-					issues = append(issues, Issue{Code: IssueTargetDropped, Line: stmt.Line, Column: stmt.Arg(0),
-						Msg: "pipeline drops the target column"})
-				}
-				s.present = false
 			}
 		case "rebalance":
 			if task == data.Regression {
@@ -134,10 +108,6 @@ func Analyze(p *Program, cols []ColumnInfo, task data.Task) []Issue {
 			if task != data.Regression {
 				issues = append(issues, Issue{Code: IssueTaskMismatch, Line: stmt.Line,
 					Msg: "augment is only valid for regression"})
-			}
-		case "clip_outliers", "remove_outliers", "scale":
-			if a := stmt.Arg(0); a != "all" && a != "all_numeric" {
-				lookup(a, stmt.Line)
 			}
 		case "train":
 			trained = true
@@ -164,6 +134,67 @@ func Analyze(p *Program, cols []ColumnInfo, task data.Task) []Issue {
 						Msg: fmt.Sprintf("column %q may carry missing values into training", name)})
 				}
 			}
+		}
+		if spec.refs == nil {
+			continue
+		}
+		// Footprint checks driven by the same refs the DAG scheduler
+		// uses. The "" target omits implicit target reads — target
+		// existence is train's concern, checked above.
+		r := spec.refs(stmt, "")
+		need := make([]string, 0, len(r.reads)+len(r.writes)+len(r.removes))
+		need = append(need, r.reads...)
+		need = append(need, r.writes...)
+		need = append(need, r.removes...)
+		resolved := true
+		checked := map[string]bool{}
+		for _, name := range need {
+			if checked[name] {
+				continue
+			}
+			checked[name] = true
+			if lookup(name, stmt.Line) == nil {
+				resolved = false
+			}
+		}
+		if !resolved {
+			continue // unresolved reference: no state transition to simulate
+		}
+		if spec.encoder {
+			// All encoders share one state machine, so re-encoding an
+			// already-encoded column is a DOUBLE_ENCODE whichever pair
+			// of encoders is involved. The source column stays tracked
+			// under its own name; fixed-suffix derived columns
+			// (__hash/__ord/__tenc) become present encoded columns.
+			s := st[stmt.Arg(0)]
+			if s.encoded {
+				issues = append(issues, Issue{Code: IssueDoubleEncode, Line: stmt.Line, Column: stmt.Arg(0),
+					Msg: fmt.Sprintf("column %q is encoded more than once", stmt.Arg(0))})
+			}
+			s.encoded = true
+			s.isString = false
+			s.hasMissing = false // encoders produce complete indicators
+			for _, name := range r.adds {
+				st[name] = &state{present: true, encoded: true}
+			}
+			continue
+		}
+		switch stmt.Op {
+		case "impute":
+			st[stmt.Arg(0)].hasMissing = false
+		case "drop":
+			if st[stmt.Arg(0)].isTarget {
+				issues = append(issues, Issue{Code: IssueTargetDropped, Line: stmt.Line, Column: stmt.Arg(0),
+					Msg: "pipeline drops the target column"})
+			}
+		}
+		for _, name := range r.removes {
+			if s := st[name]; s != nil {
+				s.present = false
+			}
+		}
+		for _, name := range r.adds {
+			st[name] = &state{isString: spec.stringAdds, present: true}
 		}
 	}
 	if !trained {

@@ -229,3 +229,118 @@ func TestAnalyzePredictsRuntimeErrors(t *testing.T) {
 		}
 	}
 }
+
+func issueFor(issues []Issue, code IssueCode, column string) bool {
+	for _, is := range issues {
+		if is.Code == code && is.Column == column {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAnalyzeMultiColumnUnknown(t *testing.T) {
+	// Every name in a multi-column statement is checked, not just the
+	// first: interaction's second operand must be flagged too.
+	src := `pipeline "x"
+impute_all
+onehot "cat"
+onehot "addr"
+interaction "num" "ghost" op=product
+train model=knn target="y"
+`
+	issues := analyze(t, src, data.Multiclass)
+	if !issueFor(issues, IssueUnknownColumn, "ghost") {
+		t.Fatalf("interaction second arg not checked: %+v", issues)
+	}
+}
+
+func TestAnalyzeExtraOpLookups(t *testing.T) {
+	// The extended ops go through the same footprint checks as the core
+	// set — a phantom column in any of them is an UNKNOWN_COLUMN.
+	for _, stmt := range []string{
+		`bin_numeric "ghost" bins=4`,
+		`log_transform "ghost"`,
+		`winsorize "ghost"`,
+		`target_encode "ghost"`,
+		`remove_outliers "ghost"`,
+	} {
+		src := "pipeline \"x\"\n" + stmt + "\nimpute_all\nonehot \"cat\"\nonehot \"addr\"\ntrain target=\"y\"\n"
+		issues := analyze(t, src, data.Multiclass)
+		if !issueFor(issues, IssueUnknownColumn, "ghost") {
+			t.Fatalf("%s: phantom column not flagged: %+v", stmt, issues)
+		}
+	}
+}
+
+func TestAnalyzeMixedEncoderDoubleEncode(t *testing.T) {
+	// Encoding the same column with two *different* encoders is still a
+	// double encode; the shared op table marks them all as encoders.
+	for _, pair := range [][2]string{
+		{`onehot "cat"`, `hash_encode "cat"`},
+		{`hash_encode "cat"`, `ordinal "cat"`},
+		{`target_encode "cat"`, `onehot "cat"`},
+		{`khot "cat"`, `target_encode "cat"`},
+	} {
+		src := "pipeline \"x\"\nimpute_all\n" + pair[0] + "\n" + pair[1] + "\nonehot \"addr\"\ntrain target=\"y\"\n"
+		issues := analyze(t, src, data.Multiclass)
+		if !issueFor(issues, IssueDoubleEncode, "cat") {
+			t.Fatalf("%s then %s: double encode not flagged: %+v", pair[0], pair[1], issues)
+		}
+	}
+}
+
+func TestAnalyzeUnknownColumnReportedOnce(t *testing.T) {
+	// In-place ops read and write the same column; the missing-column
+	// check must still fire exactly once per statement.
+	src := "pipeline \"x\"\nimpute \"ghost\"\nimpute_all\nonehot \"cat\"\nonehot \"addr\"\ntrain target=\"y\"\n"
+	issues := analyze(t, src, data.Multiclass)
+	n := 0
+	for _, is := range issues {
+		if is.Code == IssueUnknownColumn {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("want exactly 1 UNKNOWN_COLUMN, got %d: %+v", n, issues)
+	}
+}
+
+func TestAnalyzeWholeTableForms(t *testing.T) {
+	// The whole-table keyword of each op has no static footprint; any
+	// other first argument is a column name and must resolve — matching
+	// what the executor's requireCol would raise.
+	src := `pipeline "x"
+clip_outliers all
+scale all_numeric
+remove_outliers "num"
+impute_all
+onehot "cat"
+onehot "addr"
+train target="y"
+`
+	if issues := analyze(t, src, data.Multiclass); len(issues) != 0 {
+		t.Fatalf("whole-table forms flagged: %+v", issues)
+	}
+	// scale's keyword is all_numeric, not all: runtime would raise
+	// UNKNOWN_COLUMN for `scale all`, and analysis predicts it.
+	src2 := "pipeline \"x\"\nscale all\nimpute_all\nonehot \"cat\"\nonehot \"addr\"\ntrain target=\"y\"\n"
+	if issues := analyze(t, src2, data.Multiclass); !issueFor(issues, IssueUnknownColumn, "all") {
+		t.Fatalf("scale all not flagged: %+v", issues)
+	}
+}
+
+func TestAnalyzeDerivedEncoderColumnsPresent(t *testing.T) {
+	// Fixed-suffix encoder outputs (__hash/__ord/__tenc) are tracked as
+	// present columns, so downstream references to them resolve.
+	src := `pipeline "x"
+hash_encode "cat"
+scale "cat__hash"
+impute_all
+onehot "addr"
+train target="y"
+`
+	if issues := analyze(t, src, data.Multiclass); len(issues) != 0 {
+		t.Fatalf("derived column reference flagged: %+v", issues)
+	}
+}

@@ -60,7 +60,15 @@ type Executor struct {
 	// Workers bounds the goroutines tree ensembles and KNN use for fitting
 	// and batch inference (0 = GOMAXPROCS, 1 = serial). Models derive
 	// per-tree/per-class seeds, so results are identical at any setting.
+	// With DAG set it also bounds concurrent pipeline statements.
 	Workers int
+	// DAG schedules independent statements (disjoint column footprints
+	// between barriers) concurrently over internal/pool instead of
+	// executing the program linearly. Results, fitted artifacts, and
+	// errors are bit-identical to linear execution at any Workers
+	// setting; statements whose column references cannot be resolved
+	// statically fall back to linear execution automatically.
+	DAG bool
 	// Metrics, when set, records execution counts, latencies, and error
 	// codes (catdb_pipescript_*) into the observability registry. Nil
 	// disables recording with zero overhead.
@@ -108,9 +116,15 @@ func (e *Executor) execute(p *Program, train, test *data.Table) (*Result, error)
 	res := &Result{Program: p}
 
 	trained := false
-	for _, st := range p.Stmts {
-		if err := e.execStmt(st, tr, te, maxOH, res, &trained); err != nil {
+	if e.DAG {
+		if err := e.executeDAG(p, tr, te, maxOH, res, &trained); err != nil {
 			return nil, err
+		}
+	} else {
+		for _, st := range p.Stmts {
+			if err := e.execStmt(st, tr, te, maxOH, res, &trained); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if !trained {
@@ -129,374 +143,393 @@ func lastLine(p *Program) int {
 	return p.Stmts[len(p.Stmts)-1].Line
 }
 
+// execStmt dispatches one statement through the registered op table
+// (optable.go). tr/te are the real train/test tables on this path, so
+// every side effect applies immediately.
 func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result, trained *bool) error {
 	if err := e.policyCheck(st); err != nil {
 		return err
 	}
-	requireCol := func(name string) (*data.Column, error) {
-		if c := tr.Col(name); c != nil {
-			return c, nil
-		}
-		return nil, rtErr(st.Line, ErrUnknownColumn, "column %q does not exist (have %d columns)", name, tr.NumCols())
+	spec := opRegistry[st.Op]
+	if spec == nil {
+		// Parse guarantees registered ops; this is unreachable by construction.
+		return rtErr(st.Line, ErrBadOption, "unhandled statement %q", st.Op)
 	}
-	switch st.Op {
-	case "pipeline", "evaluate":
-		return nil
+	return spec.exec(e, st, &execCtx{e: e, tr: tr, te: te, maxOH: maxOH, res: res, trained: trained})
+}
 
-	case "require":
-		pkg := st.Arg(0)
-		if !AvailablePackages[pkg] {
-			return rtErr(st.Line, ErrPkgMissing, "package %q is not installed in the execution environment", pkg)
-		}
-		return nil
+// requireCol resolves a column reference in a core statement.
+func requireCol(tr *data.Table, line int, name string) (*data.Column, error) {
+	if c := tr.Col(name); c != nil {
+		return c, nil
+	}
+	return nil, rtErr(line, ErrUnknownColumn, "column %q does not exist (have %d columns)", name, tr.NumCols())
+}
 
-	case "impute":
-		c, err := requireCol(st.Arg(0))
-		if err != nil {
-			return err
+func (e *Executor) execNop(Stmt, *execCtx) error { return nil }
+
+func (e *Executor) execRequire(st Stmt, _ *execCtx) error {
+	pkg := st.Arg(0)
+	if !AvailablePackages[pkg] {
+		return rtErr(st.Line, ErrPkgMissing, "package %q is not installed in the execution environment", pkg)
+	}
+	return nil
+}
+
+func (e *Executor) execImpute(st Stmt, c *execCtx) error {
+	col, err := requireCol(c.tr, st.Line, st.Arg(0))
+	if err != nil {
+		return err
+	}
+	num, str, ierr := imputeValue(col, st.Opt("strategy", "most_frequent"))
+	if ierr != nil {
+		return rtErr(st.Line, ErrTypeMismatch, "%v", ierr)
+	}
+	applyImpute(col, num, str)
+	return c.apply(FittedStep{Op: "impute", Col: col.Name, Num: num, Str: str}, st.Line, ErrBadOption)
+}
+
+func (e *Executor) execImputeAll(st Stmt, c *execCtx) error {
+	strategy := st.Opt("strategy", "auto")
+	for _, col := range c.tr.Cols {
+		if col.Name == e.Target || col.MissingCount() == 0 {
+			continue
 		}
-		num, str, ierr := imputeValue(c, st.Opt("strategy", "most_frequent"))
+		s := strategy
+		if s == "auto" {
+			if col.Kind.IsNumeric() {
+				s = "median"
+			} else {
+				s = "most_frequent"
+			}
+		}
+		num, str, ierr := imputeValue(col, s)
 		if ierr != nil {
 			return rtErr(st.Line, ErrTypeMismatch, "%v", ierr)
 		}
-		applyImpute(c, num, str)
-		if err := e.recordAndApply(FittedStep{Op: "impute", Col: c.Name, Num: num, Str: str}, te); err != nil {
-			return rtErr(st.Line, ErrBadOption, "%v", err)
-		}
-		return nil
-
-	case "impute_all":
-		strategy := st.Opt("strategy", "auto")
-		for _, c := range tr.Cols {
-			if c.Name == e.Target || c.MissingCount() == 0 {
-				continue
-			}
-			s := strategy
-			if s == "auto" {
-				if c.Kind.IsNumeric() {
-					s = "median"
-				} else {
-					s = "most_frequent"
-				}
-			}
-			num, str, ierr := imputeValue(c, s)
-			if ierr != nil {
-				return rtErr(st.Line, ErrTypeMismatch, "%v", ierr)
-			}
-			applyImpute(c, num, str)
-			if err := e.recordAndApply(FittedStep{Op: "impute", Col: c.Name, Num: num, Str: str}, te); err != nil {
-				return rtErr(st.Line, ErrBadOption, "%v", err)
-			}
-		}
-		return nil
-
-	case "clip_outliers", "remove_outliers":
-		factor, err := strconv.ParseFloat(st.Opt("factor", "1.5"), 64)
-		if err != nil {
-			return rtErr(st.Line, ErrBadOption, "bad factor %q", st.Opt("factor", ""))
-		}
-		var cols []*data.Column
-		if st.Arg(0) == "all" {
-			for _, c := range tr.Cols {
-				if c.Kind.IsNumeric() && c.Name != e.Target {
-					cols = append(cols, c)
-				}
-			}
-		} else {
-			c, cerr := requireCol(st.Arg(0))
-			if cerr != nil {
-				return cerr
-			}
-			if !c.Kind.IsNumeric() {
-				return rtErr(st.Line, ErrTypeMismatch, "outlier handling needs a numeric column, %q is %s", c.Name, c.Kind)
-			}
-			cols = append(cols, c)
-		}
-		if st.Op == "clip_outliers" {
-			for _, c := range cols {
-				lo, hi := iqrBounds(c, factor)
-				clipColumn(c, lo, hi)
-				if c.Name != e.Target {
-					if err := e.recordAndApply(FittedStep{Op: "clip", Col: c.Name, Lo: lo, Hi: hi}, te); err != nil {
-						return rtErr(st.Line, ErrBadOption, "%v", err)
-					}
-				}
-			}
-			return nil
-		}
-		// remove_outliers: drop offending train rows (test rows are clipped
-		// so evaluation set size is preserved, as cleaning tools do).
-		keep := make([]bool, tr.NumRows())
-		for i := range keep {
-			keep[i] = true
-		}
-		for _, c := range cols {
-			lo, hi := iqrBounds(c, factor)
-			for i := 0; i < c.Len(); i++ {
-				if !c.IsMissing(i) && (c.Num(i) < lo || c.Num(i) > hi) {
-					keep[i] = false
-				}
-			}
-			// Evaluation rows are clipped (never dropped) so the test set
-			// size is preserved — except the target, which is ground truth.
-			if c.Name != e.Target {
-				if err := e.recordAndApply(FittedStep{Op: "clip", Col: c.Name, Lo: lo, Hi: hi}, te); err != nil {
-					return rtErr(st.Line, ErrBadOption, "%v", err)
-				}
-			}
-		}
-		var rows []int
-		for i, k := range keep {
-			if k {
-				rows = append(rows, i)
-			}
-		}
-		if len(rows) == 0 {
-			return rtErr(st.Line, ErrEmptyData, "outlier removal dropped every row")
-		}
-		*tr = *tr.SelectRows(rows)
-		return nil
-
-	case "scale":
-		method := st.Opt("method", "standard")
-		var cols []*data.Column
-		if st.Arg(0) == "all_numeric" {
-			for _, c := range tr.Cols {
-				if c.Kind.IsNumeric() && c.Name != e.Target {
-					cols = append(cols, c)
-				}
-			}
-		} else {
-			c, cerr := requireCol(st.Arg(0))
-			if cerr != nil {
-				return cerr
-			}
-			if !c.Kind.IsNumeric() {
-				return rtErr(st.Line, ErrTypeMismatch, "cannot scale non-numeric column %q", c.Name)
-			}
-			cols = append(cols, c)
-		}
-		for _, c := range cols {
-			sp, serr := fitScale(c, method)
-			if serr != nil {
-				return rtErr(st.Line, ErrBadOption, "%v", serr)
-			}
-			sp.apply(c)
-			// Like the outlier ops, the target is exempt on the test side:
-			// scaling held-out ground truth would corrupt RMSE (the train
-			// target may be scaled — the model just learns that scale).
-			if c.Name != e.Target {
-				if err := e.recordAndApply(FittedStep{Op: "scale", Col: c.Name,
-					Method: sp.method, A: sp.a, B: sp.b}, te); err != nil {
-					return rtErr(st.Line, ErrBadOption, "%v", err)
-				}
-			}
-		}
-		return nil
-
-	case "onehot":
-		c, err := requireCol(st.Arg(0))
-		if err != nil {
+		applyImpute(col, num, str)
+		if err := c.apply(FittedStep{Op: "impute", Col: col.Name, Num: num, Str: str}, st.Line, ErrBadOption); err != nil {
 			return err
 		}
-		maxCats := maxOH
-		if v := st.Opt("max_categories", ""); v != "" {
-			mc, perr := strconv.Atoi(v)
-			if perr != nil || mc <= 0 {
-				return rtErr(st.Line, ErrBadOption, "bad max_categories %q", v)
-			}
-			maxCats = mc
-		}
-		cats := topCategories(c, maxCats)
-		if tr.NumCols()+len(cats) > maxEncodedFeatures {
-			return rtErr(st.Line, ErrTooManyFeatures, "one-hot of %q would exceed %d features", c.Name, maxEncodedFeatures)
-		}
-		if err := oneHot(tr, c.Name, cats); err != nil {
-			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
-		}
-		if err := e.recordAndApply(FittedStep{Op: "onehot", Col: c.Name, Cats: cats}, te); err != nil {
-			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
-		}
-		return nil
-
-	case "khot":
-		c, err := requireCol(st.Arg(0))
-		if err != nil {
-			return err
-		}
-		if c.Kind != data.KindString {
-			return rtErr(st.Line, ErrTypeMismatch, "khot needs a string list column, %q is %s", c.Name, c.Kind)
-		}
-		items := listItems(c, 256)
-		if tr.NumCols()+len(items) > maxEncodedFeatures {
-			return rtErr(st.Line, ErrTooManyFeatures, "k-hot of %q would exceed %d features", c.Name, maxEncodedFeatures)
-		}
-		if err := kHot(tr, c.Name, items); err != nil {
-			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
-		}
-		if err := e.recordAndApply(FittedStep{Op: "khot", Col: c.Name, Cats: items}, te); err != nil {
-			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
-		}
-		return nil
-
-	case "hash_encode":
-		c, err := requireCol(st.Arg(0))
-		if err != nil {
-			return err
-		}
-		buckets, perr := strconv.Atoi(st.Opt("buckets", "64"))
-		if perr != nil || buckets <= 0 {
-			return rtErr(st.Line, ErrBadOption, "bad buckets %q", st.Opt("buckets", ""))
-		}
-		if err := hashEncode(tr, c.Name, buckets); err != nil {
-			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
-		}
-		if err := e.recordAndApply(FittedStep{Op: "hash_encode", Col: c.Name, Buckets: buckets}, te); err != nil {
-			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
-		}
-		return nil
-
-	case "ordinal":
-		c, err := requireCol(st.Arg(0))
-		if err != nil {
-			return err
-		}
-		mapping := map[string]int{}
-		for i, cat := range topCategories(c, 1<<20) {
-			mapping[cat] = i
-		}
-		if err := ordinalEncode(tr, c.Name, mapping); err != nil {
-			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
-		}
-		if err := e.recordAndApply(FittedStep{Op: "ordinal", Col: c.Name, Mapping: mapping}, te); err != nil {
-			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
-		}
-		return nil
-
-	case "drop":
-		if _, err := requireCol(st.Arg(0)); err != nil {
-			return err
-		}
-		if st.Arg(0) == e.Target {
-			return rtErr(st.Line, ErrTargetMissing, "cannot drop the target column %q", e.Target)
-		}
-		tr.DropColumn(st.Arg(0))
-		return e.recordAndApply(FittedStep{Op: "drop", Cols: []string{st.Arg(0)}}, te)
-
-	case "drop_constant":
-		names := constantCols(tr, e.Target)
-		if len(names) == 0 {
-			return nil
-		}
-		for _, name := range names {
-			tr.DropColumn(name)
-		}
-		return e.recordAndApply(FittedStep{Op: "drop", Cols: names}, te)
-
-	case "drop_sparse":
-		thr, perr := strconv.ParseFloat(st.Opt("threshold", "0.02"), 64)
-		if perr != nil {
-			return rtErr(st.Line, ErrBadOption, "bad threshold %q", st.Opt("threshold", ""))
-		}
-		var doomed []string
-		for _, c := range tr.Cols {
-			if c.Name != e.Target && 1-c.MissingRatio() < thr {
-				doomed = append(doomed, c.Name)
-			}
-		}
-		if len(doomed) == 0 {
-			return nil
-		}
-		for _, name := range doomed {
-			tr.DropColumn(name)
-		}
-		return e.recordAndApply(FittedStep{Op: "drop", Cols: doomed}, te)
-
-	case "split_composite":
-		c, err := requireCol(st.Arg(0))
-		if err != nil {
-			return err
-		}
-		names := splitNames(st, c.Name)
-		if err := splitComposite(tr, c.Name, names[0], names[1]); err != nil {
-			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
-		}
-		if err := e.recordAndApply(FittedStep{Op: "split_composite", Col: c.Name,
-			Name: names[0], NameB: names[1]}, te); err != nil {
-			return rtErr(st.Line, ErrUnknownColumn, "%v", err)
-		}
-		return nil
-
-	case "extract_token":
-		c, err := requireCol(st.Arg(0))
-		if err != nil {
-			return err
-		}
-		if c.Kind != data.KindString {
-			return rtErr(st.Line, ErrTypeMismatch, "extract_token needs a string column, %q is %s", c.Name, c.Kind)
-		}
-		extractToken(c)
-		return e.recordAndApply(FittedStep{Op: "extract_token", Col: c.Name}, te)
-
-	case "dedup_values":
-		c, err := requireCol(st.Arg(0))
-		if err != nil {
-			return err
-		}
-		if c.Kind != data.KindString {
-			return rtErr(st.Line, ErrTypeMismatch, "dedup_values needs a string column, %q is %s", c.Name, c.Kind)
-		}
-		mapping := DedupMapping(c)
-		byNormal := map[string]string{}
-		for raw, canon := range mapping {
-			byNormal[NormalizeValue(raw)] = canon
-		}
-		applyMapping(c, mapping, byNormal)
-		return e.recordAndApply(FittedStep{Op: "dedup_values", Col: c.Name, ValueMap: mapping}, te)
-
-	case "rebalance":
-		if e.Task == data.Regression {
-			return rtErr(st.Line, ErrTaskMismatch, "rebalance is only valid for classification tasks")
-		}
-		if err := rebalanceADASYN(tr, e.Target, e.Seed); err != nil {
-			return rtErr(st.Line, ErrTargetMissing, "%v", err)
-		}
-		return nil
-
-	case "augment":
-		if e.Task != data.Regression {
-			return rtErr(st.Line, ErrTaskMismatch, "augment is only valid for regression tasks")
-		}
-		factor, perr := strconv.ParseFloat(st.Opt("factor", "0.15"), 64)
-		if perr != nil {
-			return rtErr(st.Line, ErrBadOption, "bad factor %q", st.Opt("factor", ""))
-		}
-		if err := augmentRegression(tr, e.Target, factor, e.Seed); err != nil {
-			return rtErr(st.Line, ErrTypeMismatch, "%v", err)
-		}
-		return nil
-
-	case "select_topk":
-		k, perr := strconv.Atoi(st.Opt("k", "0"))
-		if perr != nil || k <= 0 {
-			return rtErr(st.Line, ErrBadOption, "select_topk needs k>0")
-		}
-		return e.selectTopK(tr, te, k)
-
-	case "train":
-		if err := e.train(st, tr, te, res); err != nil {
-			return err
-		}
-		*trained = true
-		return nil
-
-	default:
-		if handled, err := e.execExtra(st, tr, te); handled {
-			return err
-		}
-		// Parse guarantees known ops; this is unreachable by construction.
-		return rtErr(st.Line, ErrBadOption, "unhandled statement %q", st.Op)
 	}
+	return nil
+}
+
+// outlierCols resolves the column set and IQR factor shared by the
+// clip/remove outlier statements.
+func (e *Executor) outlierCols(st Stmt, c *execCtx) ([]*data.Column, float64, error) {
+	factor, err := strconv.ParseFloat(st.Opt("factor", "1.5"), 64)
+	if err != nil {
+		return nil, 0, rtErr(st.Line, ErrBadOption, "bad factor %q", st.Opt("factor", ""))
+	}
+	var cols []*data.Column
+	if st.Arg(0) == "all" {
+		for _, col := range c.tr.Cols {
+			if col.Kind.IsNumeric() && col.Name != e.Target {
+				cols = append(cols, col)
+			}
+		}
+	} else {
+		col, cerr := requireCol(c.tr, st.Line, st.Arg(0))
+		if cerr != nil {
+			return nil, 0, cerr
+		}
+		if !col.Kind.IsNumeric() {
+			return nil, 0, rtErr(st.Line, ErrTypeMismatch, "outlier handling needs a numeric column, %q is %s", col.Name, col.Kind)
+		}
+		cols = append(cols, col)
+	}
+	return cols, factor, nil
+}
+
+func (e *Executor) execClipOutliers(st Stmt, c *execCtx) error {
+	cols, factor, err := e.outlierCols(st, c)
+	if err != nil {
+		return err
+	}
+	for _, col := range cols {
+		lo, hi := iqrBounds(col, factor)
+		clipColumn(col, lo, hi)
+		if col.Name != e.Target {
+			if err := c.apply(FittedStep{Op: "clip", Col: col.Name, Lo: lo, Hi: hi}, st.Line, ErrBadOption); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// execRemoveOutliers drops offending train rows (test rows are clipped
+// so evaluation set size is preserved, as cleaning tools do).
+func (e *Executor) execRemoveOutliers(st Stmt, c *execCtx) error {
+	cols, factor, err := e.outlierCols(st, c)
+	if err != nil {
+		return err
+	}
+	tr := c.tr
+	keep := make([]bool, tr.NumRows())
+	for i := range keep {
+		keep[i] = true
+	}
+	for _, col := range cols {
+		lo, hi := iqrBounds(col, factor)
+		for i := 0; i < col.Len(); i++ {
+			if !col.IsMissing(i) && (col.Num(i) < lo || col.Num(i) > hi) {
+				keep[i] = false
+			}
+		}
+		// Evaluation rows are clipped (never dropped) so the test set
+		// size is preserved — except the target, which is ground truth.
+		if col.Name != e.Target {
+			if err := c.apply(FittedStep{Op: "clip", Col: col.Name, Lo: lo, Hi: hi}, st.Line, ErrBadOption); err != nil {
+				return err
+			}
+		}
+	}
+	var rows []int
+	for i, k := range keep {
+		if k {
+			rows = append(rows, i)
+		}
+	}
+	if len(rows) == 0 {
+		return rtErr(st.Line, ErrEmptyData, "outlier removal dropped every row")
+	}
+	*tr = *tr.SelectRows(rows)
+	return nil
+}
+
+func (e *Executor) execScale(st Stmt, c *execCtx) error {
+	method := st.Opt("method", "standard")
+	var cols []*data.Column
+	if st.Arg(0) == "all_numeric" {
+		for _, col := range c.tr.Cols {
+			if col.Kind.IsNumeric() && col.Name != e.Target {
+				cols = append(cols, col)
+			}
+		}
+	} else {
+		col, cerr := requireCol(c.tr, st.Line, st.Arg(0))
+		if cerr != nil {
+			return cerr
+		}
+		if !col.Kind.IsNumeric() {
+			return rtErr(st.Line, ErrTypeMismatch, "cannot scale non-numeric column %q", col.Name)
+		}
+		cols = append(cols, col)
+	}
+	for _, col := range cols {
+		sp, serr := fitScale(col, method)
+		if serr != nil {
+			return rtErr(st.Line, ErrBadOption, "%v", serr)
+		}
+		sp.apply(col)
+		// Like the outlier ops, the target is exempt on the test side:
+		// scaling held-out ground truth would corrupt RMSE (the train
+		// target may be scaled — the model just learns that scale).
+		if col.Name != e.Target {
+			if err := c.apply(FittedStep{Op: "scale", Col: col.Name,
+				Method: sp.method, A: sp.a, B: sp.b}, st.Line, ErrBadOption); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Executor) execOnehot(st Stmt, c *execCtx) error {
+	col, err := requireCol(c.tr, st.Line, st.Arg(0))
+	if err != nil {
+		return err
+	}
+	maxCats := c.maxOH
+	if v := st.Opt("max_categories", ""); v != "" {
+		mc, perr := strconv.Atoi(v)
+		if perr != nil || mc <= 0 {
+			return rtErr(st.Line, ErrBadOption, "bad max_categories %q", v)
+		}
+		maxCats = mc
+	}
+	cats := topCategories(col, maxCats)
+	if err := c.capOK(st.Line, "one-hot", col.Name, len(cats)); err != nil {
+		return err
+	}
+	if err := oneHot(c.tr, col.Name, cats); err != nil {
+		return rtErr(st.Line, ErrUnknownColumn, "%v", err)
+	}
+	return c.apply(FittedStep{Op: "onehot", Col: col.Name, Cats: cats}, st.Line, ErrUnknownColumn)
+}
+
+func (e *Executor) execKhot(st Stmt, c *execCtx) error {
+	col, err := requireCol(c.tr, st.Line, st.Arg(0))
+	if err != nil {
+		return err
+	}
+	if col.Kind != data.KindString {
+		return rtErr(st.Line, ErrTypeMismatch, "khot needs a string list column, %q is %s", col.Name, col.Kind)
+	}
+	items := listItems(col, 256)
+	if err := c.capOK(st.Line, "k-hot", col.Name, len(items)); err != nil {
+		return err
+	}
+	if err := kHot(c.tr, col.Name, items); err != nil {
+		return rtErr(st.Line, ErrUnknownColumn, "%v", err)
+	}
+	return c.apply(FittedStep{Op: "khot", Col: col.Name, Cats: items}, st.Line, ErrUnknownColumn)
+}
+
+func (e *Executor) execHashEncode(st Stmt, c *execCtx) error {
+	col, err := requireCol(c.tr, st.Line, st.Arg(0))
+	if err != nil {
+		return err
+	}
+	buckets, perr := strconv.Atoi(st.Opt("buckets", "64"))
+	if perr != nil || buckets <= 0 {
+		return rtErr(st.Line, ErrBadOption, "bad buckets %q", st.Opt("buckets", ""))
+	}
+	if err := hashEncode(c.tr, col.Name, buckets); err != nil {
+		return rtErr(st.Line, ErrUnknownColumn, "%v", err)
+	}
+	return c.apply(FittedStep{Op: "hash_encode", Col: col.Name, Buckets: buckets}, st.Line, ErrUnknownColumn)
+}
+
+func (e *Executor) execOrdinal(st Stmt, c *execCtx) error {
+	col, err := requireCol(c.tr, st.Line, st.Arg(0))
+	if err != nil {
+		return err
+	}
+	mapping := map[string]int{}
+	for i, cat := range topCategories(col, 1<<20) {
+		mapping[cat] = i
+	}
+	if err := ordinalEncode(c.tr, col.Name, mapping); err != nil {
+		return rtErr(st.Line, ErrUnknownColumn, "%v", err)
+	}
+	return c.apply(FittedStep{Op: "ordinal", Col: col.Name, Mapping: mapping}, st.Line, ErrUnknownColumn)
+}
+
+func (e *Executor) execDrop(st Stmt, c *execCtx) error {
+	if _, err := requireCol(c.tr, st.Line, st.Arg(0)); err != nil {
+		return err
+	}
+	if st.Arg(0) == e.Target {
+		return rtErr(st.Line, ErrTargetMissing, "cannot drop the target column %q", e.Target)
+	}
+	c.tr.DropColumn(st.Arg(0))
+	return c.apply(FittedStep{Op: "drop", Cols: []string{st.Arg(0)}}, st.Line, "")
+}
+
+func (e *Executor) execDropConstant(st Stmt, c *execCtx) error {
+	names := constantCols(c.tr, e.Target)
+	if len(names) == 0 {
+		return nil
+	}
+	for _, name := range names {
+		c.tr.DropColumn(name)
+	}
+	return c.apply(FittedStep{Op: "drop", Cols: names}, st.Line, "")
+}
+
+func (e *Executor) execDropSparse(st Stmt, c *execCtx) error {
+	thr, perr := strconv.ParseFloat(st.Opt("threshold", "0.02"), 64)
+	if perr != nil {
+		return rtErr(st.Line, ErrBadOption, "bad threshold %q", st.Opt("threshold", ""))
+	}
+	var doomed []string
+	for _, col := range c.tr.Cols {
+		if col.Name != e.Target && 1-col.MissingRatio() < thr {
+			doomed = append(doomed, col.Name)
+		}
+	}
+	if len(doomed) == 0 {
+		return nil
+	}
+	for _, name := range doomed {
+		c.tr.DropColumn(name)
+	}
+	return c.apply(FittedStep{Op: "drop", Cols: doomed}, st.Line, "")
+}
+
+func (e *Executor) execSplitComposite(st Stmt, c *execCtx) error {
+	col, err := requireCol(c.tr, st.Line, st.Arg(0))
+	if err != nil {
+		return err
+	}
+	names := splitNames(st, col.Name)
+	if err := splitComposite(c.tr, col.Name, names[0], names[1]); err != nil {
+		return rtErr(st.Line, ErrUnknownColumn, "%v", err)
+	}
+	return c.apply(FittedStep{Op: "split_composite", Col: col.Name,
+		Name: names[0], NameB: names[1]}, st.Line, ErrUnknownColumn)
+}
+
+func (e *Executor) execExtractToken(st Stmt, c *execCtx) error {
+	col, err := requireCol(c.tr, st.Line, st.Arg(0))
+	if err != nil {
+		return err
+	}
+	if col.Kind != data.KindString {
+		return rtErr(st.Line, ErrTypeMismatch, "extract_token needs a string column, %q is %s", col.Name, col.Kind)
+	}
+	extractToken(col)
+	return c.apply(FittedStep{Op: "extract_token", Col: col.Name}, st.Line, "")
+}
+
+func (e *Executor) execDedupValues(st Stmt, c *execCtx) error {
+	col, err := requireCol(c.tr, st.Line, st.Arg(0))
+	if err != nil {
+		return err
+	}
+	if col.Kind != data.KindString {
+		return rtErr(st.Line, ErrTypeMismatch, "dedup_values needs a string column, %q is %s", col.Name, col.Kind)
+	}
+	mapping := DedupMapping(col)
+	byNormal := map[string]string{}
+	for raw, canon := range mapping {
+		byNormal[NormalizeValue(raw)] = canon
+	}
+	applyMapping(col, mapping, byNormal)
+	return c.apply(FittedStep{Op: "dedup_values", Col: col.Name, ValueMap: mapping}, st.Line, "")
+}
+
+func (e *Executor) execRebalance(st Stmt, c *execCtx) error {
+	if e.Task == data.Regression {
+		return rtErr(st.Line, ErrTaskMismatch, "rebalance is only valid for classification tasks")
+	}
+	if err := rebalanceADASYN(c.tr, e.Target, e.Seed); err != nil {
+		return rtErr(st.Line, ErrTargetMissing, "%v", err)
+	}
+	return nil
+}
+
+func (e *Executor) execAugment(st Stmt, c *execCtx) error {
+	if e.Task != data.Regression {
+		return rtErr(st.Line, ErrTaskMismatch, "augment is only valid for regression tasks")
+	}
+	factor, perr := strconv.ParseFloat(st.Opt("factor", "0.15"), 64)
+	if perr != nil {
+		return rtErr(st.Line, ErrBadOption, "bad factor %q", st.Opt("factor", ""))
+	}
+	if err := augmentRegression(c.tr, e.Target, factor, e.Seed); err != nil {
+		return rtErr(st.Line, ErrTypeMismatch, "%v", err)
+	}
+	return nil
+}
+
+func (e *Executor) execSelectTopK(st Stmt, c *execCtx) error {
+	k, perr := strconv.Atoi(st.Opt("k", "0"))
+	if perr != nil || k <= 0 {
+		return rtErr(st.Line, ErrBadOption, "select_topk needs k>0")
+	}
+	return e.selectTopK(st, c, k)
+}
+
+func (e *Executor) execTrain(st Stmt, c *execCtx) error {
+	if err := e.train(st, c.tr, c.te, c.res); err != nil {
+		return err
+	}
+	*c.trained = true
+	return nil
 }
 
 func constantCols(t *data.Table, target string) []string {
@@ -539,7 +572,8 @@ func splitComma(s string) []string {
 }
 
 // selectTopK keeps the k features most associated with the target.
-func (e *Executor) selectTopK(tr, te *data.Table, k int) error {
+func (e *Executor) selectTopK(st Stmt, c *execCtx, k int) error {
+	tr := c.tr
 	target := tr.Col(e.Target)
 	type scored struct {
 		name  string
@@ -574,7 +608,7 @@ func (e *Executor) selectTopK(tr, te *data.Table, k int) error {
 		tr.DropColumn(s.name)
 		dropped = append(dropped, s.name)
 	}
-	return e.recordAndApply(FittedStep{Op: "drop", Cols: dropped}, te)
+	return c.apply(FittedStep{Op: "drop", Cols: dropped}, st.Line, "")
 }
 
 func abs(x float64) float64 {

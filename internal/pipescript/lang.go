@@ -57,31 +57,11 @@ func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("pipescript: syntax error at line %d: %s", e.Line, e.Msg)
 }
 
-// knownOps maps statement keywords to their minimum positional arg counts.
-var knownOps = map[string]int{
-	"pipeline":        1, // pipeline "name"
-	"require":         1, // require <package>
-	"impute":          1, // impute <col> strategy=...
-	"impute_all":      0, // impute_all strategy=...
-	"clip_outliers":   1, // clip_outliers <col>|all method=iqr factor=1.5
-	"remove_outliers": 1, // remove_outliers <col>|all method=iqr
-	"scale":           1, // scale <col>|all_numeric method=standard
-	"onehot":          1, // onehot <col> [max_categories=N]
-	"khot":            1, // khot <col>
-	"hash_encode":     1, // hash_encode <col> buckets=N
-	"ordinal":         1, // ordinal <col>
-	"drop":            1, // drop <col>
-	"drop_constant":   0,
-	"drop_sparse":     0, // drop_sparse threshold=0.02
-	"split_composite": 1, // split_composite <col> into=a,b
-	"extract_token":   1, // extract_token <col>
-	"dedup_values":    1, // dedup_values <col>
-	"rebalance":       0, // rebalance method=adasyn
-	"augment":         0, // augment factor=0.2 (regression resampling)
-	"select_topk":     0, // select_topk k=N
-	"train":           0, // train model=<name> target=<col> [hp=...]
-	"evaluate":        0, // evaluate metric=auto
-}
+// knownOps maps statement keywords to their minimum positional arg
+// counts. It is populated exclusively by registerOp (optable.go), the
+// single source of op metadata shared by the parser, executor, static
+// analyzer, and DAG builder.
+var knownOps = map[string]int{}
 
 // AvailablePackages is the pre-installed environment of the pipeline
 // runner (§4.2: "Pipelines run in a basic, pre-installed environment").

@@ -13,175 +13,157 @@ import (
 // set: numeric binning, log transforms, interaction features, row
 // deduplication, winsorizing, and target encoding. The simulated LLM uses
 // a subset of them; they are also available to hand-written pipelines via
-// the public ExecutePipeline API.
+// the public ExecutePipeline API. Registration (parser arity, column
+// footprints, barrier flags) lives in optable.go with the core set.
 
-func init() {
-	// Register the extended statements with the parser.
-	knownOps["bin_numeric"] = 1   // bin_numeric <col> bins=N
-	knownOps["log_transform"] = 1 // log_transform <col>
-	knownOps["interaction"] = 2   // interaction <colA> <colB> op=product|ratio
-	knownOps["drop_duplicates"] = 0
-	knownOps["winsorize"] = 1     // winsorize <col> lower=0.01 upper=0.99
-	knownOps["target_encode"] = 1 // target_encode <col>
+// requireColExtra resolves a column reference in an extended statement
+// (shorter message than the core requireCol, kept for compatibility).
+func requireColExtra(tr *data.Table, line int, name string) (*data.Column, error) {
+	if c := tr.Col(name); c != nil {
+		return c, nil
+	}
+	return nil, rtErr(line, ErrUnknownColumn, "column %q does not exist", name)
 }
 
-// execExtra handles the extended statements; it returns (handled, error).
-func (e *Executor) execExtra(st Stmt, tr, te *data.Table) (bool, error) {
-	requireCol := func(name string) (*data.Column, error) {
-		if c := tr.Col(name); c != nil {
-			return c, nil
-		}
-		return nil, rtErr(st.Line, ErrUnknownColumn, "column %q does not exist", name)
+func (e *Executor) execBinNumeric(st Stmt, ctx *execCtx) error {
+	c, err := requireColExtra(ctx.tr, st.Line, st.Arg(0))
+	if err != nil {
+		return err
 	}
-	switch st.Op {
-	case "bin_numeric":
-		c, err := requireCol(st.Arg(0))
-		if err != nil {
-			return true, err
-		}
-		if !c.Kind.IsNumeric() {
-			return true, rtErr(st.Line, ErrTypeMismatch, "bin_numeric needs a numeric column, %q is %s", c.Name, c.Kind)
-		}
-		bins, perr := strconv.Atoi(st.Opt("bins", "8"))
-		if perr != nil || bins < 2 {
-			return true, rtErr(st.Line, ErrBadOption, "bad bins %q", st.Opt("bins", ""))
-		}
-		edges := make([]float64, bins-1)
-		for i := range edges {
-			edges[i] = c.Quantile(float64(i+1) / float64(bins))
-		}
-		binifyColumn(c, edges)
-		if err := e.recordAndApply(FittedStep{Op: "bin_numeric", Col: c.Name, Edges: edges}, te); err != nil {
-			return true, rtErr(st.Line, ErrBadOption, "%v", err)
-		}
-		return true, nil
-
-	case "log_transform":
-		c, err := requireCol(st.Arg(0))
-		if err != nil {
-			return true, err
-		}
-		if !c.Kind.IsNumeric() {
-			return true, rtErr(st.Line, ErrTypeMismatch, "log_transform needs a numeric column, %q is %s", c.Name, c.Kind)
-		}
-		logTransformColumn(c)
-		if err := e.recordAndApply(FittedStep{Op: "log_transform", Col: c.Name}, te); err != nil {
-			return true, rtErr(st.Line, ErrBadOption, "%v", err)
-		}
-		return true, nil
-
-	case "interaction":
-		a, err := requireCol(st.Arg(0))
-		if err != nil {
-			return true, err
-		}
-		b, err := requireCol(st.Arg(1))
-		if err != nil {
-			return true, err
-		}
-		if !a.Kind.IsNumeric() || !b.Kind.IsNumeric() {
-			return true, rtErr(st.Line, ErrTypeMismatch, "interaction needs numeric columns")
-		}
-		op := st.Opt("op", "product")
-		name := fmt.Sprintf("%s_%s_%s", a.Name, op, b.Name)
-		if err := buildInteraction(tr, a.Name, b.Name, op, name); err != nil {
-			return true, rtErr(st.Line, ErrBadOption, "%v", err)
-		}
-		if err := e.recordAndApply(FittedStep{Op: "interaction", Col: a.Name, ColB: b.Name,
-			Method: op, Name: name}, te); err != nil {
-			return true, rtErr(st.Line, ErrBadOption, "%v", err)
-		}
-		return true, nil
-
-	case "drop_duplicates":
-		seen := map[string]bool{}
-		var keep []int
-		for i := 0; i < tr.NumRows(); i++ {
-			var key strings.Builder
-			for _, c := range tr.Cols {
-				key.WriteString(c.ValueString(i))
-				key.WriteByte(0x1f)
-			}
-			k := key.String()
-			if !seen[k] {
-				seen[k] = true
-				keep = append(keep, i)
-			}
-		}
-		if len(keep) == 0 {
-			return true, rtErr(st.Line, ErrEmptyData, "deduplication removed every row")
-		}
-		if len(keep) < tr.NumRows() {
-			*tr = *tr.SelectRows(keep)
-		}
-		return true, nil
-
-	case "winsorize":
-		c, err := requireCol(st.Arg(0))
-		if err != nil {
-			return true, err
-		}
-		if !c.Kind.IsNumeric() {
-			return true, rtErr(st.Line, ErrTypeMismatch, "winsorize needs a numeric column, %q is %s", c.Name, c.Kind)
-		}
-		lowQ, err1 := strconv.ParseFloat(st.Opt("lower", "0.01"), 64)
-		hiQ, err2 := strconv.ParseFloat(st.Opt("upper", "0.99"), 64)
-		if err1 != nil || err2 != nil || lowQ < 0 || hiQ > 1 || lowQ >= hiQ {
-			return true, rtErr(st.Line, ErrBadOption, "bad winsorize bounds")
-		}
-		lo, hi := c.Quantile(lowQ), c.Quantile(hiQ)
-		clipColumn(c, lo, hi)
-		if c.Name != e.Target {
-			if err := e.recordAndApply(FittedStep{Op: "clip", Col: c.Name, Lo: lo, Hi: hi}, te); err != nil {
-				return true, rtErr(st.Line, ErrBadOption, "%v", err)
-			}
-		}
-		return true, nil
-
-	case "target_encode":
-		c, err := requireCol(st.Arg(0))
-		if err != nil {
-			return true, err
-		}
-		if c.Kind != data.KindString {
-			return true, rtErr(st.Line, ErrTypeMismatch, "target_encode needs a string column, %q is %s", c.Name, c.Kind)
-		}
-		tcol := tr.Col(e.Target)
-		if tcol == nil {
-			return true, rtErr(st.Line, ErrTargetMissing, "target %q not found", e.Target)
-		}
-		if !tcol.Kind.IsNumeric() {
-			return true, rtErr(st.Line, ErrTypeMismatch, "target encoding needs a numeric target (regression)")
-		}
-		// Smoothed mean encoding fitted on train.
-		sums := map[string]float64{}
-		counts := map[string]float64{}
-		var global float64
-		var n float64
-		for i := 0; i < c.Len(); i++ {
-			if c.IsMissing(i) || tcol.IsMissing(i) {
-				continue
-			}
-			v := c.Str(i)
-			sums[v] += tcol.Num(i)
-			counts[v]++
-			global += tcol.Num(i)
-			n++
-		}
-		if n == 0 {
-			return true, rtErr(st.Line, ErrEmptyData, "no data to fit target encoding")
-		}
-		global /= n
-		if err := smoothedMeanEncode(tr, c.Name, sums, counts, global); err != nil {
-			return true, rtErr(st.Line, ErrBadOption, "%v", err)
-		}
-		if err := e.recordAndApply(FittedStep{Op: "target_encode", Col: c.Name,
-			Sums: sums, Counts: counts, Global: global}, te); err != nil {
-			return true, rtErr(st.Line, ErrBadOption, "%v", err)
-		}
-		return true, nil
+	if !c.Kind.IsNumeric() {
+		return rtErr(st.Line, ErrTypeMismatch, "bin_numeric needs a numeric column, %q is %s", c.Name, c.Kind)
 	}
-	return false, nil
+	bins, perr := strconv.Atoi(st.Opt("bins", "8"))
+	if perr != nil || bins < 2 {
+		return rtErr(st.Line, ErrBadOption, "bad bins %q", st.Opt("bins", ""))
+	}
+	edges := make([]float64, bins-1)
+	for i := range edges {
+		edges[i] = c.Quantile(float64(i+1) / float64(bins))
+	}
+	binifyColumn(c, edges)
+	return ctx.apply(FittedStep{Op: "bin_numeric", Col: c.Name, Edges: edges}, st.Line, ErrBadOption)
+}
+
+func (e *Executor) execLogTransform(st Stmt, ctx *execCtx) error {
+	c, err := requireColExtra(ctx.tr, st.Line, st.Arg(0))
+	if err != nil {
+		return err
+	}
+	if !c.Kind.IsNumeric() {
+		return rtErr(st.Line, ErrTypeMismatch, "log_transform needs a numeric column, %q is %s", c.Name, c.Kind)
+	}
+	logTransformColumn(c)
+	return ctx.apply(FittedStep{Op: "log_transform", Col: c.Name}, st.Line, ErrBadOption)
+}
+
+func (e *Executor) execInteraction(st Stmt, ctx *execCtx) error {
+	a, err := requireColExtra(ctx.tr, st.Line, st.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := requireColExtra(ctx.tr, st.Line, st.Arg(1))
+	if err != nil {
+		return err
+	}
+	if !a.Kind.IsNumeric() || !b.Kind.IsNumeric() {
+		return rtErr(st.Line, ErrTypeMismatch, "interaction needs numeric columns")
+	}
+	op := st.Opt("op", "product")
+	name := fmt.Sprintf("%s_%s_%s", a.Name, op, b.Name)
+	if err := buildInteraction(ctx.tr, a.Name, b.Name, op, name); err != nil {
+		return rtErr(st.Line, ErrBadOption, "%v", err)
+	}
+	return ctx.apply(FittedStep{Op: "interaction", Col: a.Name, ColB: b.Name,
+		Method: op, Name: name}, st.Line, ErrBadOption)
+}
+
+func (e *Executor) execDropDuplicates(st Stmt, ctx *execCtx) error {
+	tr := ctx.tr
+	seen := map[string]bool{}
+	var keep []int
+	for i := 0; i < tr.NumRows(); i++ {
+		var key strings.Builder
+		for _, c := range tr.Cols {
+			key.WriteString(c.ValueString(i))
+			key.WriteByte(0x1f)
+		}
+		k := key.String()
+		if !seen[k] {
+			seen[k] = true
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == 0 {
+		return rtErr(st.Line, ErrEmptyData, "deduplication removed every row")
+	}
+	if len(keep) < tr.NumRows() {
+		*tr = *tr.SelectRows(keep)
+	}
+	return nil
+}
+
+func (e *Executor) execWinsorize(st Stmt, ctx *execCtx) error {
+	c, err := requireColExtra(ctx.tr, st.Line, st.Arg(0))
+	if err != nil {
+		return err
+	}
+	if !c.Kind.IsNumeric() {
+		return rtErr(st.Line, ErrTypeMismatch, "winsorize needs a numeric column, %q is %s", c.Name, c.Kind)
+	}
+	lowQ, err1 := strconv.ParseFloat(st.Opt("lower", "0.01"), 64)
+	hiQ, err2 := strconv.ParseFloat(st.Opt("upper", "0.99"), 64)
+	if err1 != nil || err2 != nil || lowQ < 0 || hiQ > 1 || lowQ >= hiQ {
+		return rtErr(st.Line, ErrBadOption, "bad winsorize bounds")
+	}
+	lo, hi := c.Quantile(lowQ), c.Quantile(hiQ)
+	clipColumn(c, lo, hi)
+	if c.Name != e.Target {
+		return ctx.apply(FittedStep{Op: "clip", Col: c.Name, Lo: lo, Hi: hi}, st.Line, ErrBadOption)
+	}
+	return nil
+}
+
+func (e *Executor) execTargetEncode(st Stmt, ctx *execCtx) error {
+	tr := ctx.tr
+	c, err := requireColExtra(tr, st.Line, st.Arg(0))
+	if err != nil {
+		return err
+	}
+	if c.Kind != data.KindString {
+		return rtErr(st.Line, ErrTypeMismatch, "target_encode needs a string column, %q is %s", c.Name, c.Kind)
+	}
+	tcol := tr.Col(e.Target)
+	if tcol == nil {
+		return rtErr(st.Line, ErrTargetMissing, "target %q not found", e.Target)
+	}
+	if !tcol.Kind.IsNumeric() {
+		return rtErr(st.Line, ErrTypeMismatch, "target encoding needs a numeric target (regression)")
+	}
+	// Smoothed mean encoding fitted on train.
+	sums := map[string]float64{}
+	counts := map[string]float64{}
+	var global float64
+	var n float64
+	for i := 0; i < c.Len(); i++ {
+		if c.IsMissing(i) || tcol.IsMissing(i) {
+			continue
+		}
+		v := c.Str(i)
+		sums[v] += tcol.Num(i)
+		counts[v]++
+		global += tcol.Num(i)
+		n++
+	}
+	if n == 0 {
+		return rtErr(st.Line, ErrEmptyData, "no data to fit target encoding")
+	}
+	global /= n
+	if err := smoothedMeanEncode(tr, c.Name, sums, counts, global); err != nil {
+		return rtErr(st.Line, ErrBadOption, "%v", err)
+	}
+	return ctx.apply(FittedStep{Op: "target_encode", Col: c.Name,
+		Sums: sums, Counts: counts, Global: global}, st.Line, ErrBadOption)
 }
 
 // binifyColumn maps numeric values to their bin ordinal over fitted

@@ -173,27 +173,31 @@ func TestExtraOpsInvalidateSummary(t *testing.T) {
 		return tr, te
 	}
 	ex := &Executor{Target: "y", Task: data.Regression, Seed: 1}
+	run := func(st Stmt, tr, te *data.Table) error {
+		trained := false
+		return ex.execStmt(st, tr, te, 64, &Result{}, &trained)
+	}
 
 	tr, te := mk()
 	warmStats(tr.Col("x"), te.Col("x"))
-	if handled, err := ex.execExtra(Stmt{Op: "bin_numeric", Args: []string{"x"}, KV: map[string]string{"bins": "4"}}, tr, te); !handled || err != nil {
-		t.Fatalf("bin_numeric: handled=%v err=%v", handled, err)
+	if err := run(Stmt{Op: "bin_numeric", Args: []string{"x"}, KV: map[string]string{"bins": "4"}}, tr, te); err != nil {
+		t.Fatalf("bin_numeric: %v", err)
 	}
 	assertSummaryFresh(t, tr.Col("x"), "bin_numeric train")
 	assertSummaryFresh(t, te.Col("x"), "bin_numeric test")
 
 	tr, te = mk()
 	warmStats(tr.Col("x"), te.Col("x"))
-	if handled, err := ex.execExtra(Stmt{Op: "log_transform", Args: []string{"x"}}, tr, te); !handled || err != nil {
-		t.Fatalf("log_transform: handled=%v err=%v", handled, err)
+	if err := run(Stmt{Op: "log_transform", Args: []string{"x"}}, tr, te); err != nil {
+		t.Fatalf("log_transform: %v", err)
 	}
 	assertSummaryFresh(t, tr.Col("x"), "log_transform train")
 	assertSummaryFresh(t, te.Col("x"), "log_transform test")
 
 	tr, te = mk()
 	warmStats(tr.Col("x"), te.Col("x"))
-	if handled, err := ex.execExtra(Stmt{Op: "winsorize", Args: []string{"x"}, KV: map[string]string{"lower": "0.1", "upper": "0.9"}}, tr, te); !handled || err != nil {
-		t.Fatalf("winsorize: handled=%v err=%v", handled, err)
+	if err := run(Stmt{Op: "winsorize", Args: []string{"x"}, KV: map[string]string{"lower": "0.1", "upper": "0.9"}}, tr, te); err != nil {
+		t.Fatalf("winsorize: %v", err)
 	}
 	assertSummaryFresh(t, tr.Col("x"), "winsorize train")
 	assertSummaryFresh(t, te.Col("x"), "winsorize test")
