@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race verify bench lint-encapsulation lint-obs lint-transform lint-dag
+.PHONY: build vet test race verify bench lint-encapsulation lint-obs lint-transform lint-dag lint-shard
 
 build:
 	$(GO) build ./...
@@ -75,19 +75,47 @@ lint-dag:
 		exit 1; \
 	fi
 
-verify: build vet lint-encapsulation lint-obs lint-transform lint-dag test race
+# Elementwise op bodies parallelize only through the row sharder
+# (pipescript/sharder.go): its disjoint-write contract and shared worker
+# budget are what keep results bit-identical and the pool bounded. Fail
+# on raw pool fan-outs or goroutines in op-body/serving sources, and on
+# raw slab views (NumsView/StrsView) in op bodies — a raw slab loop
+# would bypass the ShardView write path.
+lint-shard:
+	@matches=$$(grep -nE 'pool\.(Map|Each)\(|go func' internal/pipescript/ops.go internal/pipescript/ops_extra.go internal/pipescript/exec.go internal/pipescript/transform.go); \
+	if [ -n "$$matches" ]; then \
+		echo "lint-shard: raw parallelism in op bodies (route row loops through the sharder):"; \
+		echo "$$matches"; \
+		exit 1; \
+	fi
+	@matches=$$(grep -nE '\.(NumsView|StrsView)\(' internal/pipescript/ops.go internal/pipescript/ops_extra.go internal/pipescript/transform.go); \
+	if [ -n "$$matches" ]; then \
+		echo "lint-shard: raw slab access in elementwise op bodies (use column accessors through shard views):"; \
+		echo "$$matches"; \
+		exit 1; \
+	fi
+
+verify: build vet lint-encapsulation lint-obs lint-transform lint-dag lint-shard test race
 
 # Profiling + ML benchmarks: one cold iteration per benchmark (matching
 # how the committed baselines were captured) merged into BENCH_*.json;
 # the pre-optimization baseline blocks in those files are preserved.
+#
+# Two-pass lanes select their pre-optimization baseline pass with
+# BENCH_BASELINE=<lane> (lanes: data, ingest, dag, shard — see
+# internal/bench/baseline; the historical BENCH_DATA_MODE=deep,
+# BENCH_INGEST_MODE=legacy, BENCH_DAG_MODE=serial, and
+# BENCH_SHARD_MODE=serial variables remain supported aliases).
 bench:
 	$(GO) test -run='^$$' -bench=Profile -benchmem -benchtime=1x ./internal/profile/ | $(GO) run ./cmd/benchjson -o BENCH_profile.json
 	$(GO) test -run='^$$' -bench=ML -benchmem -benchtime=1x -timeout=30m ./internal/ml/ | $(GO) run ./cmd/benchjson -o BENCH_ml.json
-	BENCH_DATA_MODE=deep $(GO) test -run='^$$' -bench=Data -benchmem -benchtime=10x ./internal/data/ | $(GO) run ./cmd/benchjson -set-baseline -o BENCH_data.json
+	BENCH_BASELINE=data $(GO) test -run='^$$' -bench=Data -benchmem -benchtime=10x ./internal/data/ | $(GO) run ./cmd/benchjson -set-baseline -o BENCH_data.json
 	$(GO) test -run='^$$' -bench=Data -benchmem -benchtime=10x ./internal/data/ | $(GO) run ./cmd/benchjson -o BENCH_data.json
 	$(GO) test -run='^$$' -bench=Obs -benchmem -benchtime=20x ./internal/bench/ | $(GO) run ./cmd/benchjson -o BENCH_obs.json
 	$(GO) test -run='^$$' -bench=Predict -benchtime=300x ./internal/pipescript/ | $(GO) run ./cmd/benchjson -o BENCH_predict.json
-	BENCH_INGEST_MODE=legacy $(GO) test -run='^$$' -bench=Ingest -benchmem -benchtime=1x -timeout=30m ./internal/data/ | $(GO) run ./cmd/benchjson -set-baseline -o BENCH_ingest.json
+	BENCH_BASELINE=ingest $(GO) test -run='^$$' -bench=Ingest -benchmem -benchtime=1x -timeout=30m ./internal/data/ | $(GO) run ./cmd/benchjson -set-baseline -o BENCH_ingest.json
 	$(GO) test -run='^$$' -bench=Ingest -benchmem -benchtime=1x -timeout=30m ./internal/data/ | $(GO) run ./cmd/benchjson -o BENCH_ingest.json
-	BENCH_DAG_MODE=serial $(GO) test -run='^$$' -bench=DAG -benchmem -benchtime=3x ./internal/pipescript/ | $(GO) run ./cmd/benchjson -set-baseline -o BENCH_dag.json
+	BENCH_BASELINE=dag $(GO) test -run='^$$' -bench=DAG -benchmem -benchtime=3x ./internal/pipescript/ | $(GO) run ./cmd/benchjson -set-baseline -o BENCH_dag.json
 	$(GO) test -run='^$$' -bench=DAG -benchmem -benchtime=3x ./internal/pipescript/ | $(GO) run ./cmd/benchjson -o BENCH_dag.json
+	BENCH_BASELINE=shard $(GO) test -run='^$$' -bench=Shard -benchmem -benchtime=3x -timeout=30m ./internal/pipescript/ | $(GO) run ./cmd/benchjson -set-baseline -o BENCH_shard.json
+	$(GO) test -run='^$$' -bench=Shard -benchmem -benchtime=3x -timeout=30m ./internal/pipescript/ | $(GO) run ./cmd/benchjson -o BENCH_shard.json

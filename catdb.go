@@ -262,9 +262,13 @@ type ExecOptions struct {
 	// errors are bit-identical to linear execution at any worker count;
 	// only wall time changes.
 	DAG bool
-	// Workers bounds the goroutines the DAG scheduler and the tree/KNN
-	// models use (0 = all cores).
+	// Workers bounds the goroutines the DAG scheduler, row sharding,
+	// and the tree/KNN models use (0 = all cores).
 	Workers int
+	// ShardRows sets the row-shard chunk size for elementwise op loops:
+	// 0 selects the built-in default, a negative value disables row
+	// sharding (serial loops). Results are bit-identical at any value.
+	ShardRows int
 }
 
 // ExecutePipelineWith is ExecutePipeline with execution tuning.
@@ -273,7 +277,8 @@ func ExecutePipelineWith(source string, train, test *Table, target string, task 
 	if err != nil {
 		return nil, err
 	}
-	ex := &pipescript.Executor{Target: target, Task: task, Seed: seed, DAG: opts.DAG, Workers: opts.Workers}
+	ex := &pipescript.Executor{Target: target, Task: task, Seed: seed,
+		DAG: opts.DAG, Workers: opts.Workers, ShardRows: opts.ShardRows}
 	return ex.Execute(prog, train, test)
 }
 
@@ -306,7 +311,8 @@ func FitPipelineWith(source string, train, test *Table, target string, task Task
 	if err != nil {
 		return nil, nil, err
 	}
-	ex := &pipescript.Executor{Target: target, Task: task, Seed: seed, DAG: opts.DAG, Workers: opts.Workers}
+	ex := &pipescript.Executor{Target: target, Task: task, Seed: seed,
+		DAG: opts.DAG, Workers: opts.Workers, ShardRows: opts.ShardRows}
 	return ex.Fit(prog, train, test)
 }
 

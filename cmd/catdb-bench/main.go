@@ -45,6 +45,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write per-cell span traces to this file (.jsonl = JSON lines, otherwise a human-readable tree)")
 	metricsOut := flag.String("metrics-out", "", "write harness metrics in Prometheus text format to this file")
 	dag := flag.Bool("dag", false, "execute pipelines with the DAG statement scheduler (results are bit-identical; only wall time changes)")
+	shardRows := flag.Int("shard-rows", 0, "row-shard chunk size for elementwise pipeline ops (0 = default, negative = serial; results are bit-identical at any value)")
 	flag.Parse()
 
 	var out io.Writer = os.Stdout
@@ -82,7 +83,7 @@ func main() {
 	cfg := bench.Config{
 		Scale: *scale, Seed: *seed, Iterations: *iters, Fast: *fast, Workers: *workers, Out: out,
 		Ingest: data.IngestOptions{Workers: *ingestWorkers, ChunkBytes: *chunkBytes},
-		Tracer: tracer, Metrics: metrics, Progress: progressW, DAG: *dag,
+		Tracer: tracer, Metrics: metrics, Progress: progressW, DAG: *dag, ShardRows: *shardRows,
 	}
 
 	experiments := []experiment{

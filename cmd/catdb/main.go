@@ -201,6 +201,7 @@ func cmdGenerate(args []string) error {
 	traceOut := fs.String("trace-out", "", "write the run's span trace to this file (.jsonl = JSON lines, otherwise a human-readable tree)")
 	metricsOut := fs.String("metrics-out", "", "write run metrics in Prometheus text format to this file")
 	dag := fs.Bool("dag", false, "execute generated pipelines with the DAG statement scheduler (results are bit-identical; only wall time changes)")
+	shardRows := fs.Int("shard-rows", 0, "row-shard chunk size for elementwise pipeline ops (0 = default, negative = serial; results are bit-identical at any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -221,7 +222,7 @@ func cmdGenerate(args []string) error {
 		metrics = catdb.NewMetrics()
 	}
 	res, err := catdb.PipGenObserved(ds, client, catdb.Options{
-		Seed: *seed, Chains: *chains, TopK: *topK, NoRefine: *noRefine, DAG: *dag,
+		Seed: *seed, Chains: *chains, TopK: *topK, NoRefine: *noRefine, DAG: *dag, ExecShardRows: *shardRows,
 	}, tracer, metrics)
 	if werr := writeObsOutputs(tracer, metrics, *traceOut, *metricsOut); werr != nil && err == nil {
 		err = werr
@@ -298,7 +299,8 @@ func cmdRun(args []string) error {
 	refine := fs.Bool("refine", false, "apply catalog refinement before running (use when the pipeline was generated without -no-refine)")
 	model := fs.String("model", "gemini-1.5-pro", "LLM model for -refine")
 	dag := fs.Bool("dag", false, "schedule independent statements concurrently (results are bit-identical; only wall time changes)")
-	workers := fs.Int("workers", 0, "execution goroutines for -dag and model fitting (0 = all cores)")
+	workers := fs.Int("workers", 0, "execution goroutines for -dag, row sharding, and model fitting (0 = all cores)")
+	shardRows := fs.Int("shard-rows", 0, "row-shard chunk size for elementwise ops (0 = default, negative = serial; results are bit-identical at any value)")
 	dagPlan := fs.Bool("dag-plan", false, "print the DAG execution plan (waves, barriers, dependencies) before running")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -322,7 +324,7 @@ func cmdRun(args []string) error {
 		fmt.Print(plan)
 	}
 	res, err := catdb.ExecutePipelineWith(string(src), tr, te, ds.Target, ds.Task, *seed,
-		catdb.ExecOptions{DAG: *dag, Workers: *workers})
+		catdb.ExecOptions{DAG: *dag, Workers: *workers, ShardRows: *shardRows})
 	if err != nil {
 		return err
 	}
@@ -381,7 +383,8 @@ func cmdFit(args []string) error {
 	model := fs.String("model", "gemini-1.5-pro", "LLM model for -refine")
 	out := fs.String("out", "model.catdb.json", "fitted-pipeline artifact output path")
 	dag := fs.Bool("dag", false, "schedule independent statements concurrently (the artifact is byte-identical; only wall time changes)")
-	workers := fs.Int("workers", 0, "execution goroutines for -dag and model fitting (0 = all cores)")
+	workers := fs.Int("workers", 0, "execution goroutines for -dag, row sharding, and model fitting (0 = all cores)")
+	shardRows := fs.Int("shard-rows", 0, "row-shard chunk size for elementwise ops (0 = default, negative = serial; the artifact is byte-identical at any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -397,7 +400,7 @@ func cmdFit(args []string) error {
 		return err
 	}
 	res, fp, err := catdb.FitPipelineWith(string(src), tr, te, ds.Target, ds.Task, *seed,
-		catdb.ExecOptions{DAG: *dag, Workers: *workers})
+		catdb.ExecOptions{DAG: *dag, Workers: *workers, ShardRows: *shardRows})
 	if err != nil {
 		return err
 	}
@@ -414,7 +417,9 @@ func cmdPredict(args []string) error {
 	artifact := fs.String("artifact", "", "fitted-pipeline artifact path (required)")
 	csvPath := fs.String("csv", "", "CSV rows to score; '-' reads stdin (required)")
 	proba := fs.Bool("proba", false, "classification: also emit per-class probability columns")
-	workers := fs.Int("workers", 0, "inference goroutines (0 = all cores; output is identical at any setting)")
+	workers := fs.Int("workers", 0, "inference and transform goroutines (0 = all cores; output is identical at any setting)")
+	dag := fs.Bool("dag", false, "apply independent recorded steps concurrently (predictions are identical; only wall time changes)")
+	shardRows := fs.Int("shard-rows", 0, "row-shard chunk size for transform-time elementwise loops (0 = default, negative = serial; predictions are identical at any value)")
 	ingestWorkers := fs.Int("ingest-workers", 0, "CSV parse goroutines (0 = all cores, 1 = serial; output identical at any setting)")
 	chunkBytes := fs.Int("chunk-bytes", 0, "CSV ingest chunk size in bytes (0 = 4 MiB)")
 	metricsOut := fs.String("metrics-out", "", "write serving metrics in Prometheus text format to this file")
@@ -432,6 +437,8 @@ func cmdPredict(args []string) error {
 		return err
 	}
 	fp.Workers = *workers
+	fp.DAG = *dag
+	fp.ShardRows = *shardRows
 	var metrics *catdb.Metrics
 	if *metricsOut != "" {
 		metrics = catdb.NewMetrics()

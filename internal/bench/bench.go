@@ -72,6 +72,10 @@ type Config struct {
 	// bit-identical to linear execution — only pipeline wall time
 	// changes — so it is safe to flip on any experiment.
 	DAG bool
+	// ShardRows sets the pipeline executor's row-shard chunk size for
+	// elementwise op loops (0 = default, negative = serial). Like DAG,
+	// results are bit-identical at any value.
+	ShardRows int
 }
 
 func (c Config) withDefaults() Config {

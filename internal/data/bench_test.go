@@ -2,8 +2,9 @@ package data
 
 import (
 	"math/rand"
-	"os"
 	"testing"
+
+	"catdb/internal/bench/baseline"
 )
 
 // The Data* benchmarks measure row subsetting on a 100k×30 table. With
@@ -11,14 +12,17 @@ import (
 // (the old Column.Select semantics, reimplemented below) so the committed
 // BENCH_data.json baseline can be re-captured:
 //
-//	BENCH_DATA_MODE=deep go test -bench=Data ... | benchjson -set-baseline
-//	go test -bench=Data ...                      | benchjson
+//	BENCH_BASELINE=data go test -bench=Data ... | benchjson -set-baseline
+//	go test -bench=Data ...                     | benchjson
+//
+// (BENCH_DATA_MODE=deep remains a supported alias; see
+// internal/bench/baseline.)
 const (
 	benchRows = 100_000
 	benchCols = 30
 )
 
-func benchDeepMode() bool { return os.Getenv("BENCH_DATA_MODE") == "deep" }
+func benchDeepMode() bool { return baseline.Lane("data", "BENCH_DATA_MODE", "deep") }
 
 func benchTable() *Table {
 	tb := NewTable("bench")

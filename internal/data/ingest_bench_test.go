@@ -4,8 +4,9 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
-	"os"
 	"testing"
+
+	"catdb/internal/bench/baseline"
 )
 
 // The Ingest* benchmarks measure cold CSV parse (serial and
@@ -14,14 +15,17 @@ import (
 // benchmarks run the old ReadAll-based reader (readCSVLegacy) so the
 // committed BENCH_ingest.json baseline can be re-captured:
 //
-//	BENCH_INGEST_MODE=legacy go test -bench=Ingest ... | benchjson -set-baseline
-//	go test -bench=Ingest ...                          | benchjson
+//	BENCH_BASELINE=ingest go test -bench=Ingest ... | benchjson -set-baseline
+//	go test -bench=Ingest ...                       | benchjson
+//
+// (BENCH_INGEST_MODE=legacy remains a supported alias; see
+// internal/bench/baseline.)
 const (
 	ingestBenchSmall = 100_000
 	ingestBenchLarge = 1_000_000
 )
 
-func ingestLegacyMode() bool { return os.Getenv("BENCH_INGEST_MODE") == "legacy" }
+func ingestLegacyMode() bool { return baseline.Lane("ingest", "BENCH_INGEST_MODE", "legacy") }
 
 // ingestBenchCSV renders a mixed-kind table (ints, floats, bools,
 // categoricals, quoted free text with embedded commas, scattered

@@ -1,0 +1,90 @@
+package data
+
+// Row-shard views: zero-copy range windows over a column's dense slabs
+// for data-parallel elementwise transforms.
+//
+// The disjoint-write contract is three steps:
+//
+//  1. BeginShardWrite — the owning column promotes to private dense
+//     storage once, up front (a CoW view gathers its mapped rows), and
+//     pre-sizes the missing mask over the full length, so no shard ever
+//     triggers a promotion or a mask growth mid-flight.
+//  2. Workers each take a ShardView(lo, hi) and write only rows in
+//     their own [lo, hi) window through the ordinary setters; shard
+//     writes go straight to the base slabs (own is a no-op on shards).
+//  3. EndShardWrite — the owner bumps its stats version once after the
+//     join, invalidating the memoized Summary exactly like a serial
+//     write loop would have.
+//
+// Reads through a shard view are shard-relative: row i of the view is
+// row lo+i of the base column.
+
+// BeginShardWrite prepares the column for disjoint-range parallel
+// writes: it promotes a CoW view or shared column to private dense
+// storage and sizes the missing mask to the full column length. Call
+// once before handing out ShardViews.
+func (c *Column) BeginShardWrite() {
+	if c.isShard {
+		panic("data: BeginShardWrite on a shard view")
+	}
+	c.own()
+	c.store.ensureMask(c.Len())
+}
+
+// EndShardWrite publishes the shards' writes to the column's statistics
+// by bumping the mutation version once. Call after all shard workers
+// have joined.
+func (c *Column) EndShardWrite() {
+	c.touch()
+}
+
+// ShardView returns a zero-copy view over rows [lo, hi) of the column
+// that writes through to the base slabs. The receiver must be prepared
+// with BeginShardWrite first; concurrent shards must cover disjoint
+// ranges.
+func (c *Column) ShardView(lo, hi int) *Column {
+	if c.isShard {
+		panic("data: ShardView of a shard view")
+	}
+	if c.rows != nil {
+		panic("data: ShardView of an unpromoted CoW view (call BeginShardWrite first)")
+	}
+	if lo < 0 || hi < lo || hi > c.Len() {
+		panic("data: ShardView range out of bounds")
+	}
+	return &Column{
+		Name:     c.Name,
+		Kind:     c.Kind,
+		store:    c.ensureStore(),
+		shardOff: lo,
+		shardLen: hi - lo,
+		isShard:  true,
+	}
+}
+
+// ShardRanges splits [0, n) into contiguous disjoint [lo, hi) ranges of
+// at most shardRows rows each. shardRows <= 0 yields a single range
+// covering everything; n == 0 yields no ranges.
+func ShardRanges(n, shardRows int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if shardRows <= 0 || shardRows >= n {
+		return [][2]int{{0, n}}
+	}
+	ranges := make([][2]int, 0, (n+shardRows-1)/shardRows)
+	for lo := 0; lo < n; lo += shardRows {
+		hi := lo + shardRows
+		if hi > n {
+			hi = n
+		}
+		ranges = append(ranges, [2]int{lo, hi})
+	}
+	return ranges
+}
+
+// RowShards splits the table's row range into contiguous disjoint
+// [lo, hi) ranges of at most shardRows rows each.
+func (t *Table) RowShards(shardRows int) [][2]int {
+	return ShardRanges(t.NumRows(), shardRows)
+}

@@ -1,0 +1,205 @@
+package data
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestShardRanges(t *testing.T) {
+	cases := []struct {
+		n, shardRows int
+		want         [][2]int
+	}{
+		{0, 4, nil},
+		{-3, 4, nil},
+		{10, 0, [][2]int{{0, 10}}},
+		{10, -1, [][2]int{{0, 10}}},
+		{10, 10, [][2]int{{0, 10}}},
+		{10, 100, [][2]int{{0, 10}}},
+		{10, 4, [][2]int{{0, 4}, {4, 8}, {8, 10}}},
+		{10, 1, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 9}, {9, 10}}},
+	}
+	for _, c := range cases {
+		got := ShardRanges(c.n, c.shardRows)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ShardRanges(%d, %d) = %v, want %v", c.n, c.shardRows, got, c.want)
+		}
+	}
+}
+
+func TestRowShardsCoverTable(t *testing.T) {
+	tb := NewTable("t")
+	tb.MustAddColumn(NewNumeric("x", make([]float64, 11)))
+	got := tb.RowShards(4)
+	want := [][2]int{{0, 4}, {4, 8}, {8, 11}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RowShards(4) = %v, want %v", got, want)
+	}
+}
+
+func TestShardViewWriteThrough(t *testing.T) {
+	c := NewNumeric("x", []float64{0, 1, 2, 3, 4, 5, 6, 7})
+	c.BeginShardWrite()
+	v := c.ShardView(2, 5)
+	if v.Len() != 3 {
+		t.Fatalf("shard Len = %d, want 3", v.Len())
+	}
+	if v.Num(0) != 2 || v.Num(2) != 4 {
+		t.Fatalf("shard reads wrong window: %v %v", v.Num(0), v.Num(2))
+	}
+	v.SetNum(1, 99)
+	v.SetMissing(2)
+	c.EndShardWrite()
+	if c.Num(3) != 99 {
+		t.Fatalf("write-through failed: base row 3 = %v, want 99", c.Num(3))
+	}
+	if !c.IsMissing(4) || c.IsMissing(3) {
+		t.Fatalf("shard SetMissing landed wrong: missing(4)=%v missing(3)=%v", c.IsMissing(4), c.IsMissing(3))
+	}
+	if c.MissingCount() != 1 {
+		t.Fatalf("summary after EndShardWrite: missing = %d, want 1", c.MissingCount())
+	}
+}
+
+func TestShardViewStringColumn(t *testing.T) {
+	c := NewString("s", []string{"a", "b", "c", "d"})
+	c.BeginShardWrite()
+	v := c.ShardView(1, 3)
+	v.SetStr(0, "B")
+	v.SetMissing(1)
+	c.EndShardWrite()
+	if c.Str(1) != "B" {
+		t.Fatalf("string write-through failed: %q", c.Str(1))
+	}
+	if !c.IsMissing(2) {
+		t.Fatal("string shard SetMissing failed")
+	}
+	// SetMissing on a string column blanks the value.
+	if c.Str(2) != "" {
+		t.Fatalf("missing string cell not blanked: %q", c.Str(2))
+	}
+}
+
+// A CoW view (post-Select) must be gathered to private dense storage by
+// BeginShardWrite; shard writes then stay invisible to the source.
+func TestShardWriteOnCoWView(t *testing.T) {
+	base := NewNumeric("x", []float64{10, 11, 12, 13, 14, 15})
+	view := base.Select([]int{5, 3, 1})
+	view.BeginShardWrite()
+	sv := view.ShardView(0, 3)
+	for i := 0; i < sv.Len(); i++ {
+		sv.SetNum(i, sv.Num(i)*2)
+	}
+	view.EndShardWrite()
+	want := []float64{30, 26, 22}
+	for i, w := range want {
+		if view.Num(i) != w {
+			t.Fatalf("view row %d = %v, want %v", i, view.Num(i), w)
+		}
+	}
+	for i, w := range []float64{10, 11, 12, 13, 14, 15} {
+		if base.Num(i) != w {
+			t.Fatalf("CoW isolation broken: base row %d = %v, want %v", i, base.Num(i), w)
+		}
+	}
+}
+
+// Concurrent disjoint shard writes (including SetMissing, which touches
+// the shared mask slab) must produce the same result as a serial loop.
+// Run under -race this is the core disjoint-write contract check.
+func TestShardConcurrentDisjointWrites(t *testing.T) {
+	const n = 10_000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	c := NewNumeric("x", vals)
+	c.BeginShardWrite()
+	ranges := ShardRanges(n, 257)
+	var wg sync.WaitGroup
+	for _, r := range ranges {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			v := c.ShardView(lo, hi)
+			for i := 0; i < v.Len(); i++ {
+				if int(v.Num(i))%10 == 0 {
+					v.SetMissing(i)
+				} else {
+					v.SetNum(i, v.Num(i)+1)
+				}
+			}
+		}(r[0], r[1])
+	}
+	wg.Wait()
+	c.EndShardWrite()
+	for i := 0; i < n; i++ {
+		if i%10 == 0 {
+			if !c.IsMissing(i) {
+				t.Fatalf("row %d should be missing", i)
+			}
+		} else if c.Num(i) != float64(i)+1 {
+			t.Fatalf("row %d = %v, want %v", i, c.Num(i), float64(i)+1)
+		}
+	}
+	if got := c.MissingCount(); got != n/10 {
+		t.Fatalf("missing count = %d, want %d", got, n/10)
+	}
+}
+
+func TestShardViewSubSlices(t *testing.T) {
+	c := NewNumeric("x", []float64{0, 1, 2, 3, 4})
+	c.BeginShardWrite()
+	v := c.ShardView(1, 4)
+	nums := v.NumsView()
+	if want := []float64{1, 2, 3}; !reflect.DeepEqual(nums, want) {
+		t.Fatalf("shard NumsView = %v, want %v", nums, want)
+	}
+	s := NewString("s", []string{"a", "b", "c"})
+	s.BeginShardWrite()
+	if got := s.ShardView(2, 3).StrsView(); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Fatalf("shard StrsView = %v", got)
+	}
+}
+
+func TestShardPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	c := NewNumeric("x", []float64{1, 2, 3})
+	c.BeginShardWrite()
+	v := c.ShardView(0, 2)
+	mustPanic("BeginShardWrite on shard", func() { v.BeginShardWrite() })
+	mustPanic("ShardView of shard", func() { v.ShardView(0, 1) })
+	mustPanic("out of bounds hi", func() { c.ShardView(0, 4) })
+	mustPanic("negative lo", func() { c.ShardView(-1, 2) })
+	mustPanic("inverted range", func() { c.ShardView(2, 1) })
+	view := NewNumeric("y", []float64{1, 2, 3, 4}).Select([]int{0, 2})
+	mustPanic("ShardView of unpromoted CoW view", func() { view.ShardView(0, 1) })
+}
+
+// EndShardWrite must invalidate the memoized summary exactly like a
+// serial write loop: stats computed before the shard write must not
+// survive it.
+func TestShardWriteInvalidatesSummary(t *testing.T) {
+	c := NewNumeric("x", []float64{1, 2, 3, 4})
+	if got := c.Summary().Stats.Mean; got != 2.5 {
+		t.Fatalf("pre-write mean = %v", got)
+	}
+	c.BeginShardWrite()
+	sv := c.ShardView(0, 4)
+	for i := 0; i < 4; i++ {
+		sv.SetNum(i, 10)
+	}
+	c.EndShardWrite()
+	if got := c.Summary().Stats.Mean; got != 10 {
+		t.Fatalf("post-write mean = %v, want 10 (stale summary survived EndShardWrite)", got)
+	}
+}

@@ -3,10 +3,10 @@ package pipescript
 import (
 	"fmt"
 	"math/rand"
-	"os"
 	"strings"
 	"testing"
 
+	"catdb/internal/bench/baseline"
 	"catdb/internal/data"
 )
 
@@ -17,9 +17,10 @@ import (
 // categorical ones — 18 independent branches with no cross-column
 // dependencies, the best case for wave scheduling.
 //
-// `make bench` runs this twice: BENCH_DAG_MODE=serial captures the
-// linear baseline into BENCH_dag.json, then the default DAG pass
-// records the scheduled numbers against it.
+// `make bench` runs this twice: BENCH_BASELINE=dag (alias:
+// BENCH_DAG_MODE=serial) captures the linear baseline into
+// BENCH_dag.json, then the default DAG pass records the scheduled
+// numbers against it.
 func BenchmarkDAGPreprocess(b *testing.B) {
 	const rows = 100_000
 	const numCols = 12
@@ -63,7 +64,7 @@ func BenchmarkDAGPreprocess(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	dag := os.Getenv("BENCH_DAG_MODE") != "serial"
+	dag := !baseline.Lane("dag", "BENCH_DAG_MODE", "serial")
 	for _, workers := range []int{4} {
 		name := fmt.Sprintf("rows=%d/branches=%d/workers=%d", rows, numCols+catCols, workers)
 		b.Run(name, func(b *testing.B) {

@@ -69,6 +69,14 @@ type Executor struct {
 	// setting; statements whose column references cannot be resolved
 	// statically fall back to linear execution automatically.
 	DAG bool
+	// ShardRows caps the rows one shard task covers when elementwise op
+	// loops are split across workers (0 = the 32768 default; negative
+	// disables row sharding). Whether and how a loop shards depends only
+	// on the row count and this setting — never on Workers — and shards
+	// write disjoint row ranges, so results, artifacts, errors, and the
+	// catdb_shard_tasks_total metrics are bit-identical to serial
+	// execution at any (Workers, ShardRows).
+	ShardRows int
 	// Metrics, when set, records execution counts, latencies, and error
 	// codes (catdb_pipescript_*) into the observability registry. Nil
 	// disables recording with zero overhead.
@@ -81,6 +89,13 @@ type Executor struct {
 	// record, when non-nil, collects fitted steps and the trained model
 	// into an artifact; set by Fit for the duration of one Execute.
 	record *FittedPipeline
+
+	// Per-execution row-shard state, set by execute: the shared worker
+	// budget (also consumed by the DAG wave scheduler, so waves × shards
+	// never oversubscribe Workers) and the sharder elementwise op loops
+	// fan out through (nil when ShardRows < 0).
+	budget *workerBudget
+	sh     *sharder
 }
 
 // Execute validates and runs the program on copies of train/test. The
@@ -113,6 +128,9 @@ func (e *Executor) execute(p *Program, train, test *data.Table) (*Result, error)
 	if maxOH <= 0 {
 		maxOH = 64
 	}
+	e.budget = newWorkerBudget(e.Workers)
+	e.sh = newSharder(e.ShardRows, e.budget, e.Metrics)
+	defer func() { e.budget, e.sh = nil, nil }()
 	res := &Result{Program: p}
 
 	trained := false
@@ -155,7 +173,18 @@ func (e *Executor) execStmt(st Stmt, tr, te *data.Table, maxOH int, res *Result,
 		// Parse guarantees registered ops; this is unreachable by construction.
 		return rtErr(st.Line, ErrBadOption, "unhandled statement %q", st.Op)
 	}
-	return spec.exec(e, st, &execCtx{e: e, tr: tr, te: te, maxOH: maxOH, res: res, trained: trained})
+	return spec.exec(e, st, &execCtx{e: e, tr: tr, te: te, maxOH: maxOH, res: res, trained: trained, sh: e.shardFor(spec)})
+}
+
+// shardFor gates the row-shard executor by op class: only elementwise
+// and whole-table ops carry row loops whose writes are provably
+// disjoint per row. Pure and stateful-fit ops run without a sharder
+// (train's matrix builds shard through e.sh explicitly).
+func (e *Executor) shardFor(spec *opSpec) *sharder {
+	if spec.class == opElementwise || spec.class == opWholeTable {
+		return e.sh
+	}
+	return nil
 }
 
 // requireCol resolves a column reference in a core statement.
@@ -185,7 +214,7 @@ func (e *Executor) execImpute(st Stmt, c *execCtx) error {
 	if ierr != nil {
 		return rtErr(st.Line, ErrTypeMismatch, "%v", ierr)
 	}
-	applyImpute(col, num, str)
+	applyImpute(c.sh, col, num, str)
 	return c.apply(FittedStep{Op: "impute", Col: col.Name, Num: num, Str: str}, st.Line, ErrBadOption)
 }
 
@@ -207,7 +236,7 @@ func (e *Executor) execImputeAll(st Stmt, c *execCtx) error {
 		if ierr != nil {
 			return rtErr(st.Line, ErrTypeMismatch, "%v", ierr)
 		}
-		applyImpute(col, num, str)
+		applyImpute(c.sh, col, num, str)
 		if err := c.apply(FittedStep{Op: "impute", Col: col.Name, Num: num, Str: str}, st.Line, ErrBadOption); err != nil {
 			return err
 		}
@@ -249,7 +278,7 @@ func (e *Executor) execClipOutliers(st Stmt, c *execCtx) error {
 	}
 	for _, col := range cols {
 		lo, hi := iqrBounds(col, factor)
-		clipColumn(col, lo, hi)
+		clipColumn(c.sh, col, lo, hi)
 		if col.Name != e.Target {
 			if err := c.apply(FittedStep{Op: "clip", Col: col.Name, Lo: lo, Hi: hi}, st.Line, ErrBadOption); err != nil {
 				return err
@@ -273,11 +302,15 @@ func (e *Executor) execRemoveOutliers(st Stmt, c *execCtx) error {
 	}
 	for _, col := range cols {
 		lo, hi := iqrBounds(col, factor)
-		for i := 0; i < col.Len(); i++ {
-			if !col.IsMissing(i) && (col.Num(i) < lo || col.Num(i) > hi) {
-				keep[i] = false
+		// The keep-mask scan is elementwise (row i writes only keep[i]),
+		// so it shards like an apply loop.
+		c.sh.ranges("remove_outliers", col.Len(), func(rlo, rhi int) {
+			for i := rlo; i < rhi; i++ {
+				if !col.IsMissing(i) && (col.Num(i) < lo || col.Num(i) > hi) {
+					keep[i] = false
+				}
 			}
-		}
+		})
 		// Evaluation rows are clipped (never dropped) so the test set
 		// size is preserved — except the target, which is ground truth.
 		if col.Name != e.Target {
@@ -323,7 +356,7 @@ func (e *Executor) execScale(st Stmt, c *execCtx) error {
 		if serr != nil {
 			return rtErr(st.Line, ErrBadOption, "%v", serr)
 		}
-		sp.apply(col)
+		sp.apply(c.sh, col)
 		// Like the outlier ops, the target is exempt on the test side:
 		// scaling held-out ground truth would corrupt RMSE (the train
 		// target may be scaled — the model just learns that scale).
@@ -354,7 +387,7 @@ func (e *Executor) execOnehot(st Stmt, c *execCtx) error {
 	if err := c.capOK(st.Line, "one-hot", col.Name, len(cats)); err != nil {
 		return err
 	}
-	if err := oneHot(c.tr, col.Name, cats); err != nil {
+	if err := oneHot(c.sh, c.tr, col.Name, cats); err != nil {
 		return rtErr(st.Line, ErrUnknownColumn, "%v", err)
 	}
 	return c.apply(FittedStep{Op: "onehot", Col: col.Name, Cats: cats}, st.Line, ErrUnknownColumn)
@@ -372,7 +405,7 @@ func (e *Executor) execKhot(st Stmt, c *execCtx) error {
 	if err := c.capOK(st.Line, "k-hot", col.Name, len(items)); err != nil {
 		return err
 	}
-	if err := kHot(c.tr, col.Name, items); err != nil {
+	if err := kHot(c.sh, c.tr, col.Name, items); err != nil {
 		return rtErr(st.Line, ErrUnknownColumn, "%v", err)
 	}
 	return c.apply(FittedStep{Op: "khot", Col: col.Name, Cats: items}, st.Line, ErrUnknownColumn)
@@ -387,7 +420,7 @@ func (e *Executor) execHashEncode(st Stmt, c *execCtx) error {
 	if perr != nil || buckets <= 0 {
 		return rtErr(st.Line, ErrBadOption, "bad buckets %q", st.Opt("buckets", ""))
 	}
-	if err := hashEncode(c.tr, col.Name, buckets); err != nil {
+	if err := hashEncode(c.sh, c.tr, col.Name, buckets); err != nil {
 		return rtErr(st.Line, ErrUnknownColumn, "%v", err)
 	}
 	return c.apply(FittedStep{Op: "hash_encode", Col: col.Name, Buckets: buckets}, st.Line, ErrUnknownColumn)
@@ -402,7 +435,7 @@ func (e *Executor) execOrdinal(st Stmt, c *execCtx) error {
 	for i, cat := range topCategories(col, 1<<20) {
 		mapping[cat] = i
 	}
-	if err := ordinalEncode(c.tr, col.Name, mapping); err != nil {
+	if err := ordinalEncode(c.sh, c.tr, col.Name, mapping); err != nil {
 		return rtErr(st.Line, ErrUnknownColumn, "%v", err)
 	}
 	return c.apply(FittedStep{Op: "ordinal", Col: col.Name, Mapping: mapping}, st.Line, ErrUnknownColumn)
@@ -456,7 +489,7 @@ func (e *Executor) execSplitComposite(st Stmt, c *execCtx) error {
 		return err
 	}
 	names := splitNames(st, col.Name)
-	if err := splitComposite(c.tr, col.Name, names[0], names[1]); err != nil {
+	if err := splitComposite(c.sh, c.tr, col.Name, names[0], names[1]); err != nil {
 		return rtErr(st.Line, ErrUnknownColumn, "%v", err)
 	}
 	return c.apply(FittedStep{Op: "split_composite", Col: col.Name,
@@ -471,7 +504,7 @@ func (e *Executor) execExtractToken(st Stmt, c *execCtx) error {
 	if col.Kind != data.KindString {
 		return rtErr(st.Line, ErrTypeMismatch, "extract_token needs a string column, %q is %s", col.Name, col.Kind)
 	}
-	extractToken(col)
+	extractToken(c.sh, col)
 	return c.apply(FittedStep{Op: "extract_token", Col: col.Name}, st.Line, "")
 }
 
@@ -488,7 +521,7 @@ func (e *Executor) execDedupValues(st Stmt, c *execCtx) error {
 	for raw, canon := range mapping {
 		byNormal[NormalizeValue(raw)] = canon
 	}
-	applyMapping(col, mapping, byNormal)
+	applyMapping(c.sh, col, mapping, byNormal)
 	return c.apply(FittedStep{Op: "dedup_values", Col: col.Name, ValueMap: mapping}, st.Line, "")
 }
 
@@ -646,8 +679,8 @@ func (e *Executor) train(st Stmt, tr, te *data.Table, res *Result) error {
 		return rtErr(st.Line, ErrNaNInMatrix,
 			"input contains NaN: target column %q has %d missing values", target, tcol.MissingCount())
 	}
-	Xtr, featNames := matrix(tr, target)
-	Xte, _ := matrixAligned(te, featNames)
+	Xtr, featNames := matrix(e.sh, tr, target)
+	Xte, _ := matrixAligned(e.sh, te, featNames)
 	if len(Xtr) == 0 || len(featNames) == 0 {
 		return rtErr(st.Line, ErrEmptyData, "no usable feature columns at train time")
 	}
@@ -799,7 +832,7 @@ func argmax(v []float64) int {
 }
 
 // matrix extracts the numeric feature matrix and column order.
-func matrix(t *data.Table, target string) ([][]float64, []string) {
+func matrix(sh *sharder, t *data.Table, target string) ([][]float64, []string) {
 	var names []string
 	var cols []*data.Column
 	for _, c := range t.Cols {
@@ -810,13 +843,15 @@ func matrix(t *data.Table, target string) ([][]float64, []string) {
 		cols = append(cols, c)
 	}
 	X := make([][]float64, t.NumRows())
-	for i := range X {
-		row := make([]float64, len(cols))
-		for j, c := range cols {
-			row[j] = c.Num(i)
+	sh.ranges("matrix", len(X), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := make([]float64, len(cols))
+			for j, c := range cols {
+				row[j] = c.Num(i)
+			}
+			X[i] = row
 		}
-		X[i] = row
-	}
+	})
 	return X, names
 }
 
@@ -830,21 +865,23 @@ func matrix(t *data.Table, target string) ([][]float64, []string) {
 // the strict version: it rejects absent/non-numeric/incomplete fitted
 // features with a typed ArtifactError before this zero-fill can skew
 // predictions.
-func matrixAligned(t *data.Table, names []string) ([][]float64, []string) {
+func matrixAligned(sh *sharder, t *data.Table, names []string) ([][]float64, []string) {
 	cols := make([]*data.Column, len(names))
 	for j, n := range names {
 		cols[j] = t.Col(n)
 	}
 	X := make([][]float64, t.NumRows())
-	for i := range X {
-		row := make([]float64, len(names))
-		for j, c := range cols {
-			if c != nil && c.Kind.IsNumeric() && i < c.Len() {
-				row[j] = c.Num(i)
+	sh.ranges("matrix", len(X), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := make([]float64, len(names))
+			for j, c := range cols {
+				if c != nil && c.Kind.IsNumeric() && i < c.Len() {
+					row[j] = c.Num(i)
+				}
 			}
+			X[i] = row
 		}
-		X[i] = row
-	}
+	})
 	return X, names
 }
 

@@ -118,13 +118,17 @@ func (e *Executor) runSegment(nodes []*dagNode, tr, te *data.Table, maxOH int) e
 		waves++
 		// colOf is read concurrently below and only written between
 		// waves, so node table construction inside workers is race-free.
-		outs, _ := pool.Map(e.Workers, len(ready), func(k int) (nodeOutcome, error) {
+		// Wave width borrows from the same budget nested sharders draw
+		// on, so waves × shards never exceed the configured Workers.
+		extra := e.budget.tryAcquire(len(ready) - 1)
+		outs, _ := pool.Map(1+extra, len(ready), func(k int) (nodeOutcome, error) {
 			j := ready[k]
 			if dead[j] {
 				return nodeOutcome{}, nil
 			}
 			return e.runDAGNode(nodes[j], tr.Name, colOf, maxOH), nil
 		})
+		e.budget.release(extra)
 		for k, j := range ready {
 			done[j] = true
 			for _, ch := range children[j] {
@@ -183,7 +187,7 @@ func (e *Executor) runDAGNode(nd *dagNode, tableName string, colOf map[string]*d
 		beforeNames[i] = c.Name
 		before[c.Name] = true
 	}
-	ctx := &execCtx{e: e, tr: ptab, maxOH: maxOH, node: out.buf}
+	ctx := &execCtx{e: e, tr: ptab, maxOH: maxOH, node: out.buf, sh: e.shardFor(nd.spec)}
 	if out.err = nd.spec.exec(e, nd.st, ctx); out.err != nil {
 		return out
 	}

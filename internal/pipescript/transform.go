@@ -48,36 +48,38 @@ var transformBuckets = append([]float64{0.00001, 0.00005, 0.0001, 0.0005}, obs.D
 
 // apply applies one recorded step to a table. Columns absent from the
 // batch are skipped, matching how the executor treats the evaluation
-// split; this is the single implementation both paths share.
-func (s *FittedStep) apply(t *data.Table) error {
+// split; this is the single implementation both paths share. The
+// sharder routes elementwise row loops over the pool (nil = serial);
+// results are bit-identical either way.
+func (s *FittedStep) apply(sh *sharder, t *data.Table) error {
 	switch s.Op {
 	case "impute":
 		if c := t.Col(s.Col); c != nil {
-			applyImpute(c, s.Num, s.Str)
+			applyImpute(sh, c, s.Num, s.Str)
 		}
 	case "clip":
 		if c := t.Col(s.Col); c != nil {
-			clipColumn(c, s.Lo, s.Hi)
+			clipColumn(sh, c, s.Lo, s.Hi)
 		}
 	case "scale":
 		if c := t.Col(s.Col); c != nil {
-			scaleParams{method: s.Method, a: s.A, b: s.B}.apply(c)
+			scaleParams{method: s.Method, a: s.A, b: s.B}.apply(sh, c)
 		}
 	case "onehot":
 		if t.Col(s.Col) != nil {
-			return oneHot(t, s.Col, s.Cats)
+			return oneHot(sh, t, s.Col, s.Cats)
 		}
 	case "khot":
 		if t.Col(s.Col) != nil {
-			return kHot(t, s.Col, s.Cats)
+			return kHot(sh, t, s.Col, s.Cats)
 		}
 	case "hash_encode":
 		if t.Col(s.Col) != nil {
-			return hashEncode(t, s.Col, s.Buckets)
+			return hashEncode(sh, t, s.Col, s.Buckets)
 		}
 	case "ordinal":
 		if t.Col(s.Col) != nil {
-			return ordinalEncode(t, s.Col, s.Mapping)
+			return ordinalEncode(sh, t, s.Col, s.Mapping)
 		}
 	case "drop":
 		for _, name := range s.Cols {
@@ -85,11 +87,11 @@ func (s *FittedStep) apply(t *data.Table) error {
 		}
 	case "split_composite":
 		if t.Col(s.Col) != nil {
-			return splitComposite(t, s.Col, s.Name, s.NameB)
+			return splitComposite(sh, t, s.Col, s.Name, s.NameB)
 		}
 	case "extract_token":
 		if c := t.Col(s.Col); c != nil {
-			extractToken(c)
+			extractToken(sh, c)
 		}
 	case "dedup_values":
 		if c := t.Col(s.Col); c != nil {
@@ -97,21 +99,21 @@ func (s *FittedStep) apply(t *data.Table) error {
 			for raw, canon := range s.ValueMap {
 				byNormal[NormalizeValue(raw)] = canon
 			}
-			applyMapping(c, s.ValueMap, byNormal)
+			applyMapping(sh, c, s.ValueMap, byNormal)
 		}
 	case "bin_numeric":
 		if c := t.Col(s.Col); c != nil {
-			binifyColumn(c, s.Edges)
+			binifyColumn(sh, c, s.Edges)
 		}
 	case "log_transform":
 		if c := t.Col(s.Col); c != nil {
-			logTransformColumn(c)
+			logTransformColumn(sh, c)
 		}
 	case "interaction":
-		return buildInteraction(t, s.Col, s.ColB, s.Method, s.Name)
+		return buildInteraction(sh, t, s.Col, s.ColB, s.Method, s.Name)
 	case "target_encode":
 		if t.Col(s.Col) != nil {
-			return smoothedMeanEncode(t, s.Col, s.Sums, s.Counts, s.Global)
+			return smoothedMeanEncode(sh, t, s.Col, s.Sums, s.Counts, s.Global)
 		}
 	default:
 		return fmt.Errorf("unknown fitted step %q", s.Op)
@@ -119,15 +121,35 @@ func (s *FittedStep) apply(t *data.Table) error {
 	return nil
 }
 
+// sharderFor builds the per-call row sharder the serving path uses:
+// the same engine the executor runs, sized by the artifact's runtime
+// knobs. Each call gets a fresh worker budget — serving calls are
+// independent, so there is no cross-call budget to share beyond the
+// pool itself.
+func (fp *FittedPipeline) sharderFor() *sharder {
+	return newSharder(fp.ShardRows, newWorkerBudget(fp.Workers), fp.Metrics)
+}
+
 // Transform applies the recorded preprocessing steps to a clone of t,
 // returning the feature-space view of the batch. The input table is
-// never mutated.
+// never mutated. With DAG set, independent steps run as scheduled
+// waves (transform_dag.go); either way elementwise row loops shard
+// over the pool, and the output is bit-identical to the serial loop.
 func (fp *FittedPipeline) Transform(t *data.Table) (*data.Table, error) {
 	out := t.Clone()
+	// One budget spans both parallelism axes of this call: step waves
+	// and the row shards nested inside them never oversubscribe Workers.
+	budget := newWorkerBudget(fp.Workers)
+	sh := newSharder(fp.ShardRows, budget, fp.Metrics)
+	if fp.DAG && len(fp.Steps) > 1 {
+		if handled, err := fp.transformDAG(sh, budget, out); handled {
+			return out, err
+		}
+	}
 	for i := range fp.Steps {
 		step := &fp.Steps[i]
 		start := obs.Now()
-		if err := step.apply(out); err != nil {
+		if err := step.apply(sh, out); err != nil {
 			return nil, artErr(ErrStepFailed, "step %d (%s on %q): %v", i, step.Op, step.Col, err)
 		}
 		// Nil-registry calls are free, so no conditional is needed here.
@@ -213,7 +235,7 @@ func (fp *FittedPipeline) predict(t *data.Table) (*Predictions, error) {
 				"fitted feature %q has %d missing values in the batch", name, c.MissingCount())
 		}
 	}
-	X, _ := matrixAligned(tt, fp.Features)
+	X, _ := matrixAligned(fp.sharderFor(), tt, fp.Features)
 	m, err := fp.liveModel()
 	if err != nil {
 		return nil, err

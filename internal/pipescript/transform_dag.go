@@ -1,0 +1,300 @@
+package pipescript
+
+import (
+	"catdb/internal/data"
+	"catdb/internal/obs"
+	"catdb/internal/pool"
+)
+
+// This file schedules a fitted pipeline's recorded steps as dependency
+// waves at serve time — the serving twin of schedule.go. Unlike the
+// fit-time DAG (which must reason about data-dependent encoder outputs
+// via prefixes), every recorded step's output columns are fully static:
+// the encoder vocabularies were fitted and frozen into the artifact, so
+// the whole plan resolves exactly against the incoming batch's column
+// set. Steps run against private table views sharing column objects
+// with the batch clone; structural changes merge back in step order, so
+// the transformed table, per-stage metrics, and the first error are
+// bit-identical to the linear loop at any worker count. Resolution
+// falls back to the linear path (handled=false) whenever an added
+// column name would collide — the linear loop then raises the real
+// duplicate-column error in step order.
+
+// fittedNode is one schedulable recorded step.
+type fittedNode struct {
+	idx  int // step index (error-ordering key)
+	step *FittedStep
+	refs colRefs
+	deps []int // earlier nodes this one must wait for
+}
+
+// stepRefs computes the column footprint of a recorded step given the
+// columns present when it runs. Steps whose source column is absent
+// from the batch are no-ops (apply skips them), so their footprint is
+// empty. ok=false means the op is unknown and the plan cannot be built.
+func stepRefs(s *FittedStep, present map[string]bool) (colRefs, bool) {
+	var r colRefs
+	switch s.Op {
+	case "impute", "clip", "scale", "extract_token", "dedup_values",
+		"bin_numeric", "log_transform":
+		if present[s.Col] {
+			r.writes = []string{s.Col}
+		}
+	case "onehot", "khot":
+		if present[s.Col] {
+			r.removes = []string{s.Col}
+			for _, cat := range s.Cats {
+				r.adds = append(r.adds, encodedName(s.Col, cat))
+			}
+		}
+	case "hash_encode":
+		if present[s.Col] {
+			r.removes = []string{s.Col}
+			r.adds = []string{s.Col + "__hash"}
+		}
+	case "ordinal":
+		if present[s.Col] {
+			r.removes = []string{s.Col}
+			r.adds = []string{s.Col + "__ord"}
+		}
+	case "drop":
+		for _, name := range s.Cols {
+			if present[name] {
+				r.removes = append(r.removes, name)
+			}
+		}
+	case "split_composite":
+		if present[s.Col] {
+			r.removes = []string{s.Col}
+			r.adds = []string{s.Name, s.NameB}
+		}
+	case "interaction":
+		// buildInteraction is a no-op unless both sources exist.
+		if present[s.Col] && present[s.ColB] {
+			r.reads = []string{s.Col, s.ColB}
+			r.adds = []string{s.Name}
+		}
+	case "target_encode":
+		if present[s.Col] {
+			r.removes = []string{s.Col}
+			r.adds = []string{s.Col + "__tenc"}
+		}
+	default:
+		return r, false
+	}
+	return r, true
+}
+
+// resolveSteps simulates the linear application of the recorded steps
+// over the batch's actual columns and derives ordering edges. ok=false
+// forces the linear path.
+func resolveSteps(steps []FittedStep, t *data.Table) ([]*fittedNode, bool) {
+	sim := make(map[string]bool, len(t.Cols))
+	for _, c := range t.Cols {
+		sim[c.Name] = true
+	}
+	nodes := make([]*fittedNode, 0, len(steps))
+	for i := range steps {
+		s := &steps[i]
+		refs, ok := stepRefs(s, sim)
+		if !ok {
+			return nil, false
+		}
+		for _, name := range refs.removes {
+			delete(sim, name)
+		}
+		for _, name := range refs.adds {
+			if sim[name] {
+				// Adding over an existing (or same-step duplicate) name
+				// must raise the table's duplicate-column error exactly
+				// where the linear loop would — run linearly.
+				return nil, false
+			}
+			sim[name] = true
+		}
+		nd := &fittedNode{idx: i, step: s, refs: refs}
+		for j, prev := range nodes {
+			if _, hit := refsConflict(prev.refs, nd.refs); hit {
+				nd.deps = append(nd.deps, j)
+			}
+		}
+		nodes = append(nodes, nd)
+	}
+	return nodes, true
+}
+
+// stepOutcome is everything one step execution produced.
+type stepOutcome struct {
+	err     error
+	adds    []*data.Column // columns the step created, in creation order
+	removes []string       // columns the step dropped, in original order
+	seconds float64
+}
+
+// transformDAG applies the recorded steps as Kahn waves over the pool,
+// mutating t in place. handled=false means the plan could not be
+// resolved and the caller must run the linear loop instead. The sharder
+// and budget are shared with nested row shards, so waves × shards never
+// exceed the artifact's Workers.
+func (fp *FittedPipeline) transformDAG(sh *sharder, budget *workerBudget, t *data.Table) (bool, error) {
+	nodes, ok := resolveSteps(fp.Steps, t)
+	if !ok {
+		return false, nil
+	}
+	n := len(nodes)
+	colOf := make(map[string]*data.Column, len(t.Cols))
+	for _, c := range t.Cols {
+		colOf[c.Name] = c
+	}
+	indeg := make([]int, n)
+	children := make([][]int, n)
+	for j, nd := range nodes {
+		for _, d := range nd.deps {
+			indeg[j]++
+			children[d] = append(children[d], j)
+		}
+	}
+	outcomes := make([]stepOutcome, n)
+	done := make([]bool, n)
+	dead := make([]bool, n) // a dependency failed; the step never runs
+	var markDead func(j int)
+	markDead = func(j int) {
+		for _, ch := range children[j] {
+			if !dead[ch] {
+				dead[ch] = true
+				markDead(ch)
+			}
+		}
+	}
+	for {
+		var ready []int
+		for j := 0; j < n; j++ {
+			if !done[j] && indeg[j] == 0 {
+				ready = append(ready, j)
+			}
+		}
+		if len(ready) == 0 {
+			break
+		}
+		// colOf is read concurrently below and only written between
+		// waves; wave width borrows from the shared budget.
+		extra := budget.tryAcquire(len(ready) - 1)
+		outs, _ := pool.Map(1+extra, len(ready), func(k int) (stepOutcome, error) {
+			j := ready[k]
+			if dead[j] {
+				return stepOutcome{}, nil
+			}
+			return runFittedStep(sh, nodes[j], t.Name, colOf), nil
+		})
+		budget.release(extra)
+		for k, j := range ready {
+			done[j] = true
+			for _, ch := range children[j] {
+				indeg[ch]--
+			}
+			if dead[j] {
+				continue
+			}
+			outcomes[j] = outs[k]
+			if outs[k].err != nil {
+				markDead(j)
+				continue
+			}
+			for _, name := range outs[k].removes {
+				delete(colOf, name)
+			}
+			for _, c := range outs[k].adds {
+				colOf[c.Name] = c
+			}
+		}
+	}
+	return true, fp.mergeSteps(nodes, outcomes, t)
+}
+
+// runFittedStep applies one step against a private table view sharing
+// column objects with the batch; edges guarantee exclusive access to
+// whatever it writes. Structural changes stay private and are reported
+// for the ordered merge.
+func runFittedStep(sh *sharder, nd *fittedNode, tableName string, colOf map[string]*data.Column) stepOutcome {
+	start := obs.Now()
+	var out stepOutcome
+	var cols []*data.Column
+	seen := map[string]bool{}
+	for _, name := range nd.refs.names() {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if c := colOf[name]; c != nil {
+			cols = append(cols, c)
+		}
+	}
+	ptab := &data.Table{Name: tableName, Cols: cols}
+	// Snapshot names, not the slice: DropColumn splices in place.
+	beforeNames := make([]string, len(cols))
+	before := make(map[string]bool, len(cols))
+	for i, c := range cols {
+		beforeNames[i] = c.Name
+		before[c.Name] = true
+	}
+	out.err = nd.step.apply(sh, ptab)
+	if out.err == nil {
+		after := map[string]bool{}
+		for _, c := range ptab.Cols {
+			after[c.Name] = true
+			if !before[c.Name] {
+				out.adds = append(out.adds, c)
+			}
+		}
+		for _, name := range beforeNames {
+			if !after[name] {
+				out.removes = append(out.removes, name)
+			}
+		}
+	}
+	out.seconds = obs.Since(start).Seconds()
+	return out
+}
+
+// mergeSteps replays outcomes in step order: the first error (lowest
+// step index) surfaces exactly as the linear loop would raise it, and
+// column removals/additions rebuild the table in linear order. Stage
+// metrics are booked here so observation order is deterministic.
+func (fp *FittedPipeline) mergeSteps(nodes []*fittedNode, outcomes []stepOutcome, t *data.Table) error {
+	names := make([]string, 0, len(t.Cols))
+	colOf := make(map[string]*data.Column, len(t.Cols))
+	for _, c := range t.Cols {
+		names = append(names, c.Name)
+		colOf[c.Name] = c
+	}
+	for j, nd := range nodes {
+		o := outcomes[j]
+		if o.err != nil {
+			// A dead node's failed ancestor has a smaller step index, so
+			// its error returned on an earlier iteration; reaching an
+			// error here means it is the first in step order.
+			return artErr(ErrStepFailed, "step %d (%s on %q): %v", nd.idx, nd.step.Op, nd.step.Col, o.err)
+		}
+		for _, rm := range o.removes {
+			delete(colOf, rm)
+			for i, name := range names {
+				if name == rm {
+					names = append(names[:i], names[i+1:]...)
+					break
+				}
+			}
+		}
+		for _, c := range o.adds {
+			names = append(names, c.Name)
+			colOf[c.Name] = c
+		}
+		fp.Metrics.Histogram("catdb_transform_stage_seconds", transformBuckets,
+			"op", nd.step.Op).Observe(o.seconds)
+	}
+	cols := make([]*data.Column, len(names))
+	for i, name := range names {
+		cols[i] = colOf[name]
+	}
+	t.Cols = cols
+	return nil
+}
