@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race verify bench lint-encapsulation lint-obs lint-transform lint-dag lint-shard
+.PHONY: build vet test race verify bench lint-encapsulation lint-obs lint-transform lint-dag lint-shard lint-http
 
 build:
 	$(GO) build ./...
@@ -95,7 +95,21 @@ lint-shard:
 		exit 1; \
 	fi
 
-verify: build vet lint-encapsulation lint-obs lint-transform lint-dag lint-shard test race
+# The live ops plane is the repo's single HTTP surface: every handler is
+# registered on internal/obs/opsserver's private mux, so its read-only
+# guarantee (and the bit-identity contract behind it) is auditable in
+# one file. Fail on handler registration, mux construction, or server
+# listening anywhere else — other packages embed the plane via
+# opsserver.Start, they never grow endpoints of their own.
+lint-http:
+	@matches=$$(grep -rnE 'http\.(Handle|HandleFunc)\(|http\.NewServeMux\(|http\.ListenAndServe\(|pprof\.(Index|Cmdline|Profile|Symbol|Trace)|"net/http/pprof"' --include='*.go' . | grep -v '^\./internal/obs/opsserver/'); \
+	if [ -n "$$matches" ]; then \
+		echo "lint-http: HTTP handler registration outside internal/obs/opsserver:"; \
+		echo "$$matches"; \
+		exit 1; \
+	fi
+
+verify: build vet lint-encapsulation lint-obs lint-transform lint-dag lint-shard lint-http test race
 
 # Profiling + ML benchmarks: one cold iteration per benchmark (matching
 # how the committed baselines were captured) merged into BENCH_*.json;
@@ -111,7 +125,7 @@ bench:
 	$(GO) test -run='^$$' -bench=ML -benchmem -benchtime=1x -timeout=30m ./internal/ml/ | $(GO) run ./cmd/benchjson -o BENCH_ml.json
 	BENCH_BASELINE=data $(GO) test -run='^$$' -bench=Data -benchmem -benchtime=10x ./internal/data/ | $(GO) run ./cmd/benchjson -set-baseline -o BENCH_data.json
 	$(GO) test -run='^$$' -bench=Data -benchmem -benchtime=10x ./internal/data/ | $(GO) run ./cmd/benchjson -o BENCH_data.json
-	$(GO) test -run='^$$' -bench=Obs -benchmem -benchtime=20x ./internal/bench/ | $(GO) run ./cmd/benchjson -o BENCH_obs.json
+	$(GO) test -run='^$$' -bench=Obs -benchmem -benchtime=50x ./internal/bench/ | $(GO) run ./cmd/benchjson -o BENCH_obs.json
 	$(GO) test -run='^$$' -bench=Predict -benchtime=300x ./internal/pipescript/ | $(GO) run ./cmd/benchjson -o BENCH_predict.json
 	BENCH_BASELINE=ingest $(GO) test -run='^$$' -bench=Ingest -benchmem -benchtime=1x -timeout=30m ./internal/data/ | $(GO) run ./cmd/benchjson -set-baseline -o BENCH_ingest.json
 	$(GO) test -run='^$$' -bench=Ingest -benchmem -benchtime=1x -timeout=30m ./internal/data/ | $(GO) run ./cmd/benchjson -o BENCH_ingest.json

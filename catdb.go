@@ -269,6 +269,17 @@ type ExecOptions struct {
 	// 0 selects the built-in default, a negative value disables row
 	// sharding (serial loops). Results are bit-identical at any value.
 	ShardRows int
+	// Metrics, when set, records execution counters and latency
+	// histograms (catdb_pipescript_*, catdb_dag_*, catdb_shard_*) into
+	// the registry — the same registry an ops server serves at /metrics.
+	// Nil disables recording with zero overhead.
+	Metrics *Metrics
+	// TraceSpan, when set, parents the execution's span tree (exec →
+	// dag-segment → dag-wave → dag-node) under an existing span, so live
+	// ops-plane views and the critical-path/flamegraph exporters see
+	// inside pipeline execution. Observation only: results are
+	// bit-identical with or without it.
+	TraceSpan *Span
 }
 
 // ExecutePipelineWith is ExecutePipeline with execution tuning.
@@ -278,7 +289,8 @@ func ExecutePipelineWith(source string, train, test *Table, target string, task 
 		return nil, err
 	}
 	ex := &pipescript.Executor{Target: target, Task: task, Seed: seed,
-		DAG: opts.DAG, Workers: opts.Workers, ShardRows: opts.ShardRows}
+		DAG: opts.DAG, Workers: opts.Workers, ShardRows: opts.ShardRows,
+		Metrics: opts.Metrics, Span: opts.TraceSpan}
 	return ex.Execute(prog, train, test)
 }
 
@@ -312,7 +324,8 @@ func FitPipelineWith(source string, train, test *Table, target string, task Task
 		return nil, nil, err
 	}
 	ex := &pipescript.Executor{Target: target, Task: task, Seed: seed,
-		DAG: opts.DAG, Workers: opts.Workers, ShardRows: opts.ShardRows}
+		DAG: opts.DAG, Workers: opts.Workers, ShardRows: opts.ShardRows,
+		Metrics: opts.Metrics, Span: opts.TraceSpan}
 	return ex.Fit(prog, train, test)
 }
 

@@ -6,6 +6,13 @@
 //
 //	go test -run='^$' -bench=Profile -benchmem -benchtime=1x ./internal/profile/ \
 //	  | go run ./cmd/benchjson -o BENCH_profile.json
+//
+// With -compare it instead reads a run ledger (the JSONL appended by
+// `catdb-bench -ledger`) and diffs each configuration's latest run
+// against its earliest baseline, exiting 1 if any stage time or the
+// token total regressed beyond -threshold:
+//
+//	go run ./cmd/benchjson -compare runs.jsonl -threshold 0.10
 package main
 
 import (
@@ -17,6 +24,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"catdb/internal/obs/ledger"
 )
 
 // Entry is one benchmark measurement. Extra holds custom b.ReportMetric
@@ -49,7 +58,13 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
 func main() {
 	out := flag.String("o", "BENCH_profile.json", "output JSON file (merged in place)")
 	setBaseline := flag.Bool("set-baseline", false, "record this run as the baseline instead of the current numbers")
+	compare := flag.String("compare", "", "run-ledger JSONL to check for regressions instead of parsing stdin")
+	threshold := flag.Float64("threshold", 0.10, "relative regression threshold for -compare (0.10 = 10%)")
 	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare, *threshold))
+	}
 
 	parsed := map[string]Entry{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -124,6 +139,33 @@ func main() {
 		fatal("write %s: %v", *out, err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d entries to %s\n", len(parsed), *out)
+}
+
+// runCompare diffs the latest run of every configuration in the ledger
+// against its earliest recorded baseline. Exit status: 0 clean, 1
+// regressions found, 2 unreadable ledger.
+func runCompare(path string, threshold float64) int {
+	records, err := ledger.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	if len(records) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: empty ledger, nothing to compare\n", path)
+		return 0
+	}
+	regs, compared := ledger.Compare(records, threshold)
+	fmt.Printf("benchjson: %d records, %d configurations with history, threshold %.0f%%\n",
+		len(records), compared, threshold*100)
+	if len(regs) == 0 {
+		fmt.Println("benchjson: no regressions")
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Printf("REGRESSION %s\n", r)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.0f%%\n", len(regs), threshold*100)
+	return 1
 }
 
 func fatal(format string, args ...any) {

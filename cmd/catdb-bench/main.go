@@ -22,6 +22,8 @@ import (
 	"catdb/internal/bench"
 	"catdb/internal/data"
 	"catdb/internal/obs"
+	"catdb/internal/obs/ledger"
+	"catdb/internal/obs/opsserver"
 	"catdb/internal/pool"
 )
 
@@ -46,6 +48,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write harness metrics in Prometheus text format to this file")
 	dag := flag.Bool("dag", false, "execute pipelines with the DAG statement scheduler (results are bit-identical; only wall time changes)")
 	shardRows := flag.Int("shard-rows", 0, "row-shard chunk size for elementwise pipeline ops (0 = default, negative = serial; results are bit-identical at any value)")
+	listen := flag.String("listen", "", "serve the live ops plane on this address while experiments run (/metrics, /api/spans, /api/runs, /debug/pprof; results are bit-identical with or without it)")
+	ledgerPath := flag.String("ledger", "", "append one JSONL record per completed run to this persistent run ledger (compare runs with `benchjson -compare`)")
 	flag.Parse()
 
 	var out io.Writer = os.Stdout
@@ -61,14 +65,40 @@ func main() {
 	}
 	var tracer *obs.Tracer
 	var metrics *obs.Registry
-	if *traceOut != "" {
+	// -listen implies live tracing and metrics even without the file
+	// exporters: the ops server's whole point is watching a run that
+	// wasn't configured to save anything.
+	if *traceOut != "" || *listen != "" {
 		tracer = obs.New()
 	}
-	if *metricsOut != "" {
+	if *metricsOut != "" || *listen != "" {
 		metrics = obs.NewRegistry()
 		// The worker pool is process-wide infrastructure, so its queue
 		// and utilization gauges are installed process-wide too.
 		pool.SetMetrics(metrics)
+	}
+	var ledgerW *ledger.Writer
+	if *ledgerPath != "" {
+		w, err := ledger.OpenWriter(*ledgerPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "catdb-bench:", err)
+			os.Exit(1)
+		}
+		ledgerW = w
+	}
+	if *listen != "" {
+		srv, err := opsserver.Start(*listen, opsserver.Options{
+			Registry: metrics, Tracer: tracer, LedgerPath: *ledgerPath,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "catdb-bench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		col := opsserver.NewCollector(metrics)
+		col.Start(time.Second)
+		defer col.Stop()
+		fmt.Fprintf(os.Stderr, "ops server listening on %s\n", srv.URL())
 	}
 	var progressW io.Writer
 	if *progress {
@@ -84,6 +114,7 @@ func main() {
 		Scale: *scale, Seed: *seed, Iterations: *iters, Fast: *fast, Workers: *workers, Out: out,
 		Ingest: data.IngestOptions{Workers: *ingestWorkers, ChunkBytes: *chunkBytes},
 		Tracer: tracer, Metrics: metrics, Progress: progressW, DAG: *dag, ShardRows: *shardRows,
+		Ledger: ledgerW,
 	}
 
 	experiments := []experiment{
@@ -124,6 +155,15 @@ func main() {
 	if err := writeObsOutputs(tracer, metrics, *traceOut, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "catdb-bench:", err)
 		os.Exit(1)
+	}
+	if ledgerW != nil {
+		// Close reports the first append error retained during the run —
+		// a full disk surfaces here instead of failing experiment cells.
+		if err := ledgerW.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "catdb-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "run ledger appended to %s\n", *ledgerPath)
 	}
 	if file != nil {
 		if err := file.Close(); err != nil {

@@ -21,9 +21,11 @@ import (
 	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"catdb"
 	"catdb/internal/data"
+	"catdb/internal/obs/opsserver"
 )
 
 func main() {
@@ -68,6 +70,25 @@ commands:
   run        execute a saved .pipe file against a dataset
   fit        fit a saved .pipe file and export the artifact (-out model.json)
   predict    score CSV rows (file or stdin) with a fitted artifact`)
+}
+
+// startOps serves the live ops plane (/metrics, /api/spans,
+// /debug/pprof) on addr for the duration of the command and starts the
+// runtime collector against metrics. It returns a shutdown func; nil
+// Options fields simply 404 their endpoints. Results are bit-identical
+// with or without the server — it only reads snapshots.
+func startOps(addr string, tracer *catdb.Tracer, metrics *catdb.Metrics) (func(), error) {
+	srv, err := opsserver.Start(addr, opsserver.Options{Registry: metrics, Tracer: tracer})
+	if err != nil {
+		return nil, err
+	}
+	col := opsserver.NewCollector(metrics)
+	col.Start(time.Second)
+	fmt.Fprintf(os.Stderr, "ops server listening on %s\n", srv.URL())
+	return func() {
+		col.Stop()
+		_ = srv.Close()
+	}, nil
 }
 
 // dsFlags bundles the shared dataset-selection and ingest-tuning flags.
@@ -202,6 +223,7 @@ func cmdGenerate(args []string) error {
 	metricsOut := fs.String("metrics-out", "", "write run metrics in Prometheus text format to this file")
 	dag := fs.Bool("dag", false, "execute generated pipelines with the DAG statement scheduler (results are bit-identical; only wall time changes)")
 	shardRows := fs.Int("shard-rows", 0, "row-shard chunk size for elementwise pipeline ops (0 = default, negative = serial; results are bit-identical at any value)")
+	listen := fs.String("listen", "", "serve the live ops plane on this address while generating (/metrics, /api/spans, /debug/pprof; results are bit-identical with or without it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -215,11 +237,21 @@ func cmdGenerate(args []string) error {
 	}
 	var tracer *catdb.Tracer
 	var metrics *catdb.Metrics
-	if *traceOut != "" {
+	// -listen implies live tracing and metrics even without the file
+	// exporters: the ops server exists to watch runs that were not
+	// configured to save anything.
+	if *traceOut != "" || *listen != "" {
 		tracer = catdb.NewTracer()
 	}
-	if *metricsOut != "" {
+	if *metricsOut != "" || *listen != "" {
 		metrics = catdb.NewMetrics()
+	}
+	if *listen != "" {
+		stopOps, serr := startOps(*listen, tracer, metrics)
+		if serr != nil {
+			return serr
+		}
+		defer stopOps()
 	}
 	res, err := catdb.PipGenObserved(ds, client, catdb.Options{
 		Seed: *seed, Chains: *chains, TopK: *topK, NoRefine: *noRefine, DAG: *dag, ExecShardRows: *shardRows,
@@ -385,11 +417,25 @@ func cmdFit(args []string) error {
 	dag := fs.Bool("dag", false, "schedule independent statements concurrently (the artifact is byte-identical; only wall time changes)")
 	workers := fs.Int("workers", 0, "execution goroutines for -dag, row sharding, and model fitting (0 = all cores)")
 	shardRows := fs.Int("shard-rows", 0, "row-shard chunk size for elementwise ops (0 = default, negative = serial; the artifact is byte-identical at any value)")
+	listen := fs.String("listen", "", "serve the live ops plane on this address while fitting (/metrics, /api/spans, /debug/pprof; the artifact is byte-identical with or without it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *pipe == "" {
 		return fmt.Errorf("-pipe is required")
+	}
+	var tracer *catdb.Tracer
+	var metrics *catdb.Metrics
+	var fitSpan *catdb.Span
+	if *listen != "" {
+		tracer = catdb.NewTracer()
+		metrics = catdb.NewMetrics()
+		fitSpan = tracer.Root("fit")
+		stopOps, serr := startOps(*listen, tracer, metrics)
+		if serr != nil {
+			return serr
+		}
+		defer stopOps()
 	}
 	ds, tr, te, err := prepareSplit(df, *refine, *model, *seed)
 	if err != nil {
@@ -400,7 +446,9 @@ func cmdFit(args []string) error {
 		return err
 	}
 	res, fp, err := catdb.FitPipelineWith(string(src), tr, te, ds.Target, ds.Task, *seed,
-		catdb.ExecOptions{DAG: *dag, Workers: *workers, ShardRows: *shardRows})
+		catdb.ExecOptions{DAG: *dag, Workers: *workers, ShardRows: *shardRows,
+			Metrics: metrics, TraceSpan: fitSpan})
+	fitSpan.End()
 	if err != nil {
 		return err
 	}
@@ -423,6 +471,7 @@ func cmdPredict(args []string) error {
 	ingestWorkers := fs.Int("ingest-workers", 0, "CSV parse goroutines (0 = all cores, 1 = serial; output identical at any setting)")
 	chunkBytes := fs.Int("chunk-bytes", 0, "CSV ingest chunk size in bytes (0 = 4 MiB)")
 	metricsOut := fs.String("metrics-out", "", "write serving metrics in Prometheus text format to this file")
+	listen := fs.String("listen", "", "serve the live ops plane on this address while scoring (/metrics, /debug/pprof; predictions are identical with or without it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -440,9 +489,16 @@ func cmdPredict(args []string) error {
 	fp.DAG = *dag
 	fp.ShardRows = *shardRows
 	var metrics *catdb.Metrics
-	if *metricsOut != "" {
+	if *metricsOut != "" || *listen != "" {
 		metrics = catdb.NewMetrics()
 		fp.Metrics = metrics
+	}
+	if *listen != "" {
+		stopOps, serr := startOps(*listen, nil, metrics)
+		if serr != nil {
+			return serr
+		}
+		defer stopOps()
 	}
 	var in io.Reader = os.Stdin
 	if *csvPath != "-" {

@@ -16,6 +16,7 @@ import (
 
 	"catdb/internal/data"
 	"catdb/internal/obs"
+	"catdb/internal/obs/ledger"
 	"catdb/internal/pool"
 	"catdb/internal/profile"
 )
@@ -76,6 +77,12 @@ type Config struct {
 	// elementwise op loops (0 = default, negative = serial). Like DAG,
 	// results are bit-identical at any value.
 	ShardRows int
+	// Ledger, when set, appends one record per completed core.Run —
+	// config hash, stage seconds, token counts, fix counts, and the
+	// final metric snapshot — to the persistent run ledger
+	// (`benchjson -compare` diffs the latest run against this history).
+	// Nil disables recording; results are bit-identical either way.
+	Ledger *ledger.Writer
 }
 
 func (c Config) withDefaults() Config {

@@ -48,11 +48,18 @@ func mapCells[T any](cfg Config, phase string, n int, fn func(i int, sp *obs.Spa
 		}
 		if cfg.Progress != nil {
 			// One completion line per cell; the mutex keeps concurrent
-			// lines whole and the done counter monotone.
+			// lines whole and the done counter monotone. With metrics on,
+			// the line carries running p50/p99 cell latencies interpolated
+			// from the shared histogram.
+			quantiles := ""
+			if cfg.Metrics != nil {
+				h := cfg.Metrics.Histogram("catdb_bench_cell_seconds", obs.DefBuckets, "phase", phase)
+				quantiles = fmt.Sprintf(", p50=%.2fs p99=%.2fs", h.Quantile(0.5), h.Quantile(0.99))
+			}
 			mu.Lock()
 			done++
-			fmt.Fprintf(cfg.Progress, "[%s] cell %d/%d done (index %d, %s)\n",
-				phase, done, n, i, d.Round(time.Millisecond))
+			fmt.Fprintf(cfg.Progress, "[%s] cell %d/%d done (index %d, %s%s)\n",
+				phase, done, n, i, d.Round(time.Millisecond), quantiles)
 			mu.Unlock()
 		}
 		return v, err
@@ -60,10 +67,18 @@ func mapCells[T any](cfg Config, phase string, n int, fn func(i int, sp *obs.Spa
 }
 
 // instrument attaches the config's observability sinks to a runner so
-// its Run nests a full span subtree under the cell's span and records
-// into the shared registry. With observability off (nil span, nil
-// registry) it leaves the runner's behavior untouched.
+// its Run nests a full span subtree under the cell's span, records into
+// the shared registry, and appends completed runs to the persistent
+// ledger. With observability off (nil span, nil registry, nil ledger)
+// it leaves the runner's behavior untouched.
 func (c Config) instrument(r *core.Runner, sp *obs.Span) {
 	r.TraceParent = sp
 	r.Metrics = c.Metrics
+	if c.Ledger != nil {
+		r.OnResult = func(opts core.Options, res *core.Result) {
+			// Append errors are retained by the writer and reported once
+			// at Close; a full disk must not fail the experiment cell.
+			_ = c.Ledger.Append(c.ledgerRecord(opts, res))
+		}
+	}
 }

@@ -59,6 +59,10 @@ func TestMapCellsProgressSpansMetrics(t *testing.T) {
 		if !strings.HasPrefix(line, "[phaseX] cell ") || !strings.Contains(line, "done") {
 			t.Fatalf("malformed progress line %q", line)
 		}
+		// With metrics on, every line carries running latency quantiles.
+		if !strings.Contains(line, "p50=") || !strings.Contains(line, "p99=") {
+			t.Fatalf("progress line missing latency quantiles: %q", line)
+		}
 	}
 	spans := tr.Snapshot()
 	if len(spans) != 1+n {

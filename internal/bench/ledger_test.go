@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"catdb/internal/core"
+	"catdb/internal/data"
+	"catdb/internal/llm"
+	"catdb/internal/obs/ledger"
+)
+
+// TestLedgerHookAppendsRuns pins the instrument → OnResult → ledger
+// wiring: a run through an instrumented runner lands in the ledger file
+// with the run's actual costs and metrics, the config hash is stable
+// across identical runs, and attaching the ledger never changes the
+// run's result.
+func TestLedgerHookAppendsRuns(t *testing.T) {
+	ds, err := data.Load("Wifi", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+
+	run := func(withLedger bool) *core.Result {
+		var cfg Config
+		cfg.Seed = 7
+		if withLedger {
+			w, werr := ledger.OpenWriter(path)
+			if werr != nil {
+				t.Fatal(werr)
+			}
+			defer func() {
+				if cerr := w.Close(); cerr != nil {
+					t.Fatal(cerr)
+				}
+			}()
+			cfg.Ledger = w
+		}
+		client, cerr := llm.New("gemini-1.5-pro", 7)
+		if cerr != nil {
+			t.Fatal(cerr)
+		}
+		r := core.NewRunner(client)
+		cfg.instrument(r, nil)
+		res, rerr := r.Run(ds, core.Options{Seed: 7, NoRefine: true})
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		res.ProfileTime, res.RefineTime, res.GenTime, res.ExecTime = 0, 0, 0, 0
+		return res
+	}
+
+	plain := run(false)
+	logged := run(true)
+	run(true) // second identical run: forms a comparison group of two
+	if !reflect.DeepEqual(plain, logged) {
+		t.Fatalf("ledger-attached run diverged:\nplain:  %+v\nlogged: %+v", plain, logged)
+	}
+
+	records, err := ledger.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("ledger has %d records, want 2", len(records))
+	}
+	rec := records[0]
+	if rec.Dataset != "Wifi" || rec.Model != "gemini-1.5-pro" || rec.Seed != 7 {
+		t.Errorf("record identity wrong: %+v", rec)
+	}
+	if rec.TotalTokens() != logged.Cost.Total() || rec.LLMCalls != logged.Cost.LLMCalls {
+		t.Errorf("record costs %d tokens/%d calls, run had %d/%d",
+			rec.TotalTokens(), rec.LLMCalls, logged.Cost.Total(), logged.Cost.LLMCalls)
+	}
+	if len(rec.StageSeconds) != 4 {
+		t.Errorf("stage seconds = %+v, want the 4 stages", rec.StageSeconds)
+	}
+	if rec.Metrics["test_acc"] != logged.Exec.TestAcc {
+		t.Errorf("recorded test_acc %v, run scored %v", rec.Metrics["test_acc"], logged.Exec.TestAcc)
+	}
+	// Identical configurations hash identically, so the two appends form
+	// one comparison group — and identical runs compare clean.
+	if rec.ConfigHash == "" || rec.ConfigHash != records[1].ConfigHash {
+		t.Errorf("config hash unstable: %q vs %q", rec.ConfigHash, records[1].ConfigHash)
+	}
+	regs, compared := ledger.Compare(records, 0.10)
+	if compared != 1 {
+		t.Errorf("compared = %d, want 1", compared)
+	}
+	// Stage wall times jitter between identical runs; only token counts
+	// are exactly reproducible, and those must not flag.
+	for _, r := range regs {
+		if r.Metric == "tokens/total" {
+			t.Errorf("identical runs flagged a token regression: %+v", r)
+		}
+	}
+}

@@ -3,11 +3,13 @@ package bench
 import (
 	"io"
 	"testing"
+	"time"
 
 	"catdb/internal/core"
 	"catdb/internal/data"
 	"catdb/internal/llm"
 	"catdb/internal/obs"
+	"catdb/internal/obs/opsserver"
 )
 
 // BenchmarkObsCellDisabled / BenchmarkObsCellEnabled measure the
@@ -25,14 +27,50 @@ func BenchmarkObsCellDisabled(b *testing.B) {
 }
 
 func BenchmarkObsCellEnabled(b *testing.B) {
+	// One tracer/registry for the whole loop, matching real usage where a
+	// single observed process runs many experiments (and keeping this pair
+	// comparable with the server benchmark below).
+	cfg := Config{
+		Fast: true, Seed: 1,
+		Tracer: obs.New(), Metrics: obs.NewRegistry(), Progress: io.Discard,
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunTable4Refinement(Config{
-			Fast: true, Seed: 1,
-			Tracer: obs.New(), Metrics: obs.NewRegistry(), Progress: io.Discard,
-		}); err != nil {
+		if _, err := RunTable4Refinement(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkObsServerEnabledUnscraped measures the same observed
+// experiment with the full ops plane attached but idle — debug HTTP
+// server listening, runtime collector sampling — and nobody scraping.
+// The plane starts once outside the timed loop (as in real usage, where
+// one -listen server watches a whole experiment batch), so the gap
+// against BenchmarkObsCellEnabled is the steady-state cost of merely
+// having it on (target: under 1%, tracked in BENCH_obs.json): the
+// server only does work per request, so an unscraped listener is a
+// parked goroutine and the collector a few atomic stores per second.
+func BenchmarkObsServerEnabledUnscraped(b *testing.B) {
+	cfg := Config{
+		Fast: true, Seed: 1,
+		Tracer: obs.New(), Metrics: obs.NewRegistry(), Progress: io.Discard,
+	}
+	srv, err := opsserver.Start("127.0.0.1:0", opsserver.Options{Registry: cfg.Metrics, Tracer: cfg.Tracer})
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := opsserver.NewCollector(cfg.Metrics)
+	col.Start(100 * time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunTable4Refinement(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	col.Stop()
+	_ = srv.Close()
 }
 
 // BenchmarkObsRunDisabled / BenchmarkObsRunEnabled isolate the per-run

@@ -173,6 +173,12 @@ type Runner struct {
 	// (catdb_fixes_total), per-stage latencies (catdb_stage_seconds), and
 	// pipeline executions (catdb_pipescript_*).
 	Metrics *obs.Registry
+	// OnResult, when set, observes every successful Run result just
+	// before it returns, along with the options that produced it — the
+	// hook the bench harness uses to append runs to the persistent
+	// ledger (the options distinguish configurations the Result alone
+	// does not, like metadata combos). It must not mutate the result.
+	OnResult func(Options, *Result)
 }
 
 // NewRunner returns a runner over the given client.
@@ -298,7 +304,7 @@ func (r *Runner) Run(ds *data.Dataset, opts Options) (*Result, error) {
 		esp.End()
 		return nil, fmt.Errorf("core: final pipeline failed to parse after validation: %w", perr)
 	}
-	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy, Metrics: r.Metrics, DAG: opts.DAG, Workers: opts.ExecWorkers, ShardRows: opts.ExecShardRows}
+	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy, Metrics: r.Metrics, DAG: opts.DAG, Workers: opts.ExecWorkers, ShardRows: opts.ExecShardRows, Span: esp}
 	execRes, xerr := ex.Execute(prog, train, test)
 	if xerr != nil {
 		// Full-data failure after sample validation: resume the debug
@@ -321,6 +327,9 @@ func (r *Runner) Run(ds *data.Dataset, opts Options) (*Result, error) {
 	r.observeStage("generate", res.GenTime)
 	r.observeStage("exec", res.ExecTime)
 	res.Exec = execRes
+	if r.OnResult != nil {
+		r.OnResult(opts, res)
+	}
 	return res, nil
 }
 
@@ -572,7 +581,7 @@ func (r *Runner) resumeOnFullData(source string, firstErr error, in prompt.Input
 	sp := parent.Child("resume-debug")
 	sp.SetStr("cause", errkb.Classify(firstErr).Code)
 	defer sp.End()
-	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy, Metrics: r.Metrics, DAG: opts.DAG, Workers: opts.ExecWorkers, ShardRows: opts.ExecShardRows}
+	ex := &pipescript.Executor{Target: ds.Target, Task: ds.Task, Seed: opts.Seed, Policy: opts.Policy, Metrics: r.Metrics, DAG: opts.DAG, Workers: opts.ExecWorkers, ShardRows: opts.ExecShardRows, Span: sp}
 	dstart := obs.Now()
 	fixed, err := r.debugLoop(source, in, cfg, opts, ex, train, test, ds, res, sp)
 	genDur := obs.Since(dstart)

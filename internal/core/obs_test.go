@@ -1,12 +1,16 @@
 package core
 
 import (
+	"io"
+	"net/http"
 	"reflect"
 	"testing"
+	"time"
 
 	"catdb/internal/errkb"
 	"catdb/internal/llm"
 	"catdb/internal/obs"
+	"catdb/internal/obs/opsserver"
 )
 
 // TestTracedRunBitIdentical pins the observability contract: attaching a
@@ -36,6 +40,75 @@ func TestTracedRunBitIdentical(t *testing.T) {
 	plain, traced := run(false), run(true)
 	if !reflect.DeepEqual(plain, traced) {
 		t.Fatalf("traced run diverged from untraced:\nplain:  %+v\ntraced: %+v", plain, traced)
+	}
+}
+
+// TestOpsServerRunBitIdentical extends the bit-identity contract to the
+// full live ops plane: one arm runs bare, the other runs with tracer,
+// metrics, a sampling runtime collector, AND an attached debug HTTP
+// server being actively scraped (/metrics, /api/spans,
+// /api/critical-path) while the run is in flight. DAG scheduling is on
+// in both arms so the executor's dag-wave/dag-node span emission is
+// exercised under concurrent snapshots. Everything except wall-clock
+// durations must match exactly.
+func TestOpsServerRunBitIdentical(t *testing.T) {
+	ds := loadDS(t, "CMC", 0.5)
+	run := func(ops bool) *Result {
+		c, err := llm.New("llama3.1-70b", 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewRunner(c)
+		var cleanup func()
+		if ops {
+			r.Tracer = obs.New()
+			r.Metrics = obs.NewRegistry()
+			srv, serr := opsserver.Start("127.0.0.1:0", opsserver.Options{Registry: r.Metrics, Tracer: r.Tracer})
+			if serr != nil {
+				t.Fatal(serr)
+			}
+			col := opsserver.NewCollector(r.Metrics)
+			col.Start(time.Millisecond)
+			stop := make(chan struct{})
+			scraped := make(chan struct{})
+			go func() {
+				defer close(scraped)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for _, path := range []string{"/metrics", "/api/spans", "/api/critical-path"} {
+						resp, gerr := http.Get(srv.URL() + path)
+						if gerr != nil {
+							return
+						}
+						_, _ = io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}()
+			cleanup = func() {
+				close(stop)
+				<-scraped
+				col.Stop()
+				_ = srv.Close()
+			}
+		}
+		res, err := r.Run(ds, Options{Seed: 11, NoRefine: true, DAG: true})
+		if cleanup != nil {
+			cleanup()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.ProfileTime, res.RefineTime, res.GenTime, res.ExecTime = 0, 0, 0, 0
+		return res
+	}
+	plain, served := run(false), run(true)
+	if !reflect.DeepEqual(plain, served) {
+		t.Fatalf("run with live ops plane diverged from bare run:\nplain:  %+v\nserved: %+v", plain, served)
 	}
 }
 

@@ -1,0 +1,239 @@
+package ledger
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() func() time.Time {
+	return func() time.Time { return time.Unix(1700000000, 0) }
+}
+
+func baseRecord() Record {
+	return Record{
+		ConfigHash: ConfigHash("CMC", "gpt-4o", "CatDB", "42"),
+		Dataset:    "CMC",
+		Model:      "gpt-4o",
+		Variant:    "CatDB",
+		Seed:       42,
+		StageSeconds: map[string]float64{
+			"profile":  0.8,
+			"generate": 2.0,
+			"exec":     1.0,
+		},
+		Tokens:   map[string]int{"prompt": 1200, "completion": 400},
+		LLMCalls: 2,
+		Attempts: 1,
+		Metrics:  map[string]float64{"test_acc": 0.71},
+	}
+}
+
+func TestWriterAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	w, err := OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.now = fixedClock()
+	rec := baseRecord()
+	if err := w.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-opening appends, never truncates: the ledger is cross-process.
+	w2, err := OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.now = fixedClock()
+	rec2 := baseRecord()
+	rec2.StageSeconds["exec"] = 1.01
+	if err := w2.Append(rec2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records, want 2", len(got))
+	}
+	if got[0].ConfigHash != rec.ConfigHash || got[0].Dataset != "CMC" {
+		t.Errorf("round trip mangled record: %+v", got[0])
+	}
+	if got[0].Time == "" {
+		t.Error("Append did not stamp Time")
+	}
+	if got[1].StageSeconds["exec"] != 1.01 {
+		t.Errorf("second append lost data: %+v", got[1])
+	}
+	if got[0].Key() != got[1].Key() {
+		t.Error("same config hashed to different keys")
+	}
+}
+
+func TestReadFileMissingIsEmpty(t *testing.T) {
+	got, err := ReadFile(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || got != nil {
+		t.Errorf("missing ledger: got %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestReadRejectsCorruptLineWithNumber(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	if err := os.WriteFile(path, []byte("{\"config_hash\":\"a\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFile(path)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("corrupt line error = %v, want line 2 mentioned", err)
+	}
+}
+
+func TestConfigHashStableAndDistinct(t *testing.T) {
+	a := ConfigHash("CMC", "gpt-4o", "CatDB", "42")
+	if b := ConfigHash("CMC", "gpt-4o", "CatDB", "42"); a != b {
+		t.Errorf("same parts hashed differently: %s vs %s", a, b)
+	}
+	if c := ConfigHash("CMC", "gpt-4o", "CatDB", "43"); a == c {
+		t.Error("different seeds collided")
+	}
+	// The NUL joiner keeps part boundaries significant.
+	if d := ConfigHash("CM", "Cgpt-4o", "CatDB", "42"); a == d {
+		t.Error("shifted part boundary collided")
+	}
+	if len(a) != 16 {
+		t.Errorf("hash %q not 16 hex chars", a)
+	}
+}
+
+// TestCompareFlagsStageRegression is the acceptance check: a synthetic
+// 20% exec-stage regression is flagged at a 10% threshold while an
+// unchanged run passes clean.
+func TestCompareFlagsStageRegression(t *testing.T) {
+	base := baseRecord()
+	same := baseRecord()
+	regs, compared := Compare([]Record{base, same}, 0.10)
+	if compared != 1 {
+		t.Errorf("compared = %d, want 1", compared)
+	}
+	if len(regs) != 0 {
+		t.Errorf("unchanged run flagged: %+v", regs)
+	}
+
+	slow := baseRecord()
+	slow.StageSeconds["exec"] = base.StageSeconds["exec"] * 1.20
+	regs, compared = Compare([]Record{base, slow}, 0.10)
+	if compared != 1 {
+		t.Fatalf("compared = %d, want 1", compared)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("20%% exec regression produced %d flags, want 1: %+v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Metric != "stage_seconds/exec" {
+		t.Errorf("flagged metric = %s, want stage_seconds/exec", r.Metric)
+	}
+	if r.Ratio < 1.19 || r.Ratio > 1.21 {
+		t.Errorf("ratio = %v, want ~1.20", r.Ratio)
+	}
+	if !strings.Contains(r.String(), "CMC gpt-4o") {
+		t.Errorf("regression string unhelpful: %s", r.String())
+	}
+}
+
+func TestCompareBaselineIsEarliestLatestIsLast(t *testing.T) {
+	base := baseRecord()
+	mid := baseRecord()
+	mid.StageSeconds["exec"] = 5 // a bad middle run must not become the baseline
+	fixedLater := baseRecord()
+	regs, _ := Compare([]Record{base, mid, fixedLater}, 0.10)
+	if len(regs) != 0 {
+		t.Errorf("recovered run still flagged against earliest baseline: %+v", regs)
+	}
+}
+
+func TestCompareTokenRegressionAndNoiseFloor(t *testing.T) {
+	base := baseRecord()
+	chatty := baseRecord()
+	chatty.Tokens = map[string]int{"prompt": 1200, "completion": 400, "error_prompt": 900}
+	regs, _ := Compare([]Record{base, chatty}, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "tokens/total" {
+		t.Errorf("token regression not flagged: %+v", regs)
+	}
+
+	// A doubled but sub-5ms stage is noise, not a regression.
+	tiny := baseRecord()
+	tiny.StageSeconds = map[string]float64{"profile": 0.001}
+	tinySlow := baseRecord()
+	tinySlow.StageSeconds = map[string]float64{"profile": 0.002}
+	tinySlow.Tokens = base.Tokens
+	regs, _ = Compare([]Record{tiny, tinySlow}, 0.10)
+	if len(regs) != 0 {
+		t.Errorf("sub-floor stage delta flagged: %+v", regs)
+	}
+}
+
+func TestCompareGroupsByConfig(t *testing.T) {
+	a := baseRecord()
+	b := baseRecord()
+	b.Model = "llama3.1-70b"
+	b.ConfigHash = ConfigHash("CMC", "llama3.1-70b", "CatDB", "42")
+	b.StageSeconds["exec"] = 100 // other config: never compared against a
+	regs, compared := Compare([]Record{a, b}, 0.10)
+	if compared != 0 || len(regs) != 0 {
+		t.Errorf("cross-config comparison happened: compared=%d regs=%+v", compared, regs)
+	}
+}
+
+func TestWriterConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	w, err := OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const n = 32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rec := baseRecord()
+			rec.Seed = seed
+			_ = w.Append(rec)
+		}(int64(i))
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("interleaved writes corrupted the ledger: %v", err)
+	}
+	if len(got) != n {
+		t.Errorf("read %d records, want %d", len(got), n)
+	}
+}
+
+func TestNilWriterIsDisabled(t *testing.T) {
+	var w *Writer
+	if err := w.Append(baseRecord()); err != nil {
+		t.Errorf("nil Append: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+	if w.Path() != "" {
+		t.Errorf("nil Path = %q", w.Path())
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -34,6 +35,13 @@ func NewRegistry() *Registry {
 	}
 }
 
+// promEscaper escapes a label value per the Prometheus text exposition
+// format: only backslash, double-quote, and newline are escaped. Go's
+// strconv.Quote is NOT usable here — its \xNN/\uNNNN escapes for control
+// and non-ASCII bytes are invalid exposition syntax (Prometheus label
+// values are raw UTF-8).
+var promEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 // labelSet canonicalizes "k1", "v1", "k2", "v2" pairs: sorted by key,
 // rendered once into the {k="v",...} form used both as map key suffix and
 // exposition. An odd trailing key is dropped.
@@ -54,8 +62,9 @@ func labelSet(kv []string) string {
 			b.WriteByte(',')
 		}
 		b.WriteString(p[0])
-		b.WriteString(`=`)
-		b.WriteString(strconv.Quote(p[1]))
+		b.WriteString(`="`)
+		promEscaper.WriteString(&b, p[1])
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -164,6 +173,65 @@ func (h *Histogram) Count() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.count
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile returns the interpolated p-quantile (0 <= p <= 1) from the
+// bucket counts, mirroring PromQL's histogram_quantile: rank position
+// p*count is located in the cumulative bucket counts and linearly
+// interpolated within the bucket, with the first bucket's lower edge
+// taken as 0 when its bound is positive (its own bound otherwise) and
+// observations in the +Inf bucket reported as the highest finite bound.
+// Returns NaN on a nil or empty histogram.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.count)
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		if float64(cum) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			} else if bound <= 0 {
+				lower = bound
+			}
+			inBucket := h.counts[i]
+			if inBucket == 0 {
+				return bound
+			}
+			frac := (rank - float64(cum-inBucket)) / float64(inBucket)
+			return lower + (bound-lower)*frac
+		}
+	}
+	// The rank lands in the +Inf bucket: the best bounded answer is the
+	// highest finite bound (PromQL does the same).
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // Counter returns (creating on first use) the counter with the given name
@@ -310,7 +378,10 @@ func (r *Registry) WriteProm(w io.Writer) error {
 }
 
 // writeBucket emits one cumulative histogram bucket line, splicing the
-// le label into the (possibly empty) label set.
+// le label into the (possibly empty) label set. The splice only trims
+// the trailing '}' of a labelSet rendering, so it stays valid for any
+// escaped label values; le itself is a float rendering ("+Inf" or
+// strconv.FormatFloat) and never needs escaping.
 func writeBucket(w io.Writer, name, labels, le string, cum int64) error {
 	withLE := `{le="` + le + `"}`
 	if labels != "" {

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -106,6 +107,101 @@ func TestMetricsGoldenProm(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkGolden(t, "metrics.prom.golden", buf.Bytes())
+}
+
+// TestMetricsEscapingGoldenProm pins the exposition-format escaping of
+// hostile label values: quotes, backslashes, newlines, and non-ASCII
+// must come out as spec escapes (\" \\ \n) and raw UTF-8 — never Go's
+// \xNN/\uNNNN forms, which Prometheus rejects.
+func TestMetricsEscapingGoldenProm(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("catdb_errors_total", "msg", "cannot parse \"train\" stmt").Inc()
+	reg.Counter("catdb_errors_total", "msg", `path C:\data\x.csv`).Add(2)
+	reg.Counter("catdb_errors_total", "msg", "line one\nline two").Inc()
+	reg.Gauge("catdb_variant_info", "variant", "CatDB τ₂=15 β>1").Set(1)
+	h := reg.Histogram("catdb_quoted_seconds", []float64{1}, "q", `both " and \ here`)
+	h.Observe(0.5)
+	h.Observe(2)
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The non-ASCII value must pass through as raw UTF-8, not \uNNNN.
+	if !strings.Contains(buf.String(), `variant="CatDB τ₂=15 β>1"`) {
+		t.Errorf("unicode label value not raw UTF-8:\n%s", buf.String())
+	}
+	checkGolden(t, "metrics.escaping.prom.golden", buf.Bytes())
+}
+
+func TestHistogramSumAndQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h_seconds", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 8} {
+		h.Observe(v)
+	}
+	if got := h.Sum(); got != 14.5 {
+		t.Errorf("Sum = %v, want 14.5", got)
+	}
+	// rank 2.5 lands in the (1,2] bucket holding 2 observations after a
+	// cumulative 1: interpolate 1 + (2-1)*(2.5-1)/2 = 1.75.
+	if got := h.Quantile(0.5); got != 1.75 {
+		t.Errorf("Quantile(0.5) = %v, want 1.75", got)
+	}
+	// p=1 lands in the +Inf bucket: report the highest finite bound.
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %v, want 4", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want 0", got)
+	}
+	empty := reg.Histogram("empty_seconds", []float64{1})
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty Quantile = %v, want NaN", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("nil Quantile = %v, want NaN", got)
+	}
+	if got := nilH.Sum(); got != 0 {
+		t.Errorf("nil Sum = %v, want 0", got)
+	}
+}
+
+// TestSnapshotMarksRunningSpans pins the live-view contract: open spans
+// snapshot with Running=true and an elapsed-so-far duration, and the
+// JSONL export carries the running flag; ended spans never do.
+func TestSnapshotMarksRunningSpans(t *testing.T) {
+	tr := NewWithClock(fakeClock())
+	run := tr.Root("run")   // start 0ms
+	gen := run.Child("gen") // start 1ms
+	gen.End()               // dur 1ms
+	snap := tr.Snapshot()   // clock now at 3ms
+	if snap[0].Name != "run" || !snap[0].Running {
+		t.Fatalf("open root not marked running: %+v", snap[0])
+	}
+	if got := snap[0].Dur.Milliseconds(); got != 3 {
+		t.Errorf("running span Dur = %dms, want elapsed-so-far 3ms", got)
+	}
+	if snap[1].Running {
+		t.Errorf("ended span marked running: %+v", snap[1])
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.Contains(lines[0], `"running":true`) {
+		t.Errorf("open span JSONL missing running flag: %s", lines[0])
+	}
+	if strings.Contains(lines[1], "running") {
+		t.Errorf("ended span JSONL carries running flag: %s", lines[1])
+	}
+	run.End()
+	for _, d := range tr.Snapshot() {
+		if d.Running {
+			t.Errorf("span %q still running after End", d.Name)
+		}
+	}
 }
 
 func TestPromExpositionDeterministic(t *testing.T) {

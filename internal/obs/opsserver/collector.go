@@ -1,0 +1,116 @@
+package opsserver
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"catdb/internal/obs"
+)
+
+// queueDepthBuckets bounds the sampled pool-queue-depth distribution:
+// depths past a few hundred pending tasks all mean "saturated".
+var queueDepthBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// Collector samples process runtime stats (goroutines, heap, GC) and
+// the pool queue depth into an obs.Registry, so /metrics answers "what
+// is this run doing to the process" without a sidecar. Sampling is
+// pull-based and injectable: tests call Sample directly or drive Run
+// with a manual tick channel; production uses Start with a real ticker.
+type Collector struct {
+	reg *obs.Registry
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// NewCollector returns a collector recording into reg. A nil registry
+// yields a collector whose samples are no-ops (every instrument is the
+// registry's nil no-op form), so wiring never branches on enablement.
+func NewCollector(reg *obs.Registry) *Collector {
+	return &Collector{reg: reg}
+}
+
+// Sample takes one reading: runtime gauges are set to current values,
+// monotonic runtime totals (GC pauses, cycles, allocated bytes) are
+// re-published as-is, and the live pool queue depth is observed into a
+// histogram so scrapes see its distribution, not just the last instant.
+func (c *Collector) Sample() {
+	if c == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.reg.Gauge("catdb_runtime_goroutines").Set(int64(runtime.NumGoroutine()))
+	c.reg.Gauge("catdb_runtime_heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	c.reg.Gauge("catdb_runtime_total_alloc_bytes").Set(int64(ms.TotalAlloc))
+	c.reg.Gauge("catdb_runtime_gc_pause_ns_total").Set(int64(ms.PauseTotalNs))
+	c.reg.Gauge("catdb_runtime_gc_cycles").Set(int64(ms.NumGC))
+	depth := c.reg.Gauge("catdb_pool_queue_depth").Value()
+	c.reg.Histogram("catdb_pool_queue_depth_sampled", queueDepthBuckets).Observe(float64(depth))
+	c.reg.Counter("catdb_runtime_samples_total").Inc()
+}
+
+// Run samples once per tick until the channel closes or Stop is
+// called. It is the deterministic core of Start: tests feed a manual
+// channel and know exactly how many samples were taken.
+func (c *Collector) Run(ticks <-chan time.Time) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	stop, done := c.stop, c.done
+	c.mu.Unlock()
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case _, ok := <-ticks:
+			if !ok {
+				return
+			}
+			c.Sample()
+		}
+	}
+}
+
+// Start samples on a real ticker every interval until Stop.
+func (c *Collector) Start(interval time.Duration) {
+	if c == nil {
+		return
+	}
+	t := time.NewTicker(interval)
+	go func() {
+		defer t.Stop()
+		c.Run(t.C)
+	}()
+}
+
+// Stop halts a running collector and waits for its loop to exit. Safe
+// to call on a collector that never started, and idempotent.
+func (c *Collector) Stop() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	stop, done := c.stop, c.done
+	started := c.started
+	c.started = false
+	c.stop, c.done = nil, nil
+	c.mu.Unlock()
+	if !started {
+		return
+	}
+	close(stop)
+	<-done
+}

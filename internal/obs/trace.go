@@ -179,22 +179,34 @@ type SpanData struct {
 	Name   string
 	Start  time.Duration // offset from tracer construction
 	Dur    time.Duration
-	Attrs  map[string]any
+	// Running marks a span still open at snapshot time; its Dur is the
+	// elapsed time so far, so live views (the ops server's /api/spans)
+	// render in-flight work with a meaningful duration.
+	Running bool
+	Attrs   map[string]any
 }
 
-// Snapshot returns all spans in start order. The attribute maps are
-// copies; mutating them does not affect the store.
+// Snapshot returns all spans in start order. Open spans are marked
+// Running and carry their elapsed-so-far duration instead of zero. The
+// attribute maps are copies; mutating them does not affect the store.
 func (t *Tracer) Snapshot() []SpanData {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	spans := append([]*Span(nil), t.spans...)
+	now := t.now().Sub(t.epoch)
 	t.mu.Unlock()
 	out := make([]SpanData, 0, len(spans))
 	for _, s := range spans {
 		s.mu.Lock()
 		d := SpanData{ID: s.id, Parent: s.parent, Name: s.name, Start: s.start, Dur: s.dur}
+		if !s.ended {
+			d.Running = true
+			if now > s.start {
+				d.Dur = now - s.start
+			}
+		}
 		if len(s.attrs) > 0 {
 			d.Attrs = make(map[string]any, len(s.attrs))
 			for k, v := range s.attrs {
@@ -215,10 +227,12 @@ type spanJSON struct {
 	Name    string         `json:"name"`
 	StartNS int64          `json:"start_ns"`
 	DurNS   int64          `json:"dur_ns"`
+	Running bool           `json:"running,omitempty"`
 	Attrs   map[string]any `json:"attrs,omitempty"`
 }
 
-// WriteJSONL exports one JSON object per span, in start order.
+// WriteJSONL exports one JSON object per span, in start order. Spans
+// still open export running:true with their elapsed-so-far duration.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	if t == nil {
 		return nil
@@ -227,7 +241,7 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		b, err := json.Marshal(spanJSON{
 			ID: d.ID, Parent: d.Parent, Name: d.Name,
 			StartNS: d.Start.Nanoseconds(), DurNS: d.Dur.Nanoseconds(),
-			Attrs: d.Attrs,
+			Running: d.Running, Attrs: d.Attrs,
 		})
 		if err != nil {
 			return fmt.Errorf("obs: marshal span: %w", err)
@@ -262,8 +276,12 @@ func (t *Tracer) WriteTree(w io.Writer) error {
 	var rec func(parent, depth int) error
 	rec = func(parent, depth int) error {
 		for _, d := range byParent[parent] {
-			if _, err := fmt.Fprintf(w, "%*s%s (%s)%s\n",
-				2*depth, "", d.Name, d.Dur, formatAttrs(d.Attrs)); err != nil {
+			marker := ""
+			if d.Running {
+				marker = ", running"
+			}
+			if _, err := fmt.Fprintf(w, "%*s%s (%s%s)%s\n",
+				2*depth, "", d.Name, d.Dur, marker, formatAttrs(d.Attrs)); err != nil {
 				return err
 			}
 			if err := rec(d.ID, depth+1); err != nil {

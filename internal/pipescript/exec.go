@@ -81,6 +81,13 @@ type Executor struct {
 	// codes (catdb_pipescript_*) into the observability registry. Nil
 	// disables recording with zero overhead.
 	Metrics *obs.Registry
+	// Span, when set, parents the DAG scheduler's span tree: one
+	// dag-segment span per parallel segment, dag-wave per Kahn wave,
+	// dag-node per executed statement — the hierarchy the critical-path
+	// and flamegraph exporters attribute wall time over. Spans observe
+	// only; results stay bit-identical with or without them. Nil (the
+	// default) disables recording with zero overhead.
+	Span *obs.Span
 	// CapturePredictions copies the model's raw test-split outputs into
 	// Result.TestPredictions/TestLabels/TestProba (off by default: the
 	// search loop only needs aggregate scores).

@@ -55,7 +55,11 @@ func (e *Executor) executeDAG(p *Program, tr, te *data.Table, maxOH int, res *Re
 				}
 			} else {
 				e.countSegment("parallel")
-				if err := e.runSegment(nodes, tr, te, maxOH); err != nil {
+				ssp := e.Span.Child("dag-segment")
+				ssp.SetInt("stmts", int64(len(seg.stmts)))
+				err := e.runSegment(nodes, tr, te, maxOH, ssp)
+				ssp.End()
+				if err != nil {
 					return err
 				}
 			}
@@ -77,8 +81,10 @@ func (e *Executor) countSegment(mode string) {
 
 // runSegment executes one resolved segment: Kahn waves over the pool,
 // then a statement-ordered merge of column adds/removes, deferred cap
-// checks, and deferred test-side step applications.
-func (e *Executor) runSegment(nodes []*dagNode, tr, te *data.Table, maxOH int) error {
+// checks, and deferred test-side step applications. sp (nil when
+// tracing is off) parents one dag-wave span per wave with dag-node
+// children recorded from inside the workers.
+func (e *Executor) runSegment(nodes []*dagNode, tr, te *data.Table, maxOH int, sp *obs.Span) error {
 	n := len(nodes)
 	colOf := make(map[string]*data.Column, len(tr.Cols))
 	for _, c := range tr.Cols {
@@ -116,6 +122,8 @@ func (e *Executor) runSegment(nodes []*dagNode, tr, te *data.Table, maxOH int) e
 			break
 		}
 		waves++
+		wsp := sp.Child("dag-wave")
+		wsp.SetInt("ready", int64(len(ready)))
 		// colOf is read concurrently below and only written between
 		// waves, so node table construction inside workers is race-free.
 		// Wave width borrows from the same budget nested sharders draw
@@ -126,9 +134,15 @@ func (e *Executor) runSegment(nodes []*dagNode, tr, te *data.Table, maxOH int) e
 			if dead[j] {
 				return nodeOutcome{}, nil
 			}
-			return e.runDAGNode(nodes[j], tr.Name, colOf, maxOH), nil
+			nsp := wsp.Child("dag-node")
+			nsp.SetStr("op", nodes[j].st.Op)
+			nsp.SetInt("line", int64(nodes[j].st.Line))
+			out := e.runDAGNode(nodes[j], tr.Name, colOf, maxOH)
+			nsp.End()
+			return out, nil
 		})
 		e.budget.release(extra)
+		wsp.End()
 		for k, j := range ready {
 			done[j] = true
 			for _, ch := range children[j] {
